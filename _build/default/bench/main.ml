@@ -1,0 +1,205 @@
+(* Benchmark harness: regenerates every table and figure of the thesis
+   and times the library's kernels with Bechamel.
+
+   Usage: main.exe [table1|table2|figures|spice|ablation|micro|quick|all]
+   (default: all).  "quick" restricts the tables to r1-r3 for fast runs. *)
+
+let bound = 10.
+
+let header title =
+  Format.printf "@.==== %s ====@." title
+
+(* --- Tables I and II ----------------------------------------------------- *)
+
+let paper_table1 =
+  (* (circuit, groups) -> (wirelen, reduction %) from Table I. *)
+  [
+    ("r1", [ (1, 1070421, 0.); (4, 1048432, 2.05); (6, 1041671, 2.69); (8, 1040952, 2.75); (10, 1039556, 2.88) ]);
+    ("r2", [ (1, 2169791, 0.); (4, 2112508, 2.64); (6, 2112074, 2.66); (8, 2093848, 3.50); (10, 2091244, 3.62) ]);
+    ("r3", [ (1, 2734959, 0.); (4, 2664397, 2.58); (6, 2647713, 3.19); (8, 2644158, 3.32); (10, 2646072, 3.25) ]);
+    ("r4", [ (1, 5442046, 0.); (4, 5311981, 2.39); (6, 5307627, 2.47); (8, 5279328, 2.99); (10, 5272254, 3.12) ]);
+    ("r5", [ (1, 8033650, 0.); (4, 7836825, 2.45); (6, 7799067, 2.92); (8, 7771753, 3.26); (10, 7754078, 3.48) ]);
+  ]
+
+let paper_table2 =
+  [
+    ("r1", [ (1, 1070421, 0.); (4, 969872, 9.39); (6, 945353, 11.68); (8, 930384, 13.08); (10, 926958, 13.40) ]);
+    ("r2", [ (1, 2169791, 0.); (4, 1940437, 10.57); (6, 1938564, 10.66); (8, 1865821, 14.01); (10, 1855198, 14.50) ]);
+    ("r3", [ (1, 2734959, 0.); (4, 2452948, 10.31); (6, 2371398, 13.29); (8, 2386127, 12.75); (10, 2379931, 12.98) ]);
+    ("r4", [ (1, 5442046, 0.); (4, 4922763, 9.54); (6, 4785931, 12.06); (8, 4791754, 11.95); (10, 4762357, 12.49) ]);
+    ("r5", [ (1, 8033650, 0.); (4, 7247698, 9.78); (6, 7094385, 11.69); (8, 6984476, 13.06); (10, 6915703, 13.92) ]);
+  ]
+
+let print_vs_paper paper rows =
+  Format.printf "@.Paper vs measured (reduction %% vs each EXT-BST baseline):@.";
+  Format.printf "%-8s %-8s %-12s %-12s@." "Circuit" "#groups" "paper" "measured";
+  List.iter
+    (fun (r : Experiments.Tables.row) ->
+      match r.reduction_pct with
+      | None -> ()
+      | Some measured ->
+        (match List.assoc_opt r.circuit paper with
+         | None -> ()
+         | Some entries ->
+           (match
+              List.find_opt (fun (g, _, _) -> g = r.n_groups) entries
+            with
+            | Some (_, _, paper_red) ->
+              Format.printf "%-8s %-8d %-12.2f %-12.2f@." r.circuit r.n_groups
+                paper_red measured
+            | None -> ())))
+    rows
+
+let table ~scheme ~title ~paper ~circuits () =
+  header title;
+  let rows = Experiments.Tables.run ~circuits ~bound ~scheme () in
+  Experiments.Tables.print ~title rows;
+  print_vs_paper paper rows;
+  rows
+
+(* --- Bechamel micro-benchmarks ------------------------------------------- *)
+
+let micro () =
+  header "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let open Geometry in
+  let pt = Pt.make in
+  let oct_a = Octagon.hull_list [ Octagon.of_point (pt 0. 0.); Octagon.of_point (pt 500. 300.) ] in
+  let oct_b = Octagon.hull_list [ Octagon.of_point (pt 4000. 100.); Octagon.of_point (pt 4500. 900.) ] in
+  let r1 = Option.get (Workload.Circuits.find "r1") in
+  let quick_spec = Workload.Circuits.{ name = "bench"; n_sinks = 120; die = 40000. } in
+  let quick_inst scheme groups =
+    Workload.Circuits.instance quick_spec ~n_groups:groups ~scheme ~bound ()
+  in
+  let inst_inter = quick_inst Workload.Partition.Intermingled 6 in
+  let inst_clust = quick_inst Workload.Partition.Clustered 6 in
+  let r1_inter =
+    Workload.Circuits.instance r1 ~n_groups:8
+      ~scheme:Workload.Partition.Intermingled ~bound ()
+  in
+  let routed, _ = Dme.Engine.run inst_inter in
+  let params = Rc.Wire.default in
+  let cons =
+    [ Rc.Balance.{ a = { lo = 0.; hi = 1. }; b = { lo = 3.; hi = 5. }; bound = 10. } ]
+  in
+  let tests =
+    Test.make_grouped ~name:"astskew"
+      [
+        (* kernel operations *)
+        Test.make ~name:"octagon-dist" (Staged.stage (fun () -> Octagon.dist oct_a oct_b));
+        Test.make ~name:"octagon-sdr" (Staged.stage (fun () -> Octagon.sdr oct_a oct_b));
+        Test.make ~name:"balance-plan"
+          (Staged.stage (fun () ->
+               Rc.Balance.plan params ~dist:2000. ~cap_a:120. ~cap_b:180. ~cons ~pref:2.));
+        Test.make ~name:"evaluate"
+          (Staged.stage (fun () -> Clocktree.Evaluate.run inst_inter routed));
+        Test.make ~name:"repair"
+          (Staged.stage (fun () -> Clocktree.Repair.run inst_inter routed));
+        (* one per table: the table's inner loop at reduced scale *)
+        Test.make ~name:"table1-ast-clustered"
+          (Staged.stage (fun () -> Astskew.Router.ast_dme inst_clust));
+        Test.make ~name:"table2-ast-intermingled"
+          (Staged.stage (fun () -> Astskew.Router.ast_dme inst_inter));
+        Test.make ~name:"table-baseline-ext-bst"
+          (Staged.stage (fun () -> Astskew.Router.ext_bst inst_inter));
+        Test.make ~name:"table2-ast-r1-full"
+          (Staged.stage (fun () -> Astskew.Router.ast_dme r1_inter));
+        (* one per figure *)
+        Test.make ~name:"fig1-zst-vs-bst"
+          (Staged.stage Experiments.Figures.fig1);
+        Test.make ~name:"fig2-stitch-vs-assoc"
+          (Staged.stage Experiments.Figures.fig2);
+        Test.make ~name:"fig3-merging-region"
+          (Staged.stage Experiments.Figures.fig3);
+        Test.make ~name:"fig4-instance1"
+          (Staged.stage Experiments.Figures.fig4);
+        Test.make ~name:"fig5-instance2"
+          (Staged.stage Experiments.Figures.fig5);
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let entries =
+    Hashtbl.fold
+      (fun name o acc ->
+        match Analyze.OLS.estimates o with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> acc)
+      results []
+  in
+  Format.printf "%-40s %s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Format.printf "%-40s %s@." name pretty)
+    (List.sort (fun (a, _) (b, _) -> compare a b) entries)
+
+(* --- main ----------------------------------------------------------------- *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let circuits quickly =
+    if quickly then
+      List.filter
+        (fun (s : Workload.Circuits.spec) -> s.n_sinks <= 900)
+        Workload.Circuits.specs
+    else Workload.Circuits.specs
+  in
+  let run_tables quickly =
+    ignore
+      (table ~scheme:Workload.Partition.Clustered
+         ~title:"Table I: clusters of sink groups" ~paper:paper_table1
+         ~circuits:(circuits quickly) ());
+    ignore
+      (table ~scheme:Workload.Partition.Intermingled
+         ~title:"Table II: intermingled sink groups" ~paper:paper_table2
+         ~circuits:(circuits quickly) ())
+  in
+  match what with
+  | "table1" ->
+    ignore
+      (table ~scheme:Workload.Partition.Clustered
+         ~title:"Table I: clusters of sink groups" ~paper:paper_table1
+         ~circuits:(circuits false) ())
+  | "table2" ->
+    ignore
+      (table ~scheme:Workload.Partition.Intermingled
+         ~title:"Table II: intermingled sink groups" ~paper:paper_table2
+         ~circuits:(circuits false) ())
+  | "figures" ->
+    header "Figures 1-5";
+    Experiments.Figures.print_all ()
+  | "spice" ->
+    header "Elmore vs transient (Chapter III)";
+    Experiments.Spice_check.print (Experiments.Spice_check.run ())
+  | "ablation" ->
+    header "Ablation (Section V.F)";
+    Experiments.Ablation.print (Experiments.Ablation.run ())
+  | "micro" -> micro ()
+  | "quick" ->
+    run_tables true;
+    header "Figures 1-5";
+    Experiments.Figures.print_all ()
+  | "all" ->
+    run_tables false;
+    header "Figures 1-5";
+    Experiments.Figures.print_all ();
+    header "Elmore vs transient (Chapter III)";
+    Experiments.Spice_check.print (Experiments.Spice_check.run ());
+    header "Ablation (Section V.F)";
+    Experiments.Ablation.print (Experiments.Ablation.run ());
+    micro ()
+  | other ->
+    Format.eprintf
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|quick|all)@."
+      other;
+    exit 1

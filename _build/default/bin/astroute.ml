@@ -1,0 +1,196 @@
+(* astroute: command-line driver for the associative-skew clock router.
+
+   Subcommands:
+     route    — route one circuit (or instance file) with one algorithm,
+                optionally writing an SVG of the tree
+     compare  — run greedy-DME, EXT-BST, MMM-DME and AST-DME on one instance
+     gen      — write a benchmark instance to a file
+     table    — regenerate Table I or II of the thesis
+     figures  — print the figure reconstructions
+*)
+
+open Cmdliner
+
+let circuit_arg =
+  let doc = "Benchmark circuit (r1..r5)." in
+  Arg.(value & opt string "r1" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let groups_arg =
+  let doc = "Number of sink groups." in
+  Arg.(value & opt int 8 & info [ "g"; "groups" ] ~docv:"N" ~doc)
+
+let scheme_arg =
+  let doc = "Group partition scheme: clustered or intermingled." in
+  Arg.(value & opt string "intermingled" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let bound_arg =
+  let doc = "Intra-group skew bound in picoseconds." in
+  Arg.(value & opt float 10. & info [ "b"; "bound" ] ~docv:"PS" ~doc)
+
+let seed_arg =
+  let doc = "Override the deterministic placement seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let algo_arg =
+  let doc =
+    "Algorithm: ast (AST-DME), ext (EXT-BST), zst (greedy-DME) or mmm      (fixed MMM topology)."
+  in
+  Arg.(value & opt string "ast" & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let file_arg =
+  let doc = "Load the instance from FILE (see Clocktree.Io for the format)              instead of generating a benchmark circuit." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let svg_arg =
+  let doc = "Write the routed tree as an SVG drawing to FILE." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let load_instance ?file circuit groups scheme bound seed =
+  match file with
+  | Some path -> Clocktree.Io.read_file path
+  | None ->
+  match Workload.Circuits.find circuit with
+  | None -> Error (Printf.sprintf "unknown circuit %S (expected r1..r5)" circuit)
+  | Some spec ->
+    (match Workload.Partition.scheme_of_string scheme with
+     | None -> Error (Printf.sprintf "unknown scheme %S" scheme)
+     | Some scheme ->
+       let seed = Option.map Int64.of_int seed in
+       Ok (Workload.Circuits.instance ?seed spec ~n_groups:groups ~scheme ~bound ()))
+
+let print_result name (r : Astskew.Router.result) =
+  Format.printf "%-11s %a@." name Astskew.Router.pp_result r
+
+let route_cmd =
+  let run circuit groups scheme bound seed algo file svg =
+    match load_instance ?file circuit groups scheme bound seed with
+    | Error e ->
+      Format.eprintf "astroute: %s@." e;
+      1
+    | Ok inst ->
+      let result =
+        match algo with
+        | "ast" -> Some ("AST-DME", Astskew.Router.ast_dme inst)
+        | "ext" -> Some ("EXT-BST", Astskew.Router.ext_bst inst)
+        | "zst" -> Some ("greedy-DME", Astskew.Router.greedy_dme inst)
+        | "mmm" -> Some ("MMM-DME", Astskew.Router.mmm_dme inst)
+        | _ -> None
+      in
+      (match result with
+       | None ->
+         Format.eprintf "astroute: unknown algorithm %S@." algo;
+         1
+       | Some (name, r) ->
+         Format.printf "%a@." Clocktree.Instance.pp inst;
+         print_result name r;
+         (match svg with
+          | Some path ->
+            Clocktree.Svg.write_file path inst r.routed;
+            Format.printf "wrote %s@." path
+          | None -> ());
+         0)
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
+      $ algo_arg $ file_arg $ svg_arg)
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
+
+let gen_cmd =
+  let out =
+    let doc = "Output instance file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run circuit groups scheme bound seed out =
+    match load_instance circuit groups scheme bound seed with
+    | Error e ->
+      Format.eprintf "astroute: %s@." e;
+      1
+    | Ok inst ->
+      Clocktree.Io.write_file out inst;
+      Format.printf "wrote %s (%a)@." out Clocktree.Instance.pp inst;
+      0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark instance file.")
+    Term.(
+      const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
+      $ out)
+
+let compare_cmd =
+  let run circuit groups scheme bound seed file =
+    match load_instance ?file circuit groups scheme bound seed with
+    | Error e ->
+      Format.eprintf "astroute: %s@." e;
+      1
+    | Ok inst ->
+      Format.printf "%a@." Clocktree.Instance.pp inst;
+      let zst = Astskew.Router.greedy_dme inst in
+      let ext = Astskew.Router.ext_bst inst in
+      let mmm = Astskew.Router.mmm_dme inst in
+      let ast = Astskew.Router.ast_dme inst in
+      print_result "greedy-DME" zst;
+      print_result "EXT-BST" ext;
+      print_result "MMM-DME" mmm;
+      print_result "AST-DME" ast;
+      Format.printf "AST-DME reduction vs EXT-BST: %.2f%%@."
+        (100. *. Astskew.Router.reduction ~baseline:ext ast);
+      0
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
+      $ file_arg)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all routers on one instance.") term
+
+let table_cmd =
+  let which =
+    let doc = "Which table: 1 (clustered) or 2 (intermingled)." in
+    Arg.(value & pos 0 int 2 & info [] ~docv:"N" ~doc)
+  in
+  let quick =
+    let doc = "Restrict to r1-r3 for a fast run." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run which quick =
+    let scheme, title =
+      match which with
+      | 1 -> (Workload.Partition.Clustered, "Table I: clusters of sink groups")
+      | 2 -> (Workload.Partition.Intermingled, "Table II: intermingled sink groups")
+      | _ ->
+        Format.eprintf "astroute: table must be 1 or 2@.";
+        exit 1
+    in
+    let circuits =
+      if quick then
+        List.filter
+          (fun (s : Workload.Circuits.spec) -> s.n_sinks <= 900)
+          Workload.Circuits.specs
+      else Workload.Circuits.specs
+    in
+    let rows = Experiments.Tables.run ~circuits ~scheme () in
+    Experiments.Tables.print ~title rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate Table I or II.")
+    Term.(const run $ which $ quick)
+
+let figures_cmd =
+  let run () =
+    Experiments.Figures.print_all ();
+    0
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Print the figure reconstructions.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "astroute" ~version:"1.0.0"
+      ~doc:"Associative-skew clock routing (AST-DME) and baselines."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ route_cmd; compare_cmd; gen_cmd; table_cmd; figures_cmd ]))

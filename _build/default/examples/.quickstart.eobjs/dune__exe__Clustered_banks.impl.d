@@ -1,0 +1,1 @@
+examples/clustered_banks.ml: Array Astskew Clocktree Format Workload

@@ -1,0 +1,1 @@
+examples/custom_instance.ml: Array Astskew Clocktree Dme Evaluate Format Geometry Instance Repair Sink

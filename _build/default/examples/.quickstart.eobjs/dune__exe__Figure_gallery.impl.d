@@ -1,0 +1,1 @@
+examples/figure_gallery.ml: Experiments Format Geometry List String

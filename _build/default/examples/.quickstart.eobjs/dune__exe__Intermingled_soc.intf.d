@@ -1,0 +1,1 @@
+examples/intermingled_soc.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Astskew Clocktree Format Geometry Instance Sink

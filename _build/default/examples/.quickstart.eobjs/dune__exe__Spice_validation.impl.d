@@ -1,0 +1,1 @@
+examples/spice_validation.ml: Experiments Format

@@ -1,0 +1,31 @@
+(* Reconstructions of the thesis' Figures 1-5 as concrete, measurable
+   instances, with an ASCII rendering of the Fig. 3 merging region.
+
+   Run with: dune exec examples/figure_gallery.exe *)
+
+module Octagon = Geometry.Octagon
+module Pt = Geometry.Pt
+
+(* Coarse ASCII raster of an octagon, for eyeballing merging regions. *)
+let render_region region ~x0 ~x1 ~y0 ~y1 =
+  let cols = 60 and rows = 18 in
+  for row = rows - 1 downto 0 do
+    let y = y0 +. ((y1 -. y0) *. (float_of_int row +. 0.5) /. float_of_int rows) in
+    let line =
+      String.init cols (fun col ->
+          let x =
+            x0 +. ((x1 -. x0) *. (float_of_int col +. 0.5) /. float_of_int cols)
+          in
+          if Octagon.contains region (Pt.make x y) then '#' else '.')
+    in
+    print_endline line
+  done
+
+let () =
+  Experiments.Figures.print_all ();
+  let f3 = Experiments.Figures.fig3 () in
+  Format.printf
+    "@.Fig 3 merging region rasterized (the shaded SDR between the two@.merging segments; '#' = admissible merge-node locations):@.@.";
+  render_region f3.region ~x0:(-500.) ~x1:5500. ~y0:0. ~y1:3000.;
+  Format.printf "@.vertices:@.";
+  List.iter (fun v -> Format.printf "  %a@." Pt.pp v) f3.vertices

@@ -1,0 +1,37 @@
+(* The paper's "difficult instance": many clock groups whose registers are
+   physically intermingled across the die — typical of a flattened SoC
+   where pipeline stages of different blocks interleave after placement.
+
+   Sweeps the number of groups on a mid-size circuit and shows how the
+   associative-skew freedom grows with group count (Table II's trend).
+
+   Run with: dune exec examples/intermingled_soc.exe *)
+
+let () =
+  let spec = Workload.Circuits.{ name = "soc"; n_sinks = 600; die = 68000. } in
+  Format.printf
+    "Intermingled SoC-style instance: %d sinks, %.0f x %.0f die, 10 ps bound@.@."
+    spec.n_sinks spec.die spec.die;
+  let base_inst =
+    Workload.Circuits.instance spec ~n_groups:1
+      ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+  in
+  let ext = Astskew.Router.ext_bst base_inst in
+  Format.printf "EXT-BST baseline (all groups tied together): wirelength %.0f@.@."
+    ext.evaluation.wirelength;
+  Format.printf "%-8s %-12s %-11s %-13s %-14s@." "#groups" "wirelength"
+    "reduction" "global skew" "max grp skew";
+  List.iter
+    (fun g ->
+      let inst =
+        Workload.Circuits.instance spec ~n_groups:g
+          ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+      in
+      let ast = Astskew.Router.ast_dme inst in
+      Format.printf "%-8d %-12.0f %-10.2f%% %-13.1f %-14.2f@." g
+        ast.evaluation.wirelength
+        (100. *. Astskew.Router.reduction ~baseline:ext ast)
+        ast.evaluation.global_skew ast.evaluation.max_group_skew)
+    [ 2; 4; 6; 8; 10; 16 ];
+  Format.printf
+    "@.Global skew grows (it is unconstrained between groups) while every@.group stays within its own 10 ps budget — that freedom is the wire saving.@."

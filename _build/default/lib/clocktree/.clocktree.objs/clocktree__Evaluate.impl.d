@@ -1,0 +1,1 @@
+lib/clocktree/evaluate.ml: Array Float Format Instance Rc Sink Tree

@@ -1,0 +1,1 @@
+lib/clocktree/evaluate.mli: Format Instance Tree

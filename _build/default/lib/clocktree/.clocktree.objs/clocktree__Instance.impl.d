@@ -1,0 +1,1 @@
+lib/clocktree/instance.ml: Array Float Format Geometry Rc Seq Sink

@@ -1,0 +1,1 @@
+lib/clocktree/instance.mli: Format Geometry Rc Sink

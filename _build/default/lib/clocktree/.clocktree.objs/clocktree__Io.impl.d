@@ -1,0 +1,1 @@
+lib/clocktree/io.ml: Array Buffer Fun Geometry In_channel Instance List Option Printf Rc Result Sink String

@@ -1,0 +1,1 @@
+lib/clocktree/io.mli: Instance

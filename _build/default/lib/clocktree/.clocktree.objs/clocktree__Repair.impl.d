@@ -1,0 +1,1 @@
+lib/clocktree/repair.ml: Array Evaluate Float Geometry Instance Int Map Rc Sink Tree

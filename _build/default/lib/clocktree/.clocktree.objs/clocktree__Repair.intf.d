@@ -1,0 +1,1 @@
+lib/clocktree/repair.mli: Instance Tree

@@ -1,0 +1,1 @@
+lib/clocktree/sink.ml: Format Geometry

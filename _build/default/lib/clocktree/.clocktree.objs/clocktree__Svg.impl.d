@@ -1,0 +1,1 @@
+lib/clocktree/svg.ml: Buffer Float Fun Geometry Instance Printf Sink Tree

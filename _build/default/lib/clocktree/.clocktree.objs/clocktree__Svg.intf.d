@@ -1,0 +1,1 @@
+lib/clocktree/svg.mli: Instance Tree

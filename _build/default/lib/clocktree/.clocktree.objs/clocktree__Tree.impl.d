@@ -1,0 +1,1 @@
+lib/clocktree/tree.ml: Array Float Format Geometry Int List Rc Sink

@@ -1,0 +1,1 @@
+lib/clocktree/tree.mli: Geometry Rc Sink

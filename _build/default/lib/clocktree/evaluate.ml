@@ -1,0 +1,59 @@
+type report = {
+  wirelength : float;
+  snaking : float;
+  delays : float array;
+  min_delay : float;
+  max_delay : float;
+  global_skew : float;
+  group_skew : float array;
+  max_group_skew : float;
+}
+
+(* Delays are computed through the same RC-tree conversion the transient
+   simulator uses, so Elmore numbers and "SPICE" numbers describe the
+   identical circuit. *)
+let delays (inst : Instance.t) (r : Tree.routed) =
+  let rct, sink_index =
+    Tree.to_rctree inst.params ~rd:inst.rd ~n_sinks:(Instance.n_sinks inst) r
+  in
+  let node_delay = Rc.Rctree.elmore rct in
+  Array.map (fun idx -> node_delay.(idx)) sink_index
+
+let run (inst : Instance.t) (r : Tree.routed) =
+  let delays = delays inst r in
+  let min_delay = Array.fold_left Float.min Float.infinity delays in
+  let max_delay = Array.fold_left Float.max Float.neg_infinity delays in
+  let lo = Array.make inst.n_groups Float.infinity in
+  let hi = Array.make inst.n_groups Float.neg_infinity in
+  Array.iter
+    (fun (s : Sink.t) ->
+      lo.(s.group) <- Float.min lo.(s.group) delays.(s.id);
+      hi.(s.group) <- Float.max hi.(s.group) delays.(s.id))
+    inst.sinks;
+  let group_skew =
+    Array.init inst.n_groups (fun g ->
+        if lo.(g) > hi.(g) then 0. else hi.(g) -. lo.(g))
+  in
+  {
+    wirelength = Tree.wirelength r;
+    snaking = Tree.total_snaking r;
+    delays;
+    min_delay;
+    max_delay;
+    global_skew = max_delay -. min_delay;
+    group_skew;
+    max_group_skew = Array.fold_left Float.max 0. group_skew;
+  }
+
+let within_bound ?(slack = 1e-4) (inst : Instance.t) report =
+  let ok = ref true in
+  Array.iteri
+    (fun g w -> if w > Instance.bound_for inst g +. slack then ok := false)
+    report.group_skew;
+  !ok
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "wirelength %.0f (snaking %.0f), delay [%.2f, %.2f] ps, global skew %.2f ps, max group skew %.3f ps"
+    r.wirelength r.snaking r.min_delay r.max_delay r.global_skew
+    r.max_group_skew

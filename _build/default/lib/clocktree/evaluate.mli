@@ -1,0 +1,25 @@
+(** Exact Elmore evaluation of embedded clock trees: wirelength, per-sink
+    delays, global skew and per-group skew — the quantities reported in
+    the thesis' Tables I and II. *)
+
+type report = {
+  wirelength : float;
+  snaking : float;
+  delays : float array;  (** per sink id, ps, driver included *)
+  min_delay : float;
+  max_delay : float;
+  global_skew : float;  (** max - min over all sinks, ps *)
+  group_skew : float array;  (** per-group max - min, ps *)
+  max_group_skew : float;
+}
+
+(** Per-sink Elmore delays (ps) of a routed tree, indexed by sink id. *)
+val delays : Instance.t -> Tree.routed -> float array
+
+val run : Instance.t -> Tree.routed -> report
+
+(** Does the tree satisfy the instance's intra-group bound (within
+    [slack], default 1e-4 ps of numerical slack)? *)
+val within_bound : ?slack:float -> Instance.t -> report -> bool
+
+val pp_report : Format.formatter -> report -> unit

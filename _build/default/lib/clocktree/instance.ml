@@ -1,0 +1,59 @@
+type t = {
+  sinks : Sink.t array;
+  n_groups : int;
+  bound : float;
+  group_bounds : float array option;
+  params : Rc.Wire.params;
+  source : Geometry.Pt.t;
+  rd : float;
+}
+
+let make ?(params = Rc.Wire.default) ?(rd = 100.) ?(bound = 0.) ?group_bounds
+    ~source ~n_groups sinks =
+  if Array.length sinks = 0 then invalid_arg "Instance.make: no sinks";
+  if n_groups <= 0 then invalid_arg "Instance.make: n_groups must be positive";
+  if bound < 0. then invalid_arg "Instance.make: negative skew bound";
+  (match group_bounds with
+   | Some bs ->
+     if Array.length bs <> n_groups then
+       invalid_arg "Instance.make: group_bounds length mismatch";
+     Array.iter
+       (fun b ->
+         if b < 0. then invalid_arg "Instance.make: negative group bound")
+       bs
+   | None -> ());
+  Array.iteri
+    (fun i (s : Sink.t) ->
+      if s.id <> i then invalid_arg "Instance.make: sink ids must be dense";
+      if s.group >= n_groups then
+        invalid_arg "Instance.make: sink group out of range")
+    sinks;
+  { sinks; n_groups; bound; group_bounds; params; source; rd }
+
+let bound_for t g =
+  match t.group_bounds with Some bs -> bs.(g) | None -> t.bound
+
+let max_bound t =
+  match t.group_bounds with
+  | Some bs -> Array.fold_left Float.max 0. bs
+  | None -> t.bound
+
+let n_sinks t = Array.length t.sinks
+
+let group_sinks t g =
+  Array.to_list (Array.of_seq (Seq.filter (fun (s : Sink.t) -> s.group = g)
+                                 (Array.to_seq t.sinks)))
+
+let group_sizes t =
+  let sizes = Array.make t.n_groups 0 in
+  Array.iter (fun (s : Sink.t) -> sizes.(s.group) <- sizes.(s.group) + 1) t.sinks;
+  sizes
+
+let bbox t =
+  Array.fold_left
+    (fun acc (s : Sink.t) -> Geometry.Octagon.hull acc (Geometry.Octagon.of_point s.loc))
+    Geometry.Octagon.empty t.sinks
+
+let pp ppf t =
+  Format.fprintf ppf "%d sinks, %d groups, bound %gps, %a" (n_sinks t)
+    t.n_groups t.bound Rc.Wire.pp t.params

@@ -1,0 +1,45 @@
+(** A routing instance: the full input of the associative-skew problem. *)
+
+type t = private {
+  sinks : Sink.t array;
+  n_groups : int;
+  bound : float;  (** default intra-group skew bound, ps (0 = zero skew) *)
+  group_bounds : float array option;
+      (** optional per-group bounds overriding [bound] (Chapter II's
+          "can be extended to non-zero ... bounded skew constraint") *)
+  params : Rc.Wire.params;
+  source : Geometry.Pt.t;  (** clock source location *)
+  rd : float;  (** driver resistance at the source, ohm *)
+}
+
+(** Validates that sink ids are dense (equal to their index) and group
+    ids lie in [0, n_groups). *)
+val make :
+  ?params:Rc.Wire.params ->
+  ?rd:float ->
+  ?bound:float ->
+  ?group_bounds:float array ->
+  source:Geometry.Pt.t ->
+  n_groups:int ->
+  Sink.t array ->
+  t
+
+(** Effective skew bound of one group: its entry in [group_bounds], or
+    the default [bound]. *)
+val bound_for : t -> int -> float
+
+(** The loosest group bound (used to size slack budgets). *)
+val max_bound : t -> float
+
+val n_sinks : t -> int
+
+(** Sinks of one group. *)
+val group_sinks : t -> int -> Sink.t list
+
+(** Number of sinks per group. *)
+val group_sizes : t -> int array
+
+(** Axis-aligned bounding box of the sink locations. *)
+val bbox : t -> Geometry.Octagon.t
+
+val pp : Format.formatter -> t -> unit

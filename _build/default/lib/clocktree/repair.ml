@@ -1,0 +1,182 @@
+module IntMap = Map.Make (Int)
+module Interval = Geometry.Interval
+
+type stats = {
+  added_wire : float;
+  adjusted_edges : int;
+  conflict_nodes : int;
+  lift_iterations : int;
+  unresolved_groups : int;
+}
+
+(* Stage 1: per-node balancing.  Returns the rebuilt subtree, its
+   downstream capacitance and per-group delay intervals from the root. *)
+let balance_pass (inst : Instance.t) tree ~added_wire ~adjusted ~conflicts =
+  let params = inst.params in
+  let rec go t =
+    match t with
+    | Tree.Leaf s ->
+      (t, s.Sink.cap, IntMap.singleton s.Sink.group (Interval.point 0.))
+    | Tree.Node n ->
+      let left, cap_l, iv_l = go n.left in
+      let right, cap_r, iv_r = go n.right in
+      let wl = Rc.Elmore.wire_delay params ~len:n.llen ~load:cap_l in
+      let wr = Rc.Elmore.wire_delay params ~len:n.rlen ~load:cap_r in
+      (* Admissible x = delta_left - delta_right for one spanning group:
+         after shifting, the merged interval width must stay <= bound. *)
+      let wanted =
+        IntMap.fold
+          (fun g (l : Interval.t) acc ->
+            match IntMap.find_opt g iv_r with
+            | None -> acc
+            | Some rt ->
+              let bound = Instance.bound_for inst g in
+              let lo = rt.Interval.hi +. wr -. bound -. (l.lo +. wl) in
+              let hi = bound +. rt.Interval.lo +. wr -. (l.hi +. wl) in
+              Interval.inter acc (Interval.make lo hi))
+          iv_l
+          (Interval.make Float.neg_infinity Float.infinity)
+      in
+      let x =
+        if Interval.is_empty wanted then begin
+          incr conflicts;
+          Interval.mid wanted
+        end
+        else Interval.clamp wanted 0.
+      in
+      let delta_l = Float.max 0. x and delta_r = Float.max 0. (-.x) in
+      let extend len cap w delta =
+        if delta <= 1e-9 then (len, w)
+        else begin
+          let len' =
+            Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. delta)
+          in
+          added_wire := !added_wire +. (len' -. len);
+          incr adjusted;
+          (len', w +. delta)
+        end
+      in
+      let llen, wl = extend n.llen cap_l wl delta_l in
+      let rlen, wr = extend n.rlen cap_r wr delta_r in
+      let shift w iv = IntMap.map (Interval.shift w) iv in
+      let merged =
+        IntMap.union
+          (fun _ a b -> Some (Interval.hull a b))
+          (shift wl iv_l) (shift wr iv_r)
+      in
+      let cap = cap_l +. cap_r +. (params.c *. (llen +. rlen)) in
+      (Tree.Node { n with left; right; llen; rlen }, cap, merged)
+  in
+  let tree, _, _ = go tree in
+  tree
+
+(* Stage 2: lift slow sinks by snaking the edges of *maximal group-pure
+   subtrees* — subtrees whose sinks all belong to one group.  Such edges
+   always exist (leaf edges are pure) and snaking them delays exactly one
+   group; placing the wire as high as possible is also the cheapest spot
+   (larger downstream capacitance means less length per picosecond).
+   Each subtree edge absorbs the minimum deficit of its sinks; the
+   residual is handled recursively by deeper pure edges.  The added wire
+   capacitance perturbs other delays, so the caller re-runs the balance
+   pass after each sweep. *)
+let lift_sweep (inst : Instance.t) (routed : Tree.routed) report ~slack
+    ~added_wire ~adjusted =
+  let params = inst.params in
+  let target = Array.make inst.n_groups Float.neg_infinity in
+  Array.iter
+    (fun (s : Sink.t) ->
+      target.(s.group) <-
+        Float.max target.(s.group)
+          (report.Evaluate.delays.(s.id) -. Instance.bound_for inst s.group))
+    inst.sinks;
+  let deficit (s : Sink.t) =
+    target.(s.group) -. report.Evaluate.delays.(s.id)
+  in
+  (* (is the subtree group-pure?, min deficit over its sinks) *)
+  let rec pure_min = function
+    | Tree.Leaf s -> (Some s.Sink.group, deficit s)
+    | Tree.Node n ->
+      let gl, dl = pure_min n.left and gr, dr = pure_min n.right in
+      let g = match (gl, gr) with
+        | Some a, Some b when a = b -> Some a
+        | _ -> None
+      in
+      (g, Float.min dl dr)
+  in
+  (* Rebuild bottom-up; [carry] is the delay already added on pure edges
+     above (within the same pure chain).  Returns the new subtree and its
+     downstream capacitance. *)
+  let rec rebuild t carry =
+    match t with
+    | Tree.Leaf s -> (t, s.Sink.cap)
+    | Tree.Node n ->
+      let handle child len =
+        let amount =
+          match pure_min child with
+          | Some _, min_def -> Float.max 0. (min_def -. carry)
+          | None, _ -> 0.
+        in
+        let child', cap = rebuild child (carry +. amount) in
+        let len' =
+          if amount > slack /. 2. then begin
+            let w = Rc.Elmore.wire_delay params ~len ~load:cap in
+            let len' =
+              Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. amount)
+            in
+            added_wire := !added_wire +. (len' -. len);
+            incr adjusted;
+            len'
+          end
+          else len
+        in
+        (child', cap, len')
+      in
+      let left, cap_l, llen = handle n.left n.llen in
+      let right, cap_r, rlen = handle n.right n.rlen in
+      let cap = cap_l +. cap_r +. (params.c *. (llen +. rlen)) in
+      (Tree.Node { n with left; right; llen; rlen }, cap)
+  in
+  let tree, _ = rebuild routed.tree 0. in
+  { routed with tree }
+
+(* The balance pass alone is exact whenever no merge node has conflicting
+   spanning groups; with conflicts, alternating lift sweeps (which align
+   group offsets through group-pure leaf edges) with balance passes
+   (which re-establish exactness everywhere else) converges. *)
+let run (inst : Instance.t) (r : Tree.routed) =
+  (* Acceptance slack matches Evaluate.within_bound's default. *)
+  let slack = 1e-4 in
+  let max_cycles = 300 in
+  let added_wire = ref 0. in
+  let adjusted = ref 0 in
+  let conflicts = ref 0 in
+  let rec cycle routed iter =
+    let first_conflicts = if iter = 0 then conflicts else ref 0 in
+    let tree =
+      balance_pass inst routed.Tree.tree ~added_wire ~adjusted
+        ~conflicts:first_conflicts
+    in
+    let routed = { routed with Tree.tree } in
+    let report = Evaluate.run inst routed in
+    if Evaluate.within_bound ~slack inst report then (routed, iter, 0)
+    else if iter >= max_cycles then begin
+      let unresolved = ref 0 in
+      Array.iteri
+        (fun g w ->
+          if w > Instance.bound_for inst g +. slack then incr unresolved)
+        report.group_skew;
+      (routed, iter, !unresolved)
+    end
+    else
+      let routed = lift_sweep inst routed report ~slack ~added_wire ~adjusted in
+      cycle routed (iter + 1)
+  in
+  let routed, lift_iterations, unresolved_groups = cycle r 0 in
+  ( routed,
+    {
+      added_wire = !added_wire;
+      adjusted_edges = !adjusted;
+      conflict_nodes = !conflicts;
+      lift_iterations;
+      unresolved_groups;
+    } )

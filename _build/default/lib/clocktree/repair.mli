@@ -1,0 +1,33 @@
+(** Exact skew repair by wire snaking.
+
+    Stage 1 revisits every merge node bottom-up.  For each group spanning
+    both children the admissible range of the delay shift
+    [x = extra_left - extra_right] is an interval; intersecting the
+    intervals of all spanning groups and realizing the smallest |x| by
+    lengthening one child edge enforces the intra-group bound at that
+    node (classic Tsay-style balancing restricted to the groups that
+    meet there).  When several spanning groups demand inconsistent
+    shifts — the thesis' Instance 2 situation — a single edge cannot
+    satisfy them all.
+
+    Stage 2 therefore lifts individual sinks: leaf edges are group-pure,
+    so snaking the leaf edge of every sink whose delay falls below
+    [group max - bound] always converges to a feasible tree.  It runs
+    only when stage 1 leaves a residual violation.
+
+    A well-planned tree needs ~0 added wire; this pass is the hard
+    guarantee, not the optimizer. *)
+
+type stats = {
+  added_wire : float;  (** total snaking wire added by both stages *)
+  adjusted_edges : int;
+  conflict_nodes : int;
+      (** merge nodes whose spanning groups demanded inconsistent shifts
+          in stage 1 (resolved by stage 2) *)
+  lift_iterations : int;  (** stage-2 sweeps performed, 0 when not needed *)
+  unresolved_groups : int;
+      (** groups still violating the bound after repair; 0 in all
+          supported configurations *)
+}
+
+val run : Instance.t -> Tree.routed -> Tree.routed * stats

@@ -1,0 +1,8 @@
+(** SVG rendering of routed clock trees: sinks colored by group, internal
+    nodes, rectilinear elbow wires (snaked edges dashed), and the source
+    marked.  For inspecting routing quality visually. *)
+
+(** [render inst routed] is a complete standalone SVG document. *)
+val render : ?width_px:int -> Instance.t -> Tree.routed -> string
+
+val write_file : ?width_px:int -> string -> Instance.t -> Tree.routed -> unit

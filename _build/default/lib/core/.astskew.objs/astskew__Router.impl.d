@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Clocktree Dme Float Format List Option Sys

@@ -1,0 +1,70 @@
+module Instance = Clocktree.Instance
+module Evaluate = Clocktree.Evaluate
+module Repair = Clocktree.Repair
+
+type result = {
+  routed : Clocktree.Tree.routed;
+  evaluation : Evaluate.report;
+  engine : Dme.Engine.stats;
+  repair : Repair.stats;
+  cpu_seconds : float;
+}
+
+(* Route [route_inst] (whose groups define the constraints the engine and
+   repair enforce) and evaluate against [eval_inst] (the original problem,
+   whose groups define the reported skews). *)
+let solve ?config ~route_inst ~eval_inst () =
+  let t0 = Sys.time () in
+  let routed, engine = Dme.Engine.run ?config route_inst in
+  let routed, repair = Repair.run route_inst routed in
+  let cpu_seconds = Sys.time () -. t0 in
+  let evaluation = Evaluate.run eval_inst routed in
+  { routed; evaluation; engine; repair; cpu_seconds }
+
+(* AST-DME ships with the §V.F delay-target merge order on (it prevents
+   late deep-vs-shallow shared-group merges that would need heavy
+   snaking); the baselines use the plain nearest-neighbour order of
+   greedy-DME / greedy-BST, as in the thesis' comparison. *)
+let ast_default_config =
+  { Dme.Engine.default with delay_order_weight = 400. }
+
+let ast_dme ?(config = ast_default_config) inst =
+  solve ~config ~route_inst:inst ~eval_inst:inst ()
+
+(* Fuse all groups into one: intra-group bound becomes a global bound;
+   with per-group bounds the tightest one applies, so the fused router
+   still satisfies every original constraint. *)
+let fused ?bound (inst : Instance.t) =
+  let sinks =
+    Array.map (fun (s : Clocktree.Sink.t) -> { s with group = 0 }) inst.sinks
+  in
+  let default =
+    List.init inst.n_groups (fun g -> Instance.bound_for inst g)
+    |> List.fold_left Float.min Float.infinity
+  in
+  Instance.make ~params:inst.params ~rd:inst.rd
+    ~bound:(Option.value bound ~default)
+    ~source:inst.source ~n_groups:1 sinks
+
+let ext_bst ?config inst =
+  solve ?config ~route_inst:(fused inst) ~eval_inst:inst ()
+
+let greedy_dme ?config inst =
+  solve ?config ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
+
+let mmm_dme ?(config = ast_default_config) inst =
+  let t0 = Sys.time () in
+  let routed, engine = Dme.Mmm.run ~config inst in
+  let routed, repair = Repair.run inst routed in
+  let cpu_seconds = Sys.time () -. t0 in
+  let evaluation = Evaluate.run inst routed in
+  { routed; evaluation; engine; repair; cpu_seconds }
+
+let reduction ~baseline result =
+  (baseline.evaluation.wirelength -. result.evaluation.wirelength)
+  /. baseline.evaluation.wirelength
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a, %.2fs cpu, %d infeasible merges, repair +%.0f wire"
+    Evaluate.pp_report r.evaluation r.cpu_seconds r.engine.infeasible_merges
+    r.repair.added_wire

@@ -1,0 +1,39 @@
+(** The three clock routers of the thesis, sharing one engine:
+
+    - {!ast_dme} — the contribution: associative skew routing, enforcing
+      the skew bound only within each sink group (Fig. 6).
+    - {!ext_bst} — the baseline: all sinks fused into a single group at
+      the same bound, i.e. the "extended greedy-BST" of [4] that adds
+      inter-group zero/bounded skew constraints.
+    - {!greedy_dme} — classic zero-skew routing (single group, bound 0).
+
+    Every result is post-processed by {!Clocktree.Repair} so the reported
+    trees always satisfy the constraints they were routed under;
+    evaluation is against the original grouped instance. *)
+
+type result = {
+  routed : Clocktree.Tree.routed;
+  evaluation : Clocktree.Evaluate.report;  (** w.r.t. the original instance *)
+  engine : Dme.Engine.stats;
+  repair : Clocktree.Repair.stats;
+  cpu_seconds : float;
+}
+
+(** The configuration [ast_dme] uses by default: the engine defaults
+    plus the §V.F delay-target merge order. *)
+val ast_default_config : Dme.Engine.config
+
+val ast_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
+val ext_bst : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
+val greedy_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
+
+(** Associative-skew routing on a fixed Method-of-Means-and-Medians
+    topology instead of the greedy merge order; a second baseline that
+    isolates how much the merge order contributes. *)
+val mmm_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
+
+(** Wirelength reduction of [vs] relative to [baseline], as a fraction
+    (the "Reduction" column of Tables I and II). *)
+val reduction : baseline:result -> result -> float
+
+val pp_result : Format.formatter -> result -> unit

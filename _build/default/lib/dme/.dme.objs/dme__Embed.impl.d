@@ -1,0 +1,1 @@
+lib/dme/embed.ml: Clocktree Float Geometry Subtree

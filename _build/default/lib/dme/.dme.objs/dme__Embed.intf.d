@@ -1,0 +1,1 @@
+lib/dme/embed.mli: Clocktree Subtree

@@ -1,0 +1,1 @@
+lib/dme/engine.ml: Embed Geometry Merge Order Subtree

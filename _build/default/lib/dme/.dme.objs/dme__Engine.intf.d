@@ -1,0 +1,1 @@
+lib/dme/engine.mli: Clocktree

@@ -1,0 +1,1 @@
+lib/dme/merge.ml: Clocktree Float Format Geometry List Rc Subtree

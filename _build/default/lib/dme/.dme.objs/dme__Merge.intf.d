@@ -1,0 +1,1 @@
+lib/dme/merge.mli: Clocktree Format Subtree

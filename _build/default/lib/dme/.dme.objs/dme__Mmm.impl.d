@@ -1,0 +1,1 @@
+lib/dme/mmm.ml: Array Clocktree Embed Engine Float Geometry Int Merge Subtree

@@ -1,0 +1,1 @@
+lib/dme/mmm.mli: Clocktree Engine

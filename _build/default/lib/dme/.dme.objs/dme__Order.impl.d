@@ -1,0 +1,1 @@
+lib/dme/order.ml: Array Clocktree Float Geometry Hashtbl Int List Subtree

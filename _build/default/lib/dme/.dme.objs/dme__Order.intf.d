@@ -1,0 +1,1 @@
+lib/dme/order.mli: Clocktree Subtree

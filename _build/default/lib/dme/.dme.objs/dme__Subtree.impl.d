@@ -1,0 +1,1 @@
+lib/dme/subtree.ml: Clocktree Float Format Geometry Int List Map

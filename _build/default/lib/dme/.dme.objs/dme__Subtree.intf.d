@@ -1,0 +1,1 @@
+lib/dme/subtree.mli: Clocktree Format Geometry Map

@@ -1,0 +1,24 @@
+module Octagon = Geometry.Octagon
+module Pt = Geometry.Pt
+module Eps = Geometry.Eps
+module Tree = Clocktree.Tree
+
+let run (inst : Clocktree.Instance.t) (root : Subtree.t) =
+  let rec go (sub : Subtree.t) (p : Pt.t) =
+    match sub.build with
+    | Subtree.Leaf s -> Tree.Leaf s
+    | Subtree.Merge { left; right; lengths } ->
+      let pl = Octagon.nearest_point left.region p in
+      let pr = Octagon.nearest_point right.region p in
+      let llen, rlen =
+        match lengths with
+        | Subtree.Committed { ea; eb } ->
+          (Float.max ea (Pt.dist p pl), Float.max eb (Pt.dist p pr))
+        | Subtree.Split { total; split_lo; split_hi } ->
+          let la = Eps.clamp split_lo split_hi (Pt.dist p pl) in
+          (Float.max la (Pt.dist p pl), Float.max (total -. la) (Pt.dist p pr))
+      in
+      Tree.node p (go left pl) (go right pr) ~llen ~rlen
+  in
+  let root_pt = Octagon.nearest_point root.region inst.source in
+  Tree.route inst.source (go root root_pt)

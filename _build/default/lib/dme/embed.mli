@@ -1,0 +1,10 @@
+(** Top-down embedding: turn the bottom-up merge plan into a concrete
+    embedded tree (the second phase of DME/BST).
+
+    The root lands on the point of the final merging region nearest to
+    the clock source; every child lands on the point of its region
+    nearest to its parent's placement.  Committed wire lengths are
+    honoured exactly (shortfall is snaked), shortest-path merges consume
+    exactly the planned total. *)
+
+val run : Clocktree.Instance.t -> Subtree.t -> Clocktree.Tree.routed

@@ -1,0 +1,96 @@
+type config = {
+  multi_merge : bool;
+  merge_fraction : float;
+  knn : int;
+  delay_order_weight : float;
+  split_slack : float;
+  slack_usage : float;
+  width_cap : float;
+  sdr_samples : int;
+  cost_by_planned_wire : bool;
+  avoid_infeasible : bool;
+}
+
+let default =
+  {
+    multi_merge = true;
+    merge_fraction = 0.5;
+    knn = 16;
+    delay_order_weight = 0.;
+    split_slack = 0.25;
+    slack_usage = 0.3;
+    width_cap = 0.7;
+    sdr_samples = 9;
+    cost_by_planned_wire = false;
+    avoid_infeasible = true;
+  }
+
+type stats = {
+  rounds : int;
+  same_group : int;
+  cross_group : int;
+  shared_one : int;
+  shared_multi : int;
+  planned_snake : float;
+  infeasible_merges : int;
+}
+
+let run ?(config = default) inst =
+  let same_group = ref 0 in
+  let cross_group = ref 0 in
+  let shared_one = ref 0 in
+  let shared_multi = ref 0 in
+  let planned_snake = ref 0. in
+  let infeasible = ref 0 in
+  let merge ~id a b =
+    let result =
+      Merge.run inst ~slack_usage:config.slack_usage
+        ~split_slack:config.split_slack ~width_cap:config.width_cap
+        ~sdr_samples:config.sdr_samples ~id a b
+    in
+    (match result.kind with
+     | Merge.Same_group -> incr same_group
+     | Merge.Cross_group -> incr cross_group
+     | Merge.Shared_one -> incr shared_one
+     | Merge.Shared_multi -> incr shared_multi);
+    planned_snake := !planned_snake +. result.snake;
+    if not result.feasible then incr infeasible;
+    result.subtree
+  in
+  let cost (a : Subtree.t) (b : Subtree.t) =
+    let dist = Geometry.Octagon.dist a.region b.region in
+    if config.cost_by_planned_wire || config.avoid_infeasible then begin
+      let trial =
+        Merge.run inst ~slack_usage:config.slack_usage
+          ~split_slack:config.split_slack ~width_cap:config.width_cap
+          ~sdr_samples:config.sdr_samples ~id:(-1) a b
+      in
+      let base = if config.cost_by_planned_wire then trial.planned_wire else dist in
+      (* An infeasible pair (mutually inconsistent shared-group offsets,
+         the thesis' Instance 2) is merged only as a last resort. *)
+      if config.avoid_infeasible && not trial.feasible then base +. 1e9
+      else base
+    end
+    else dist
+  in
+  let order_config =
+    Order.
+      {
+        multi_merge = config.multi_merge;
+        merge_fraction = config.merge_fraction;
+        knn = config.knn;
+        delay_order_weight = config.delay_order_weight;
+      }
+  in
+  let root, rounds = Order.run inst order_config ~cost ~merge in
+  let routed = Embed.run inst root in
+  ( routed,
+    {
+      rounds;
+      same_group = !same_group;
+      cross_group = !cross_group;
+      shared_one = !shared_one;
+      shared_multi = !shared_multi;
+      planned_snake = !planned_snake;
+      infeasible_merges = !infeasible;
+    } )

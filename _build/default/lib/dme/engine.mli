@@ -1,0 +1,51 @@
+(** The complete deferred-merge engine: bottom-up merging (Fig. 6) plus
+    top-down embedding.  All three routers of the library — AST-DME,
+    EXT-BST and greedy-DME — are this engine run on differently grouped
+    instances. *)
+
+type config = {
+  multi_merge : bool;  (** §V.F enhancement 1: batch merges per round *)
+  merge_fraction : float;  (** batch size as a fraction of active subtrees *)
+  knn : int;  (** nearest-neighbour candidates per query *)
+  delay_order_weight : float;
+      (** §V.F enhancement 2: bias merge order toward slow subtrees,
+          layout units per ps (0 = off) *)
+  split_slack : float;
+      (** fraction of the skew bound a cross-group merge may spend on
+          split-range delay uncertainty *)
+  slack_usage : float;
+      (** fraction of a group's remaining slack one constrained merge may
+          consume before snaking is considered (gradual slack spending) *)
+  width_cap : float;
+      (** cumulative cap on any group's delay-window width as a fraction
+          of the bound; reserves slack for end-game merges *)
+  sdr_samples : int;  (** slices used to build shortest-distance regions *)
+  cost_by_planned_wire : bool;
+      (** rank merge candidates by planned wire (including snaking)
+          instead of region distance; an ablation knob — distance wins
+          in practice because deferring balancing cost lets group
+          offsets drift *)
+  avoid_infeasible : bool;
+      (** heavily penalize candidate pairs whose trial merge has
+          mutually inconsistent shared-group constraints (Instance 2
+          conflicts), merging them only as a last resort *)
+}
+
+val default : config
+
+type stats = {
+  rounds : int;
+  same_group : int;
+  cross_group : int;
+  shared_one : int;
+  shared_multi : int;
+  planned_snake : float;  (** snaking wire committed during planning *)
+  infeasible_merges : int;
+      (** merges whose constraints were mutually inconsistent; their
+          residual skew is fixed by {!Clocktree.Repair} *)
+}
+
+(** Plan and embed a clock tree for the instance.  The result is the
+    pre-repair tree: callers normally pass it through
+    {!Clocktree.Repair.run}. *)
+val run : ?config:config -> Clocktree.Instance.t -> Clocktree.Tree.routed * stats

@@ -1,0 +1,45 @@
+(** The four merge cases of the AST-DME algorithm (Fig. 6 of the thesis).
+
+    Dispatch is on the group relation between the two subtrees:
+
+    - {b same group} / {b shared groups} (steps 4, 6, 7): the shared
+      groups impose skew constraints; wire lengths are committed by
+      {!Rc.Balance.plan} (snaking when the slack cannot absorb the
+      imbalance — the Instance 1/2 machinery of §V.E reduced to delay
+      algebra) and the merging region is
+      [trr(A, ea) ∩ trr(B, eb)].
+    - {b different groups} (step 5): no constraint; the merging region is
+      the shortest-distance region between the child regions (Fig. 3),
+      restricted so that the delay uncertainty it introduces stays within
+      the configured fraction of each group's remaining slack. *)
+
+type kind = Same_group | Cross_group | Shared_one | Shared_multi
+
+type result = {
+  subtree : Subtree.t;
+  kind : kind;
+  planned_wire : float;  (** wire committed by this merge *)
+  snake : float;  (** part of [planned_wire] beyond the region distance *)
+  feasible : bool;  (** false when constraints were mutually inconsistent *)
+}
+
+(** [run inst ~split_slack ~width_cap ~sdr_samples ~id a b] merges two
+    subtrees.  [split_slack] is the fraction of [bound] a cross-group
+    merge may spend on split-range delay uncertainty per merge;
+    [width_cap] caps the cumulative width of any group's delay window at
+    that fraction of the bound, reserving slack for later constrained
+    merges; [slack_usage] (default 0.3) is the fraction of each group's
+    remaining slack one merge may consume before snaking is considered;
+    [id] names the new subtree. *)
+val run :
+  Clocktree.Instance.t ->
+  ?slack_usage:float ->
+  split_slack:float ->
+  width_cap:float ->
+  sdr_samples:int ->
+  id:int ->
+  Subtree.t ->
+  Subtree.t ->
+  result
+
+val pp_kind : Format.formatter -> kind -> unit

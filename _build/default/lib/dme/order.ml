@@ -1,0 +1,134 @@
+module Octagon = Geometry.Octagon
+module Grid_index = Geometry.Grid_index
+module Pt = Geometry.Pt
+
+type config = {
+  multi_merge : bool;
+  merge_fraction : float;
+  knn : int;
+  delay_order_weight : float;
+}
+
+let default =
+  { multi_merge = true; merge_fraction = 0.5; knn = 16; delay_order_weight = 0. }
+
+let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
+  let n = Clocktree.Instance.n_sinks inst in
+  let cell =
+    let bbox = Clocktree.Instance.bbox inst in
+    Float.max 1. (Octagon.diameter bbox /. Float.max 1. (Float.sqrt (float_of_int n)))
+  in
+  let active : (int, Subtree.t) Hashtbl.t = Hashtbl.create (2 * n) in
+  let grid : Subtree.t Grid_index.t = Grid_index.create ~cell in
+  let centers : (int, Pt.t) Hashtbl.t = Hashtbl.create (2 * n) in
+  let insert (s : Subtree.t) =
+    let c = Octagon.center s.region in
+    Hashtbl.replace active s.id s;
+    Hashtbl.replace centers s.id c;
+    Grid_index.add grid ~id:s.id c s
+  in
+  let delete id =
+    (match Hashtbl.find_opt centers id with
+     | Some c -> Grid_index.remove grid ~id c
+     | None -> ());
+    Hashtbl.remove active id;
+    Hashtbl.remove centers id
+  in
+  Array.iter (fun s -> insert (Subtree.leaf s)) inst.sinks;
+  let next_id = ref n in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  (* Cheapest merge partner of [s] among the grid candidates (grid
+     ranking is by representative point, so probe several candidates and
+     refine with the true merging cost). *)
+  let nearest_neighbor (s : Subtree.t) =
+    let c = Hashtbl.find centers s.id in
+    let candidates =
+      Grid_index.k_nearest grid ~skip:(fun id -> id = s.id) c config.knn
+    in
+    List.fold_left
+      (fun best (_, _, (t : Subtree.t)) ->
+        let d = merge_cost s t in
+        match best with
+        | Some (_, bd) when bd <= d -> best
+        | _ -> Some (t, d))
+      None candidates
+  in
+  (* Deep subtrees have small delay targets; merging shallow pairs first
+     (Chaturvedi-Hu) keeps depths homogeneous and avoids late merges that
+     must snake to match a buried group's delay. *)
+  let cost (a : Subtree.t) (b : Subtree.t) d =
+    let depth_bias =
+      if config.delay_order_weight = 0. then 0.
+      else
+        let ha = Subtree.delay_hull a and hb = Subtree.delay_hull b in
+        config.delay_order_weight *. ((ha.hi +. hb.hi) /. 2.)
+    in
+    d +. depth_bias
+  in
+  let rounds = ref 0 in
+  let rec loop () =
+    let count = Hashtbl.length active in
+    if count = 1 then
+      match Hashtbl.fold (fun _ s _ -> Some s) active None with
+      | Some s -> s
+      | None -> assert false
+    else begin
+      incr rounds;
+      let pairs =
+        Hashtbl.fold
+          (fun _ s acc ->
+            match nearest_neighbor s with
+            | None -> acc
+            | Some (t, d) ->
+              let i = Int.min s.Subtree.id t.Subtree.id
+              and j = Int.max s.Subtree.id t.Subtree.id in
+              (cost s t d, i, j) :: acc)
+          active []
+      in
+      let pairs =
+        List.sort_uniq
+          (fun (c1, i1, j1) (c2, i2, j2) ->
+            match Float.compare c1 c2 with
+            | 0 -> (match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
+            | c -> c)
+          pairs
+      in
+      let limit =
+        if config.multi_merge then
+          Int.max 1
+            (int_of_float (config.merge_fraction *. float_of_int count /. 2.))
+        else 1
+      in
+      let used = Hashtbl.create 64 in
+      let merged = ref 0 in
+      List.iter
+        (fun (_, i, j) ->
+          if
+            !merged < limit
+            && (not (Hashtbl.mem used i))
+            && not (Hashtbl.mem used j)
+          then begin
+            match (Hashtbl.find_opt active i, Hashtbl.find_opt active j) with
+            | Some a, Some b ->
+              Hashtbl.replace used i ();
+              Hashtbl.replace used j ();
+              let s = merge ~id:(fresh_id ()) a b in
+              delete i;
+              delete j;
+              insert s;
+              incr merged
+            | _ -> ()
+          end)
+        pairs;
+      (* Degenerate safeguard: grid candidates always yield at least one
+         pair when two or more subtrees are active. *)
+      assert (!merged > 0);
+      loop ()
+    end
+  in
+  let root = loop () in
+  (root, !rounds)

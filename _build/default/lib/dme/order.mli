@@ -1,0 +1,34 @@
+(** Merge ordering: nearest-neighbour selection with Edahiro-style
+    multi-merge rounds (§V.F enhancement 1) and optional delay-target
+    biasing (§V.F enhancement 2).
+
+    Each round computes, for every active subtree, its nearest neighbour
+    by exact region distance among the [knn] grid candidates, sorts the
+    candidate pairs by cost and greedily merges a disjoint prefix. *)
+
+type config = {
+  multi_merge : bool;
+      (** merge a batch of pairs per round instead of a single pair *)
+  merge_fraction : float;
+      (** fraction of active subtrees consumed per multi-merge round *)
+  knn : int;  (** grid candidates examined per nearest-neighbour query *)
+  delay_order_weight : float;
+      (** layout units per ps: sorts deeper (slower) subtrees earlier;
+          0 disables the delay-target enhancement *)
+}
+
+val default : config
+
+(** [run inst config ~cost ~merge] reduces the sink set to one subtree,
+    calling [merge ~id a b] for every selected pair.  [cost a b] is the
+    merging cost used to rank candidate pairs — typically the planned
+    wire of a trial merge, so partners that merge without snaking (e.g.
+    cross-group neighbours) are preferred over equally close partners
+    that would require balancing wire.  Returns the final subtree and
+    the number of rounds executed. *)
+val run :
+  Clocktree.Instance.t ->
+  config ->
+  cost:(Subtree.t -> Subtree.t -> float) ->
+  merge:(id:int -> Subtree.t -> Subtree.t -> Subtree.t) ->
+  Subtree.t * int

@@ -1,0 +1,62 @@
+module IntMap = Map.Make (Int)
+module Interval = Geometry.Interval
+
+type lengths =
+  | Committed of { ea : float; eb : float }
+  | Split of { total : float; split_lo : float; split_hi : float }
+
+type t = {
+  id : int;
+  region : Geometry.Octagon.t;
+  cap : float;
+  delay : Interval.t IntMap.t;
+  n_sinks : int;
+  build : build;
+}
+
+and build = Leaf of Clocktree.Sink.t | Merge of { left : t; right : t; lengths : lengths }
+
+let leaf (s : Clocktree.Sink.t) =
+  {
+    id = s.id;
+    region = Geometry.Octagon.of_point s.loc;
+    cap = s.cap;
+    delay = IntMap.singleton s.group (Interval.point 0.);
+    n_sinks = 1;
+    build = Leaf s;
+  }
+
+let groups t = List.map fst (IntMap.bindings t.delay)
+
+let shared_groups a b =
+  IntMap.fold
+    (fun g _ acc -> if IntMap.mem g b.delay then g :: acc else acc)
+    a.delay []
+  |> List.rev
+
+let delay_hull t =
+  IntMap.fold
+    (fun _ iv acc -> Interval.hull acc iv)
+    t.delay
+    (Interval.make Float.infinity Float.neg_infinity)
+
+let max_group_width t =
+  IntMap.fold (fun _ iv acc -> Float.max acc (Interval.width iv)) t.delay 0.
+
+let min_slack ~bound t =
+  IntMap.fold
+    (fun _ iv acc -> Float.min acc (bound -. Interval.width iv))
+    t.delay bound
+
+let min_slack_by ~bound_of t =
+  IntMap.fold
+    (fun g iv acc -> Float.min acc (bound_of g -. Interval.width iv))
+    t.delay Float.infinity
+
+let pp ppf t =
+  Format.fprintf ppf "subtree %d: %d sinks, cap %.1f fF, groups {%a}, region %a"
+    t.id t.n_sinks t.cap
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (groups t) Geometry.Octagon.pp t.region

@@ -1,0 +1,57 @@
+(** Bottom-up subtree state of the deferred-merge engine.
+
+    A subtree is represented by the region of admissible root locations
+    (an octagon: the generalized merging segment / merging region),
+    its downstream capacitance, and *exact* per-group delay intervals:
+    for every point of the region, the realized Elmore delay from that
+    point to each sink of group [g] lies in the recorded interval of [g].
+    Exactness holds because merges either commit their wire lengths
+    (delays are then position-independent) or restrict the region to
+    shortest-path points whose split range is accounted for in the
+    intervals. *)
+
+module IntMap : Map.S with type key = int
+
+(** How the two child wires of a merge are realized at embedding time. *)
+type lengths =
+  | Committed of { ea : float; eb : float }
+      (** fixed wire lengths; shortfall against the placed distance is
+          snaked *)
+  | Split of { total : float; split_lo : float; split_hi : float }
+      (** shortest-path merge: the wire to the left child has length
+          [dist(p, left.region)] ∈ [split_lo, split_hi] and the right
+          wire takes the rest of [total] *)
+
+type t = {
+  id : int;
+  region : Geometry.Octagon.t;
+  cap : float;  (** downstream capacitance, fF, wires included *)
+  delay : Geometry.Interval.t IntMap.t;  (** per-group delay from the region, ps *)
+  n_sinks : int;
+  build : build;
+}
+
+and build = Leaf of Clocktree.Sink.t | Merge of { left : t; right : t; lengths : lengths }
+
+val leaf : Clocktree.Sink.t -> t
+
+(** Group ids present in the subtree. *)
+val groups : t -> int list
+
+(** Groups present in both subtrees. *)
+val shared_groups : t -> t -> int list
+
+(** Hull of all per-group delay intervals. *)
+val delay_hull : t -> Geometry.Interval.t
+
+(** Largest per-group delay interval width (ps). *)
+val max_group_width : t -> float
+
+(** Smallest remaining slack [bound - width] over the subtree's groups;
+    [bound] when the map is empty (never is). *)
+val min_slack : bound:float -> t -> float
+
+(** Per-group variant: smallest [bound_of g - width g]. *)
+val min_slack_by : bound_of:(int -> float) -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Astskew Format List Option Workload

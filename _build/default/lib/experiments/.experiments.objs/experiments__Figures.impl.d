@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Astskew Clocktree Dme Evaluate Format Geometry Instance List Rc Repair Sink String Tree

@@ -1,0 +1,1 @@
+lib/experiments/spice_check.ml: Array Astskew Clocktree Float Format Instance Option Rc Sink Tree Workload

@@ -1,0 +1,1 @@
+lib/experiments/spice_check.mli: Workload

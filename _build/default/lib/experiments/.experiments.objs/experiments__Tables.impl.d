@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Astskew Format List Printf Workload

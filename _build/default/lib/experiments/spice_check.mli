@@ -1,0 +1,28 @@
+(** Chapter III validation: Elmore skew versus "SPICE" (the backward-Euler
+    transient simulator) skew on routed trees.
+
+    The thesis argues Elmore delay is inaccurate in absolute terms but the
+    error largely cancels in skew; this experiment quantifies both on a
+    routed benchmark circuit. *)
+
+type result = {
+  circuit : string;
+  n_sinks : int;
+  mean_delay_elmore : float;  (** ps *)
+  mean_delay_transient : float;  (** ps *)
+  delay_error_pct : float;  (** relative error of mean delay *)
+  max_group_skew_elmore : float;  (** ps *)
+  max_group_skew_transient : float;  (** ps *)
+  skew_gap : float;  (** |transient - elmore| max group skew, ps *)
+}
+
+(** Route the given circuit with AST-DME and compare delay models.
+    Defaults: r1, 8 intermingled groups, 10 ps bound. *)
+val run :
+  ?spec:Workload.Circuits.spec ->
+  ?n_groups:int ->
+  ?bound:float ->
+  unit ->
+  result
+
+val print : result -> unit

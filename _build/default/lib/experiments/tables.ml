@@ -1,0 +1,79 @@
+type row = {
+  circuit : string;
+  n_sinks : int;
+  n_groups : int;
+  algorithm : string;
+  wirelength : float;
+  reduction_pct : float option;
+  max_skew_ps : float;
+  cpu_s : float;
+}
+
+let default_groups = [ 4; 6; 8; 10 ]
+
+let run ?(circuits = Workload.Circuits.specs) ?(groups = default_groups)
+    ?(bound = 10.) ?config ~scheme () =
+  List.concat_map
+    (fun (spec : Workload.Circuits.spec) ->
+      (* The baseline does not depend on the grouping, so route it on the
+         1-group instance, exactly as "#groups = 1 / EXT-BST" in the
+         paper's tables. *)
+      let base_inst =
+        Workload.Circuits.instance spec ~n_groups:1 ~scheme ~bound ()
+      in
+      let base = Astskew.Router.ext_bst ?config base_inst in
+      let base_row =
+        {
+          circuit = spec.name;
+          n_sinks = spec.n_sinks;
+          n_groups = 1;
+          algorithm = "EXT-BST";
+          wirelength = base.evaluation.wirelength;
+          reduction_pct = None;
+          max_skew_ps = base.evaluation.global_skew;
+          cpu_s = base.cpu_seconds;
+        }
+      in
+      let ast_rows =
+        List.map
+          (fun g ->
+            let inst = Workload.Circuits.instance spec ~n_groups:g ~scheme ~bound () in
+            let ast = Astskew.Router.ast_dme ?config inst in
+            {
+              circuit = spec.name;
+              n_sinks = spec.n_sinks;
+              n_groups = g;
+              algorithm = "AST-DME";
+              wirelength = ast.evaluation.wirelength;
+              reduction_pct =
+                Some (100. *. Astskew.Router.reduction ~baseline:base ast);
+              max_skew_ps = ast.evaluation.global_skew;
+              cpu_s = ast.cpu_seconds;
+            })
+          groups
+      in
+      base_row :: ast_rows)
+    circuits
+
+let print ~title rows =
+  Format.printf "@.%s@." title;
+  Format.printf
+    "%-8s %-8s %-8s %-10s %-10s %-14s %-8s@." "Circuit" "#groups" "Algo"
+    "Wirelen" "Reduction" "MaxSkew(ps)" "CPU(s)";
+  let last_circuit = ref "" in
+  List.iter
+    (fun r ->
+      let circuit_cell =
+        if r.circuit = !last_circuit then ""
+        else begin
+          last_circuit := r.circuit;
+          Printf.sprintf "%s/%d" r.circuit r.n_sinks
+        end
+      in
+      Format.printf "%-8s %-8d %-8s %-10.0f %-10s %-14.1f %-8.2f@."
+        circuit_cell r.n_groups r.algorithm r.wirelength
+        (match r.reduction_pct with
+         | None -> "-"
+         | Some p -> Printf.sprintf "%.2f%%" p)
+        r.max_skew_ps r.cpu_s)
+    rows

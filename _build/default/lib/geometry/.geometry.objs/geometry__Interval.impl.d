@@ -1,0 +1,1 @@
+lib/geometry/interval.ml: Eps Float Format

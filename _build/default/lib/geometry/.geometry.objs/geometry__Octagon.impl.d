@@ -1,0 +1,1 @@
+lib/geometry/octagon.ml: Array Eps Float Format Int Interval List Pt

@@ -1,0 +1,1 @@
+lib/geometry/octagon.mli: Format Interval Pt

@@ -1,0 +1,1 @@
+lib/geometry/pt.ml: Eps Float Format

@@ -1,0 +1,10 @@
+(** Floating-point tolerances shared by the geometry kernel. *)
+
+(** Absolute tolerance used for all geometric comparisons. *)
+val tol : float
+
+val equal : float -> float -> bool
+val leq : float -> float -> bool
+val geq : float -> float -> bool
+val is_zero : float -> bool
+val clamp : float -> float -> float -> float

@@ -1,0 +1,146 @@
+type 'a entry = { pt : Pt.t; value : 'a }
+
+type 'a t = {
+  cell : float;
+  cells : (int * int, (int, 'a entry) Hashtbl.t) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ~cell =
+  if cell <= 0. then invalid_arg "Grid_index.create: cell must be positive";
+  { cell; cells = Hashtbl.create 257; count = 0 }
+
+let key t (p : Pt.t) =
+  ( int_of_float (Float.floor (p.x /. t.cell)),
+    int_of_float (Float.floor (p.y /. t.cell)) )
+
+let add t ~id p v =
+  let k = key t p in
+  let bucket =
+    match Hashtbl.find_opt t.cells k with
+    | Some b -> b
+    | None ->
+      let b = Hashtbl.create 7 in
+      Hashtbl.add t.cells k b;
+      b
+  in
+  Hashtbl.replace bucket id { pt = p; value = v };
+  t.count <- t.count + 1
+
+let remove t ~id p =
+  let k = key t p in
+  match Hashtbl.find_opt t.cells k with
+  | None -> ()
+  | Some b ->
+    if Hashtbl.mem b id then begin
+      Hashtbl.remove b id;
+      t.count <- t.count - 1;
+      if Hashtbl.length b = 0 then Hashtbl.remove t.cells k
+    end
+
+let size t = t.count
+
+(* Visit cells in expanding square rings around the query cell.  A hit at
+   ring [r] guarantees no closer hit exists beyond ring
+   [ceil (best / cell) + 1], which bounds the scan; the bounding box of
+   occupied cells bounds it even when the caller's stop condition never
+   fires (e.g. fewer entries than requested). *)
+let fold_rings t (p : Pt.t) ~stop f =
+  let cx, cy = key t p in
+  let max_ring =
+    Hashtbl.fold
+      (fun (gx, gy) _ acc ->
+        Int.max acc (Int.max (Int.abs (gx - cx)) (Int.abs (gy - cy))))
+      t.cells 0
+  in
+  let rec ring r =
+    if r > max_ring || stop r then ()
+    else begin
+      if r = 0 then begin
+        (match Hashtbl.find_opt t.cells (cx, cy) with
+         | Some b -> Hashtbl.iter (fun id e -> f id e) b
+         | None -> ())
+      end
+      else begin
+        let visit gx gy =
+          match Hashtbl.find_opt t.cells (gx, gy) with
+          | Some b -> Hashtbl.iter (fun id e -> f id e) b
+          | None -> ()
+        in
+        for gx = cx - r to cx + r do
+          visit gx (cy - r);
+          visit gx (cy + r)
+        done;
+        for gy = cy - r + 1 to cy + r - 1 do
+          visit (cx - r) gy;
+          visit (cx + r) gy
+        done
+      end;
+      ring (r + 1)
+    end
+  in
+  ring 0
+
+let nearest t ?(skip = fun _ -> false) p =
+  if t.count = 0 then None
+  else begin
+    let best = ref None in
+    let best_dist = ref Float.infinity in
+    let stop r =
+      (* Cells at ring r are at least (r-1) * cell away in L-infinity,
+         hence at least that far in L1. *)
+      match !best with
+      | None -> false
+      | Some _ -> float_of_int (r - 1) *. t.cell > !best_dist
+    in
+    fold_rings t p ~stop (fun id e ->
+        if not (skip id) then begin
+          let d = Pt.dist p e.pt in
+          if d < !best_dist then begin
+            best_dist := d;
+            best := Some (id, e.pt, e.value)
+          end
+        end);
+    !best
+  end
+
+let k_nearest t ?(skip = fun _ -> false) p k =
+  if t.count = 0 || k <= 0 then []
+  else begin
+    let acc = ref [] in
+    let nacc = ref 0 in
+    let kth_dist = ref Float.infinity in
+    let recompute_kth () =
+      if !nacc >= k then begin
+        let ds = List.map (fun (_, q, _) -> Pt.dist p q) !acc in
+        let sorted = List.sort Float.compare ds in
+        kth_dist := List.nth sorted (k - 1)
+      end
+    in
+    let stop r =
+      !nacc >= k && float_of_int (r - 1) *. t.cell > !kth_dist
+    in
+    fold_rings t p ~stop (fun id e ->
+        if not (skip id) then begin
+          acc := (id, e.pt, e.value) :: !acc;
+          incr nacc;
+          recompute_kth ()
+        end);
+    let sorted =
+      List.sort
+        (fun (_, a, _) (_, b, _) -> Float.compare (Pt.dist p a) (Pt.dist p b))
+        !acc
+    in
+    List.filteri (fun i _ -> i < k) sorted
+  end
+
+let within t p r =
+  let acc = ref [] in
+  let stop ring = float_of_int (ring - 1) *. t.cell > r in
+  fold_rings t p ~stop (fun id e ->
+      if Pt.dist p e.pt <= r then acc := (id, e.pt, e.value) :: !acc);
+  !acc
+
+let iter t f =
+  Hashtbl.iter (fun _ b -> Hashtbl.iter (fun id e -> f id e.pt e.value) b)
+    t.cells

@@ -1,0 +1,381 @@
+type bounds = {
+  xl : float;
+  xh : float;
+  yl : float;
+  yh : float;
+  sl : float;
+  sh : float;
+  dl : float;
+  dh : float;
+}
+
+type t = Empty | O of bounds
+
+let empty = Empty
+let is_empty = function Empty -> true | O _ -> false
+let bounds = function Empty -> None | O b -> Some b
+
+(* Canonicalization uses the octagon-domain strong closure: encode the 8
+   bounds as a 4-node difference-bound matrix over +x, -x, +y, -y, run
+   Floyd-Warshall, apply the unary strengthening step, and read the tight
+   bounds back.  Entries are upper bounds, never negative infinity. *)
+
+let bar i = i lxor 1
+
+let closure b =
+  let inf = Float.infinity in
+  let m = Array.make_matrix 4 4 inf in
+  for i = 0 to 3 do
+    m.(i).(i) <- 0.
+  done;
+  let tighten i j v = if v < m.(i).(j) then m.(i).(j) <- v in
+  tighten 0 1 (2. *. b.xh);
+  tighten 1 0 (-2. *. b.xl);
+  tighten 2 3 (2. *. b.yh);
+  tighten 3 2 (-2. *. b.yl);
+  tighten 0 3 b.sh;
+  tighten 2 1 b.sh;
+  tighten 1 2 (-.b.sl);
+  tighten 3 0 (-.b.sl);
+  tighten 0 2 b.dh;
+  tighten 3 1 b.dh;
+  tighten 2 0 (-.b.dl);
+  tighten 1 3 (-.b.dl);
+  for k = 0 to 3 do
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        let via = m.(i).(k) +. m.(k).(j) in
+        if via < m.(i).(j) then m.(i).(j) <- via
+      done
+    done
+  done;
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let v = (m.(i).(bar i) +. m.(bar j).(j)) /. 2. in
+      if v < m.(i).(j) then m.(i).(j) <- v
+    done
+  done;
+  let negative_cycle =
+    m.(0).(0) < -.Eps.tol
+    || m.(1).(1) < -.Eps.tol
+    || m.(2).(2) < -.Eps.tol
+    || m.(3).(3) < -.Eps.tol
+  in
+  if negative_cycle then Empty
+  else
+    O
+      {
+        xl = -.m.(1).(0) /. 2.;
+        xh = m.(0).(1) /. 2.;
+        yl = -.m.(3).(2) /. 2.;
+        yh = m.(2).(3) /. 2.;
+        sl = -.m.(1).(2);
+        sh = m.(0).(3);
+        dl = -.m.(2).(0);
+        dh = m.(0).(2);
+      }
+
+let of_bounds ~xl ~xh ~yl ~yh ~sl ~sh ~dl ~dh =
+  closure { xl; xh; yl; yh; sl; sh; dl; dh }
+
+let of_point (p : Pt.t) =
+  let s = Pt.s p and d = Pt.d p in
+  O { xl = p.x; xh = p.x; yl = p.y; yh = p.y; sl = s; sh = s; dl = d; dh = d }
+
+let box (p : Pt.t) (q : Pt.t) =
+  of_bounds
+    ~xl:(Float.min p.x q.x)
+    ~xh:(Float.max p.x q.x)
+    ~yl:(Float.min p.y q.y)
+    ~yh:(Float.max p.y q.y)
+    ~sl:Float.neg_infinity ~sh:Float.infinity ~dl:Float.neg_infinity
+    ~dh:Float.infinity
+
+let of_segment (p : Pt.t) (q : Pt.t) =
+  let dx = Float.abs (p.x -. q.x) and dy = Float.abs (p.y -. q.y) in
+  let octilinear =
+    dx <= Eps.tol || dy <= Eps.tol
+    || Float.abs (dx -. dy) <= Eps.tol +. (1e-12 *. (dx +. dy))
+  in
+  if not octilinear then
+    invalid_arg
+      (Format.asprintf "Octagon.of_segment: %a-%a is not octilinear" Pt.pp p
+         Pt.pp q);
+  let sp = Pt.s p and sq = Pt.s q and dp = Pt.d p and dq = Pt.d q in
+  of_bounds
+    ~xl:(Float.min p.x q.x)
+    ~xh:(Float.max p.x q.x)
+    ~yl:(Float.min p.y q.y)
+    ~yh:(Float.max p.y q.y)
+    ~sl:(Float.min sp sq) ~sh:(Float.max sp sq) ~dl:(Float.min dp dq)
+    ~dh:(Float.max dp dq)
+
+let ball (p : Pt.t) r =
+  let r = Float.max 0. r in
+  let s = Pt.s p and d = Pt.d p in
+  O
+    {
+      xl = p.x -. r;
+      xh = p.x +. r;
+      yl = p.y -. r;
+      yh = p.y +. r;
+      sl = s -. r;
+      sh = s +. r;
+      dl = d -. r;
+      dh = d +. r;
+    }
+
+let contains o (p : Pt.t) =
+  match o with
+  | Empty -> false
+  | O b ->
+    let s = Pt.s p and d = Pt.d p in
+    Eps.leq b.xl p.x && Eps.leq p.x b.xh && Eps.leq b.yl p.y
+    && Eps.leq p.y b.yh && Eps.leq b.sl s && Eps.leq s b.sh && Eps.leq b.dl d
+    && Eps.leq d b.dh
+
+let inter a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | O a, O b ->
+    closure
+      {
+        xl = Float.max a.xl b.xl;
+        xh = Float.min a.xh b.xh;
+        yl = Float.max a.yl b.yl;
+        yh = Float.min a.yh b.yh;
+        sl = Float.max a.sl b.sl;
+        sh = Float.min a.sh b.sh;
+        dl = Float.max a.dl b.dl;
+        dh = Float.min a.dh b.dh;
+      }
+
+(* Supports of a convex hull are the pointwise maxima of supports, so the
+   componentwise envelope of two canonical octagons is already canonical. *)
+let hull a b =
+  match (a, b) with
+  | Empty, o | o, Empty -> o
+  | O a, O b ->
+    O
+      {
+        xl = Float.min a.xl b.xl;
+        xh = Float.max a.xh b.xh;
+        yl = Float.min a.yl b.yl;
+        yh = Float.max a.yh b.yh;
+        sl = Float.min a.sl b.sl;
+        sh = Float.max a.sh b.sh;
+        dl = Float.min a.dl b.dl;
+        dh = Float.max a.dh b.dh;
+      }
+
+let hull_list os = List.fold_left hull Empty os
+
+let inflate r o =
+  let r = Float.max 0. r in
+  match o with
+  | Empty -> Empty
+  | O b ->
+    O
+      {
+        xl = b.xl -. r;
+        xh = b.xh +. r;
+        yl = b.yl -. r;
+        yh = b.yh +. r;
+        sl = b.sl -. r;
+        sh = b.sh +. r;
+        dl = b.dl -. r;
+        dh = b.dh +. r;
+      }
+
+let translate (v : Pt.t) o =
+  match o with
+  | Empty -> Empty
+  | O b ->
+    let s = Pt.s v and d = Pt.d v in
+    O
+      {
+        xl = b.xl +. v.x;
+        xh = b.xh +. v.x;
+        yl = b.yl +. v.y;
+        yh = b.yh +. v.y;
+        sl = b.sl +. s;
+        sh = b.sh +. s;
+        dl = b.dl +. d;
+        dh = b.dh +. d;
+      }
+
+(* L1 distance between canonical octagons: the largest support gap over the
+   8 constraint directions.  Each violated half-plane costs exactly its gap
+   in L1 motion (all 8 normals have unit dual norm), and canonical
+   tightness guarantees the maximum gap is simultaneously achievable. *)
+let dist a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> invalid_arg "Octagon.dist: empty octagon"
+  | O a, O b ->
+    let g = b.xl -. a.xh in
+    let g = Float.max g (a.xl -. b.xh) in
+    let g = Float.max g (b.yl -. a.yh) in
+    let g = Float.max g (a.yl -. b.yh) in
+    let g = Float.max g (b.sl -. a.sh) in
+    let g = Float.max g (a.sl -. b.sh) in
+    let g = Float.max g (b.dl -. a.dh) in
+    let g = Float.max g (a.dl -. b.dh) in
+    Float.max 0. g
+
+let dist_pt o p = dist o (of_point p)
+
+let pick_point o =
+  match o with
+  | Empty -> invalid_arg "Octagon.pick_point: empty octagon"
+  | O b ->
+    let x = (b.xl +. b.xh) /. 2. in
+    let ylo = Float.max b.yl (Float.max (b.sl -. x) (x -. b.dh)) in
+    let yhi = Float.min b.yh (Float.min (b.sh -. x) (x -. b.dl)) in
+    Pt.make x ((ylo +. yhi) /. 2.)
+
+let center = pick_point
+
+(* L1 projection by clamping x first, then y within the slice at that x.
+   For canonical octagons this realizes the max-violation distance: every
+   violated constraint has unit dual norm, and the x/y clamps discharge
+   the x/y violations while the slice bounds discharge the s/d ones.
+   Exactness is property-tested against dist_pt. *)
+let nearest_point o (p : Pt.t) =
+  match o with
+  | Empty -> invalid_arg "Octagon.nearest_point: empty octagon"
+  | O b ->
+    if contains o p then p
+    else
+      let x = Eps.clamp b.xl b.xh p.x in
+      let ylo = Float.max b.yl (Float.max (b.sl -. x) (x -. b.dh)) in
+      let yhi = Float.min b.yh (Float.min (b.sh -. x) (x -. b.dl)) in
+      let y =
+        if ylo > yhi then (ylo +. yhi) /. 2. else Eps.clamp ylo yhi p.y
+      in
+      Pt.make x y
+
+let closest_pair a b =
+  let r = dist a b in
+  (* The inflation margin absorbs closure tolerance (x/y violations are
+     doubled in the DBM encoding), at the cost of ~margin slack in the
+     returned pair distance. *)
+  let qa = inter a (inflate (r +. (50. *. Eps.tol)) b) in
+  let qa = if is_empty qa then a else qa in
+  let pa = pick_point qa in
+  let pb = nearest_point b pa in
+  (pa, pb)
+
+(* The SDR is the union over t in [0, r] of (a ⊕ t) ∩ (b ⊕ (r - t)), which
+   is convex, so it equals the hull of its slices.  The support of the
+   slice in each of the 8 octagon directions is bounded by
+   min (h_a n + t, h_b n + r - t), maximized where the two lines cross;
+   slicing at those 8 critical t values (plus a uniform fallback) makes
+   the hull exact for generic inputs and an inner approximation otherwise,
+   which is the safe direction: every returned point is on a true
+   shortest path. *)
+let sdr ?(samples = 9) a b =
+  let r = dist a b in
+  if r <= Eps.tol then inter a b
+  else
+    match (a, b) with
+    | Empty, _ | _, Empty -> Empty
+    | O ba, O bb ->
+      let slice t =
+        let t = Eps.clamp 0. r t in
+        inter (inflate t a) (inflate (r -. t) b)
+      in
+      let critical ha hb = (hb -. ha +. r) /. 2. in
+      let critical_ts =
+        [
+          critical ba.xh bb.xh;
+          critical (-.ba.xl) (-.bb.xl);
+          critical ba.yh bb.yh;
+          critical (-.ba.yl) (-.bb.yl);
+          critical ba.sh bb.sh;
+          critical (-.ba.sl) (-.bb.sl);
+          critical ba.dh bb.dh;
+          critical (-.ba.dl) (-.bb.dl);
+        ]
+      in
+      let n = Int.max 2 samples in
+      let uniform_ts =
+        List.init n (fun i -> r *. float_of_int i /. float_of_int (n - 1))
+      in
+      List.fold_left
+        (fun acc t -> hull acc (slice t))
+        Empty (critical_ts @ uniform_ts)
+
+let is_point = function
+  | Empty -> false
+  | O b -> b.xh -. b.xl <= Eps.tol && b.yh -. b.yl <= Eps.tol
+
+let x_range = function
+  | Empty -> invalid_arg "Octagon.x_range: empty octagon"
+  | O b -> Interval.make b.xl b.xh
+
+let y_range = function
+  | Empty -> invalid_arg "Octagon.y_range: empty octagon"
+  | O b -> Interval.make b.yl b.yh
+
+(* In rotated coordinates (s, d) the L1 metric is Chebyshev, so the L1
+   diameter is the larger of the two rotated extents. *)
+let diameter = function
+  | Empty -> 0.
+  | O b -> Float.max (b.sh -. b.sl) (b.dh -. b.dl)
+
+let vertices o =
+  match o with
+  | Empty -> []
+  | O b ->
+    let candidates =
+      [
+        Pt.make b.xh (b.sh -. b.xh);
+        Pt.make (b.sh -. b.yh) b.yh;
+        Pt.make (b.dl +. b.yh) b.yh;
+        Pt.make b.xl (b.xl -. b.dl);
+        Pt.make b.xl (b.sl -. b.xl);
+        Pt.make (b.sl -. b.yl) b.yl;
+        Pt.make (b.dh +. b.yl) b.yl;
+        Pt.make b.xh (b.xh -. b.dh);
+      ]
+    in
+    let inside = List.filter (contains o) candidates in
+    let rec dedupe = function
+      | p :: (q :: _ as rest) -> if Pt.equal p q then dedupe rest else p :: dedupe rest
+      | rest -> rest
+    in
+    let vs = dedupe inside in
+    (match vs with
+     | first :: (_ :: _ as rest) ->
+       let last = List.nth rest (List.length rest - 1) in
+       if Pt.equal first last then first :: List.filteri (fun i _ -> i < List.length rest - 1) rest
+       else vs
+     | vs -> vs)
+
+let area o =
+  match vertices o with
+  | [] | [ _ ] | [ _; _ ] -> 0.
+  | vs ->
+    let arr = Array.of_list vs in
+    let n = Array.length arr in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let p = arr.(i) and q = arr.((i + 1) mod n) in
+      acc := !acc +. ((p.Pt.x *. q.Pt.y) -. (q.Pt.x *. p.Pt.y))
+    done;
+    Float.abs !acc /. 2.
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Empty, O _ | O _, Empty -> false
+  | O a, O b ->
+    Eps.equal a.xl b.xl && Eps.equal a.xh b.xh && Eps.equal a.yl b.yl
+    && Eps.equal a.yh b.yh && Eps.equal a.sl b.sl && Eps.equal a.sh b.sh
+    && Eps.equal a.dl b.dl && Eps.equal a.dh b.dh
+
+let pp ppf = function
+  | Empty -> Format.fprintf ppf "<empty>"
+  | O b ->
+    Format.fprintf ppf "{x:[%g,%g] y:[%g,%g] s:[%g,%g] d:[%g,%g]}" b.xl b.xh
+      b.yl b.yh b.sl b.sh b.dl b.dh

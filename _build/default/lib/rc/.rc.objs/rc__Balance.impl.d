@@ -1,0 +1,1 @@
+lib/rc/balance.ml: Elmore Float Format Geometry List

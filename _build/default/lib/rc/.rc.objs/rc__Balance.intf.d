@@ -1,0 +1,1 @@
+lib/rc/balance.mli: Format Geometry Wire

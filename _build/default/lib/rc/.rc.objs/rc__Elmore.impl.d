@@ -1,0 +1,1 @@
+lib/rc/elmore.ml: Float Wire

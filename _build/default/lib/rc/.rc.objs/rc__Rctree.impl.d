@@ -1,0 +1,1 @@
+lib/rc/rctree.ml: Array List Wire

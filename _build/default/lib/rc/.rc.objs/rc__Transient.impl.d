@@ -1,0 +1,1 @@
+lib/rc/transient.ml: Array Float Rctree

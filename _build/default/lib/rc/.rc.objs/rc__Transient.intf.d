@@ -1,0 +1,1 @@
+lib/rc/transient.mli: Rctree

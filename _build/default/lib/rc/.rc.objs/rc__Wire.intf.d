@@ -1,0 +1,1 @@
+lib/rc/wire.mli: Format

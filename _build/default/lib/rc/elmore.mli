@@ -1,0 +1,24 @@
+(** Elmore delay formulas for pi-model wire segments. *)
+
+(** [wire_delay p ~len ~load] is the Elmore delay (ps) through a wire of
+    length [len] driving a lumped downstream capacitance [load] (fF):
+    [r·len·(c·len/2 + load)] converted to picoseconds. *)
+val wire_delay : Wire.params -> len:float -> load:float -> float
+
+(** Delay contributed by a driver of resistance [rd] (ohm) charging
+    [load] (fF), in ps. *)
+val driver_delay : rd:float -> load:float -> float
+
+(** [wire_for_delay p ~load ~delay] is the wire length whose Elmore delay
+    into [load] equals [delay] (>= 0): the positive root of the
+    quadratic.  Raises [Invalid_argument] on negative delay. *)
+val wire_for_delay : Wire.params -> load:float -> delay:float -> float
+
+(** [balance_split p ~dist ~cap_a ~cap_b ~diff] is the length [ea]
+    (possibly outside [0, dist]) such that placing a merge point at
+    distance [ea] from subtree [a] and [dist - ea] from subtree [b]
+    makes [wire_delay ea into cap_a - wire_delay (dist-ea) into cap_b =
+    diff].  With [ea + eb] fixed the equation is linear in [ea].
+    Requires [dist > 0]. *)
+val balance_split :
+  Wire.params -> dist:float -> cap_a:float -> cap_b:float -> diff:float -> float

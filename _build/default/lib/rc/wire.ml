@@ -1,0 +1,11 @@
+type params = { r : float; c : float }
+
+let ps_per_ohm_ff = 1e-3
+let default = { r = 0.003; c = 0.02 }
+
+let make ~r ~c =
+  if r <= 0. || c <= 0. then invalid_arg "Wire.make: parameters must be positive";
+  { r; c }
+
+let cap p len = p.c *. len
+let pp ppf p = Format.fprintf ppf "r=%g ohm/u, c=%g fF/u" p.r p.c

@@ -1,0 +1,24 @@
+(** Interconnect electrical parameters.
+
+    Lengths are layout units, resistance in ohm, capacitance in
+    femtofarad and delays in picoseconds throughout the library
+    (1 ohm × 1 fF = 1e-3 ps). *)
+
+type params = {
+  r : float;  (** unit wire resistance, ohm per layout unit *)
+  c : float;  (** unit wire capacitance, fF per layout unit *)
+}
+
+(** Conversion factor from ohm·fF to picoseconds. *)
+val ps_per_ohm_ff : float
+
+(** The parameters used by the r1–r5 clock benchmark suite:
+    r = 0.003 ohm/unit, c = 0.02 fF/unit. *)
+val default : params
+
+val make : r:float -> c:float -> params
+
+(** Capacitance of a wire of the given length, fF. *)
+val cap : params -> float -> float
+
+val pp : Format.formatter -> params -> unit

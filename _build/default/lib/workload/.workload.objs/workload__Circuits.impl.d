@@ -1,0 +1,1 @@
+lib/workload/circuits.ml: Array Clocktree Geometry Hashtbl Int64 List Option Partition Rc Rng

@@ -1,0 +1,1 @@
+lib/workload/circuits.mli: Clocktree Partition Rc

@@ -1,0 +1,1 @@
+lib/workload/partition.ml: Array Float Geometry Int Rng

@@ -1,0 +1,1 @@
+lib/workload/partition.mli: Geometry Rng

@@ -1,0 +1,73 @@
+type scheme = Clustered | Intermingled
+
+(* Grid of rows × cols boxes with rows * cols >= n_groups and box index
+   capped: the most square factorization of the smallest grid that can
+   host all the groups. *)
+let grid_shape n_groups =
+  let rows = int_of_float (Float.sqrt (float_of_int n_groups)) in
+  let rec best r =
+    if r < 1 then (1, n_groups)
+    else if n_groups mod r = 0 then (r, n_groups / r)
+    else best (r - 1)
+  in
+  best (Int.max 1 rows)
+
+let clustered ~die ~n_groups (locs : Geometry.Pt.t array) =
+  let rows, cols = grid_shape n_groups in
+  let assign (p : Geometry.Pt.t) =
+    let clampi n v = Int.max 0 (Int.min (n - 1) v) in
+    let r = clampi rows (int_of_float (p.y /. die *. float_of_int rows)) in
+    let c = clampi cols (int_of_float (p.x /. die *. float_of_int cols)) in
+    (r * cols) + c
+  in
+  Array.map assign locs
+
+let intermingled rng ~n_groups locs =
+  Array.map (fun _ -> Rng.int rng n_groups) locs
+
+(* Reassign sinks round-robin into empty groups so every group exists. *)
+let fill_empty_groups rng ~n_groups groups =
+  let counts = Array.make n_groups 0 in
+  Array.iter (fun g -> counts.(g) <- counts.(g) + 1) groups;
+  let n = Array.length groups in
+  for g = 0 to n_groups - 1 do
+    if counts.(g) = 0 then begin
+      (* steal a sink from the largest group *)
+      let donor = ref 0 in
+      for g' = 1 to n_groups - 1 do
+        if counts.(g') > counts.(!donor) then donor := g'
+      done;
+      let start = Rng.int rng n in
+      let rec find i =
+        if i >= n then ()
+        else
+          let idx = (start + i) mod n in
+          if groups.(idx) = !donor && counts.(!donor) > 1 then begin
+            groups.(idx) <- g;
+            counts.(!donor) <- counts.(!donor) - 1;
+            counts.(g) <- 1
+          end
+          else find (i + 1)
+      in
+      find 0
+    end
+  done;
+  groups
+
+let assign scheme rng ~die ~n_groups locs =
+  if n_groups <= 0 then invalid_arg "Partition.assign: n_groups must be positive";
+  let groups =
+    match scheme with
+    | Clustered -> clustered ~die ~n_groups locs
+    | Intermingled -> intermingled rng ~n_groups locs
+  in
+  fill_empty_groups rng ~n_groups groups
+
+let scheme_of_string = function
+  | "clustered" -> Some Clustered
+  | "intermingled" -> Some Intermingled
+  | _ -> None
+
+let scheme_to_string = function
+  | Clustered -> "clustered"
+  | Intermingled -> "intermingled"

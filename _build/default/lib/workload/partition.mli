@@ -1,0 +1,24 @@
+(** Sink-group partitions for the two experiments of Chapter VI.
+
+    - {!clustered}: the die is divided into as many rectangular boxes as
+      groups; sinks in the same box form a group (Table I's "clusters of
+      sink groups").
+    - {!intermingled}: groups are assigned uniformly at random, so every
+      group is spread across the whole die (Table II's "intermingled sink
+      groups" — the difficult instances). *)
+
+type scheme = Clustered | Intermingled
+
+(** [assign scheme rng ~die ~n_groups locs] maps each sink location to a
+    group in [0, n_groups).  Every group is guaranteed non-empty (sinks
+    are reassigned round-robin if a group would come out empty). *)
+val assign :
+  scheme ->
+  Rng.t ->
+  die:float ->
+  n_groups:int ->
+  Geometry.Pt.t array ->
+  int array
+
+val scheme_of_string : string -> scheme option
+val scheme_to_string : scheme -> string

@@ -1,0 +1,1 @@
+test/test_clocktree.ml: Alcotest Array Clocktree Evaluate Geometry Instance Io List QCheck QCheck_alcotest Rc Repair Sink String Svg Tree

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Astskew Clocktree Format Geometry Instance Printf Sink String Workload

@@ -1,0 +1,1 @@
+test/test_dme.ml: Alcotest Array Clocktree Dme Evaluate Geometry Instance Int Int64 List Printf QCheck QCheck_alcotest Rc Repair Sink Tree Workload

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dme Experiments Geometry List Printf Workload

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Float Format Geometry Grid_index Interval List Octagon Pt QCheck QCheck_alcotest

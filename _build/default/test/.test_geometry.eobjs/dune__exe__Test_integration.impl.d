@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Astskew Clocktree Float Instance Printf Rc Tree Workload

@@ -1,0 +1,1 @@
+test/test_rc.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rc

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Circuits Clocktree Float Fun Geometry List Option Partition Printf Rng Workload

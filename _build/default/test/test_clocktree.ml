@@ -1,0 +1,337 @@
+(* Tests for the clock-tree data model, exact Elmore evaluation and the
+   skew repair pass. *)
+
+module Pt = Geometry.Pt
+open Clocktree
+
+let pt = Pt.make
+let params = Rc.Wire.default
+
+let sink id x y ?(cap = 20.) group = Sink.make ~id ~loc:(pt x y) ~cap ~group
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* --- Instance ------------------------------------------------------------ *)
+
+let test_instance_validation () =
+  let sinks = [| sink 0 0. 0. 0; sink 1 10. 0. 1 |] in
+  let inst = Instance.make ~source:(pt 0. 0.) ~n_groups:2 sinks in
+  Alcotest.(check int) "n_sinks" 2 (Instance.n_sinks inst);
+  Alcotest.(check (list int)) "group 1 sinks" [ 1 ]
+    (List.map (fun (s : Sink.t) -> s.id) (Instance.group_sinks inst 1));
+  Alcotest.(check (array int)) "group sizes" [| 1; 1 |] (Instance.group_sizes inst);
+  Alcotest.check_raises "group out of range"
+    (Invalid_argument "Instance.make: sink group out of range") (fun () ->
+      ignore (Instance.make ~source:(pt 0. 0.) ~n_groups:1 sinks));
+  Alcotest.check_raises "dense ids"
+    (Invalid_argument "Instance.make: sink ids must be dense") (fun () ->
+      ignore
+        (Instance.make ~source:(pt 0. 0.) ~n_groups:2 [| sink 1 0. 0. 0 |]))
+
+(* --- Tree ---------------------------------------------------------------- *)
+
+let two_sink_tree () =
+  let s0 = sink 0 10. 0. 0 and s1 = sink 1 (-10.) 0. 0 in
+  let t =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:10. ~rlen:10.
+  in
+  (s0, s1, Tree.route (pt 0. 0.) t)
+
+let test_tree_metrics () =
+  let _, _, routed = two_sink_tree () in
+  check_float "wirelength" 20. (Tree.wirelength routed);
+  check_float "no snaking" 0. (Tree.total_snaking routed);
+  Alcotest.(check int) "n_sinks" 2 (Tree.n_sinks routed.tree);
+  Alcotest.(check int) "n_nodes" 3 (Tree.n_nodes routed.tree);
+  Alcotest.(check int) "depth" 2 (Tree.depth routed.tree)
+
+let test_tree_snaking_counted () =
+  let s0 = sink 0 10. 0. 0 and s1 = sink 1 (-10.) 0. 0 in
+  let t =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:15. ~rlen:10.
+  in
+  let routed = Tree.route (pt 0. 0.) t in
+  check_float "wirelength includes snake" 25. (Tree.wirelength routed);
+  check_float "snaking" 5. (Tree.total_snaking routed)
+
+let test_tree_rejects_short_edge () =
+  let s0 = sink 0 10. 0. 0 and s1 = sink 1 (-10.) 0. 0 in
+  Alcotest.check_raises "short edge"
+    (Invalid_argument "Tree.node: left length 5 < distance 10") (fun () ->
+      ignore (Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:5. ~rlen:10.))
+
+(* --- Evaluate ------------------------------------------------------------ *)
+
+let test_evaluate_hand_check () =
+  let _, _, routed = two_sink_tree () in
+  let inst =
+    Instance.make ~rd:100. ~source:(pt 0. 0.) ~n_groups:1
+      [| sink 0 10. 0. 0; sink 1 (-10.) 0. 0 |]
+  in
+  let d = Evaluate.delays inst routed in
+  (* Total cap = 2*20 fF + 20 units * 0.02 fF = 40.4 fF.
+     Driver: 100 ohm * 40.4 fF = 4.04 ps.
+     Edge: 0.003*10*(0.02*10/2 + 20) = 0.603 ohm·fF = 0.000603 ps. *)
+  check_float ~tol:1e-9 "sink 0 delay" 4.040603 d.(0);
+  check_float ~tol:1e-9 "symmetric" d.(0) d.(1);
+  let report = Evaluate.run inst routed in
+  check_float "zero skew" 0. report.global_skew;
+  check_float "group skew" 0. report.max_group_skew;
+  check_float "wirelength" 20. report.wirelength;
+  Alcotest.(check bool) "within bound" true (Evaluate.within_bound inst report)
+
+let test_evaluate_matches_direct_recursion () =
+  (* Cross-check the RC-tree-based evaluation against a direct recursive
+     Elmore computation on an asymmetric tree. *)
+  let s0 = sink 0 0. 0. ~cap:35. 0 in
+  let s1 = sink 1 40. 0. ~cap:15. 0 in
+  let s2 = sink 2 20. 30. ~cap:25. 1 in
+  let inner =
+    Tree.node (pt 20. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:20. ~rlen:20.
+  in
+  let top = Tree.node (pt 20. 10.) inner (Tree.Leaf s2) ~llen:10. ~rlen:20. in
+  let routed = Tree.route (pt 0. 10.) top in
+  let inst =
+    Instance.make ~rd:50. ~source:(pt 0. 10.) ~n_groups:2 [| s0; s1; s2 |]
+  in
+  let d = Evaluate.delays inst routed in
+  let w len load = Rc.Elmore.wire_delay params ~len ~load in
+  let cap_inner = 35. +. 15. +. (params.Rc.Wire.c *. 40.) in
+  let cap_top = cap_inner +. 25. +. (params.Rc.Wire.c *. 30.) in
+  let cap_total = cap_top +. (params.Rc.Wire.c *. 20.) in
+  let at_root = Rc.Elmore.driver_delay ~rd:50. ~load:cap_total +. w 20. cap_top in
+  check_float ~tol:1e-9 "sink0" (at_root +. w 10. cap_inner +. w 20. 35.) d.(0);
+  check_float ~tol:1e-9 "sink1" (at_root +. w 10. cap_inner +. w 20. 15.) d.(1);
+  check_float ~tol:1e-9 "sink2" (at_root +. w 20. 25.) d.(2)
+
+(* --- Repair -------------------------------------------------------------- *)
+
+let test_repair_balances_pair () =
+  (* Unbalanced: the merge point sits at one sink, so the other is slower.
+     Zero-skew repair must snake the short edge. *)
+  let s0 = sink 0 0. 0. 0 and s1 = sink 1 100. 0. 0 in
+  let t =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:0. ~rlen:100.
+  in
+  let routed = Tree.route (pt 0. 0.) t in
+  let inst =
+    Instance.make ~bound:0. ~source:(pt 0. 0.) ~n_groups:1 [| s0; s1 |]
+  in
+  let before = Evaluate.run inst routed in
+  Alcotest.(check bool) "skewed before" true (before.max_group_skew > 1e-6);
+  let repaired, stats = Repair.run inst routed in
+  let after = Evaluate.run inst repaired in
+  Alcotest.(check bool) "balanced after" true (after.max_group_skew <= 1e-6);
+  Alcotest.(check bool) "wire added" true (stats.added_wire > 0.);
+  Alcotest.(check int) "one edge adjusted" 1 stats.adjusted_edges;
+  Alcotest.(check int) "no unresolved" 0 stats.unresolved_groups
+
+let test_repair_respects_bound_slack () =
+  (* With a generous bound the same tree needs no repair. *)
+  let s0 = sink 0 0. 0. 0 and s1 = sink 1 100. 0. 0 in
+  let t =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:0. ~rlen:100.
+  in
+  let routed = Tree.route (pt 0. 0.) t in
+  let inst =
+    Instance.make ~bound:1000. ~source:(pt 0. 0.) ~n_groups:1 [| s0; s1 |]
+  in
+  let _, stats = Repair.run inst routed in
+  check_float "no wire added" 0. stats.added_wire;
+  Alcotest.(check int) "no adjustment" 0 stats.adjusted_edges
+
+let test_repair_ignores_cross_group () =
+  (* Two sinks from different groups: no constraint, no repair. *)
+  let s0 = sink 0 0. 0. 0 and s1 = sink 1 100. 0. 1 in
+  let t =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:0. ~rlen:100.
+  in
+  let routed = Tree.route (pt 0. 0.) t in
+  let inst =
+    Instance.make ~bound:0. ~source:(pt 0. 0.) ~n_groups:2 [| s0; s1 |]
+  in
+  let _, stats = Repair.run inst routed in
+  check_float "no wire added" 0. stats.added_wire
+
+(* Random trees: greedily pair sinks (midpoint nodes, exact distances) and
+   check that repair enforces the bound on the final embedded tree. *)
+let random_topology sinks =
+  let rec pair = function
+    | [] -> assert false
+    | [ t ] -> t
+    | t1 :: t2 :: rest ->
+      let p = Pt.mid (Tree.pos t1) (Tree.pos t2) in
+      let llen = Pt.dist p (Tree.pos t1) and rlen = Pt.dist p (Tree.pos t2) in
+      pair (rest @ [ Tree.node p t1 t2 ~llen ~rlen ])
+  in
+  pair (List.map (fun s -> Tree.Leaf s) sinks)
+
+let gen_repair_case =
+  QCheck.Gen.(
+    let* n = int_range 2 24 in
+    let* n_groups = int_range 1 4 in
+    let* coords = list_repeat n (pair (float_range 0. 20000.) (float_range 0. 20000.)) in
+    let* groups = list_repeat n (int_range 0 (n_groups - 1)) in
+    let* caps = list_repeat n (float_range 5. 80.) in
+    let* bound = oneofl [ 0.; 5.; 10. ] in
+    return (coords, groups, caps, n_groups, bound))
+
+let prop_repair_enforces_bound =
+  QCheck.Test.make ~name:"repair enforces intra-group bound" ~count:200
+    (QCheck.make gen_repair_case)
+    (fun (coords, groups, caps, n_groups, bound) ->
+      let sinks =
+        List.mapi
+          (fun i ((x, y), (g, cap)) -> Sink.make ~id:i ~loc:(pt x y) ~cap ~group:g)
+          (List.combine coords (List.combine groups caps))
+      in
+      let arr = Array.of_list sinks in
+      let inst = Instance.make ~bound ~source:(pt 0. 0.) ~n_groups arr in
+      let routed = Tree.route (pt 0. 0.) (random_topology sinks) in
+      let repaired, stats = Repair.run inst routed in
+      let report = Evaluate.run inst repaired in
+      stats.unresolved_groups = 0 && Evaluate.within_bound inst report)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* --- Per-group bounds ----------------------------------------------------- *)
+
+let test_per_group_bounds () =
+  let sinks = [| sink 0 0. 0. 0; sink 1 20000. 0. 0; sink 2 0. 100. 1; sink 3 20000. 100. 1 |] in
+  let inst =
+    Instance.make ~bound:10. ~group_bounds:[| 0.; 50. |] ~source:(pt 0. 0.)
+      ~n_groups:2 sinks
+  in
+  check_float "group 0 bound" 0. (Instance.bound_for inst 0);
+  check_float "group 1 bound" 50. (Instance.bound_for inst 1);
+  check_float "max bound" 50. (Instance.max_bound inst);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Instance.make: group_bounds length mismatch") (fun () ->
+      ignore
+        (Instance.make ~group_bounds:[| 1. |] ~source:(pt 0. 0.) ~n_groups:2 sinks))
+
+let test_repair_per_group_bounds () =
+  (* Group 0 must be exact; group 1 may drift 50 ps.  Build a skewed tree
+     and verify repair enforces exactly the per-group limits. *)
+  let sinks =
+    [| sink 0 0. 0. 0; sink 1 30000. 0. 0; sink 2 100. 100. 1; sink 3 30100. 100. 1 |]
+  in
+  let inst =
+    Instance.make ~bound:10. ~group_bounds:[| 0.; 50. |] ~source:(pt 0. 0.)
+      ~n_groups:2 sinks
+  in
+  let routed =
+    Tree.route (pt 0. 0.) (random_topology (Array.to_list sinks))
+  in
+  let repaired, stats = Repair.run inst routed in
+  let report = Evaluate.run inst repaired in
+  Alcotest.(check int) "no unresolved" 0 stats.unresolved_groups;
+  Alcotest.(check bool) "group 0 exact" true (report.group_skew.(0) <= 1e-4);
+  Alcotest.(check bool) "group 1 within 50" true (report.group_skew.(1) <= 50. +. 1e-4)
+
+(* --- Io ------------------------------------------------------------------- *)
+
+let test_io_roundtrip () =
+  let sinks = [| sink 0 1.5 2.5 ~cap:33.25 0; sink 1 100. 200. ~cap:55. 1 |] in
+  let inst =
+    Instance.make ~bound:7.5 ~group_bounds:[| 7.5; 12. |] ~rd:80.
+      ~source:(pt 10. 20.) ~n_groups:2 sinks
+  in
+  let text = Io.to_string inst in
+  match Io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok inst' ->
+    Alcotest.(check int) "n_sinks" (Instance.n_sinks inst) (Instance.n_sinks inst');
+    Alcotest.(check int) "n_groups" inst.n_groups inst'.n_groups;
+    check_float "bound" inst.bound inst'.bound;
+    check_float "rd" inst.rd inst'.rd;
+    check_float "group bound 1" 12. (Instance.bound_for inst' 1);
+    Alcotest.(check bool) "source" true (Pt.equal inst.source inst'.source);
+    Array.iteri
+      (fun i (s : Sink.t) ->
+        let t = inst'.sinks.(i) in
+        Alcotest.(check bool) "sink preserved" true
+          (Pt.equal s.loc t.loc && s.cap = t.cap && s.group = t.group))
+      inst.sinks
+
+let test_io_errors () =
+  (match Io.of_string "nonsense 1 2 3" with
+   | Error msg ->
+     Alcotest.(check bool) "mentions line" true
+       (String.length msg > 0 && String.sub msg 0 4 = "line")
+   | Ok _ -> Alcotest.fail "expected parse error");
+  (match Io.of_string "groups 2\nsink 0 0 0 10 0" with
+   | Error msg ->
+     Alcotest.(check bool) "missing source reported" true
+       (String.length msg > 0)
+   | Ok _ -> Alcotest.fail "expected missing-source error")
+
+let test_io_comments_and_order () =
+  let text =
+    "# a comment\n\
+     groups 1\n\
+     sink 0 5 6 20 0   # trailing comment\n\
+     source 0 0\n\
+     bound 3\n"
+  in
+  match Io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok inst ->
+    Alcotest.(check int) "one sink" 1 (Instance.n_sinks inst);
+    check_float "bound" 3. inst.bound
+
+(* --- Svg ------------------------------------------------------------------ *)
+
+let test_svg_renders () =
+  let _, _, routed = two_sink_tree () in
+  let inst =
+    Instance.make ~source:(pt 0. 0.) ~n_groups:1
+      [| sink 0 10. 0. 0; sink 1 (-10.) 0. 0 |]
+  in
+  let svg = Svg.render inst routed in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m > 0 && go 0
+  in
+  Alcotest.(check bool) "is svg" true (contains_sub svg "<svg");
+  Alcotest.(check bool) "has sinks" true (contains_sub svg "<circle");
+  Alcotest.(check bool) "has wires" true (contains_sub svg "<path");
+  Alcotest.(check bool) "has source marker" true (contains_sub svg "<rect x=")
+
+let () =
+  Alcotest.run "clocktree"
+    [
+      ( "instance",
+        [ Alcotest.test_case "validation" `Quick test_instance_validation ] );
+      ( "tree",
+        [
+          Alcotest.test_case "metrics" `Quick test_tree_metrics;
+          Alcotest.test_case "snaking counted" `Quick test_tree_snaking_counted;
+          Alcotest.test_case "short edge rejected" `Quick test_tree_rejects_short_edge;
+        ] );
+      ( "evaluate",
+        [
+          Alcotest.test_case "hand check" `Quick test_evaluate_hand_check;
+          Alcotest.test_case "matches direct recursion" `Quick
+            test_evaluate_matches_direct_recursion;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "balances a pair" `Quick test_repair_balances_pair;
+          Alcotest.test_case "bound slack" `Quick test_repair_respects_bound_slack;
+          Alcotest.test_case "cross-group free" `Quick test_repair_ignores_cross_group;
+          Alcotest.test_case "per-group bounds" `Quick test_repair_per_group_bounds;
+        ]
+        @ qsuite [ prop_repair_enforces_bound ] );
+      ( "bounds",
+        [ Alcotest.test_case "per-group accessors" `Quick test_per_group_bounds ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "comments and order" `Quick test_io_comments_and_order;
+        ] );
+      ("svg", [ Alcotest.test_case "renders" `Quick test_svg_renders ]);
+    ]

@@ -1,0 +1,110 @@
+(* Tests for the public router API. *)
+
+module Pt = Geometry.Pt
+open Clocktree
+
+let pt = Pt.make
+
+let mk_instance ?(seed = 7L) n ~n_groups ~bound =
+  let rng = Workload.Rng.create seed in
+  let sinks =
+    Array.init n (fun i ->
+        Sink.make ~id:i
+          ~loc:(pt (Workload.Rng.float_range rng 0. 20000.)
+                  (Workload.Rng.float_range rng 0. 20000.))
+          ~cap:(Workload.Rng.float_range rng 20. 80.)
+          ~group:(i mod n_groups))
+  in
+  Instance.make ~bound ~source:(pt 10000. 10000.) ~n_groups sinks
+
+let test_greedy_dme_zero_skew () =
+  let inst = mk_instance 60 ~n_groups:3 ~bound:10. in
+  let r = Astskew.Router.greedy_dme inst in
+  (* Zero-skew routing ignores groups: global skew ~0. *)
+  Alcotest.(check bool) "global skew ~ 0" true (r.evaluation.global_skew <= 1e-4);
+  Alcotest.(check bool) "positive wirelength" true (r.evaluation.wirelength > 0.)
+
+let test_ext_bst_within_bound () =
+  let inst = mk_instance 60 ~n_groups:3 ~bound:10. in
+  let r = Astskew.Router.ext_bst inst in
+  (* Global skew bounded by 10 ps, hence every group too. *)
+  Alcotest.(check bool) "global skew <= bound" true
+    (r.evaluation.global_skew <= 10. +. 1e-4);
+  Alcotest.(check bool) "group skews <= bound" true
+    (r.evaluation.max_group_skew <= 10. +. 1e-4)
+
+let test_ast_dme_within_bound_only_per_group () =
+  let inst = mk_instance 120 ~n_groups:6 ~bound:10. in
+  let r = Astskew.Router.ast_dme inst in
+  Alcotest.(check bool) "group skews <= bound" true
+    (r.evaluation.max_group_skew <= 10. +. 1e-4);
+  (* The whole point: global skew may exceed the bound. *)
+  Alcotest.(check bool) "global skew is free" true
+    (r.evaluation.global_skew >= r.evaluation.max_group_skew -. 1e-9)
+
+let test_ast_beats_ext_on_intermingled () =
+  (* Fixed-seed medium instance with intermingled groups: the headline
+     claim of the thesis, AST-DME < EXT-BST wirelength. *)
+  let spec = Workload.Circuits.{ name = "test"; n_sinks = 200; die = 40000. } in
+  let inst =
+    Workload.Circuits.instance spec ~n_groups:8
+      ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+  in
+  let ext = Astskew.Router.ext_bst inst in
+  let ast = Astskew.Router.ast_dme inst in
+  let red = Astskew.Router.reduction ~baseline:ext ast in
+  Alcotest.(check bool)
+    (Printf.sprintf "AST reduces wirelength (got %.2f%%)" (100. *. red))
+    true (red > 0.02)
+
+let test_mmm_dme () =
+  let inst = mk_instance 80 ~n_groups:4 ~bound:10. in
+  let r = Astskew.Router.mmm_dme inst in
+  Alcotest.(check bool) "constraints hold" true
+    (r.evaluation.max_group_skew <= 10. +. 1e-4);
+  Alcotest.(check bool) "positive wirelength" true (r.evaluation.wirelength > 0.);
+  (* MMM is a reasonable topology: within 2x of the greedy engine. *)
+  let ast = Astskew.Router.ast_dme inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "mmm %.0f within 2x of greedy %.0f"
+       r.evaluation.wirelength ast.evaluation.wirelength)
+    true
+    (r.evaluation.wirelength < 2. *. ast.evaluation.wirelength)
+
+let test_reduction_sign () =
+  let inst = mk_instance 40 ~n_groups:2 ~bound:10. in
+  let a = Astskew.Router.ext_bst inst in
+  Alcotest.(check (float 1e-9)) "self reduction is zero" 0.
+    (Astskew.Router.reduction ~baseline:a a)
+
+let test_cpu_time_recorded () =
+  let inst = mk_instance 40 ~n_groups:2 ~bound:10. in
+  let r = Astskew.Router.ast_dme inst in
+  Alcotest.(check bool) "cpu time non-negative" true (r.cpu_seconds >= 0.)
+
+let test_pp_result_smoke () =
+  let inst = mk_instance 30 ~n_groups:2 ~bound:10. in
+  let r = Astskew.Router.ast_dme inst in
+  let s = Format.asprintf "%a" Astskew.Router.pp_result r in
+  Alcotest.(check bool) "non-empty" true (String.length s > 10)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "routers",
+        [
+          Alcotest.test_case "greedy-DME zero skew" `Quick test_greedy_dme_zero_skew;
+          Alcotest.test_case "EXT-BST within bound" `Quick test_ext_bst_within_bound;
+          Alcotest.test_case "AST-DME per-group bound only" `Quick
+            test_ast_dme_within_bound_only_per_group;
+          Alcotest.test_case "AST beats EXT on intermingled" `Slow
+            test_ast_beats_ext_on_intermingled;
+          Alcotest.test_case "MMM-DME baseline" `Quick test_mmm_dme;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "reduction" `Quick test_reduction_sign;
+          Alcotest.test_case "cpu time" `Quick test_cpu_time_recorded;
+          Alcotest.test_case "pp_result" `Quick test_pp_result_smoke;
+        ] );
+    ]

@@ -1,0 +1,319 @@
+(* Tests for the deferred-merge engine: subtree state, the four merge
+   cases, ordering, embedding, and end-to-end constraint satisfaction. *)
+
+module Pt = Geometry.Pt
+module Octagon = Geometry.Octagon
+module Interval = Geometry.Interval
+open Clocktree
+
+let pt = Pt.make
+
+let sink id x y ?(cap = 20.) group = Sink.make ~id ~loc:(pt x y) ~cap ~group
+
+let instance ?(bound = 0.) ?(n_groups = 1) sinks =
+  Instance.make ~bound ~source:(pt 0. 0.) ~n_groups (Array.of_list sinks)
+
+let merge inst ?(id = 1000) a b =
+  Dme.Merge.run inst ~split_slack:0.25 ~width_cap:0.7 ~sdr_samples:9 ~id a b
+
+let check_float ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check (float tol)) msg expected actual
+
+(* --- Subtree ------------------------------------------------------------- *)
+
+let test_subtree_leaf () =
+  let s = sink 3 10. 20. 2 in
+  let t = Dme.Subtree.leaf s in
+  Alcotest.(check int) "id" 3 t.id;
+  Alcotest.(check (list int)) "groups" [ 2 ] (Dme.Subtree.groups t);
+  check_float "cap" 20. t.cap;
+  Alcotest.(check bool) "region is the sink" true
+    (Octagon.contains t.region (pt 10. 20.));
+  check_float "no width" 0. (Dme.Subtree.max_group_width t);
+  check_float "full slack" 10. (Dme.Subtree.min_slack ~bound:10. t)
+
+let test_subtree_shared_groups () =
+  let inst =
+    instance ~n_groups:3
+      [ sink 0 0. 0. 0; sink 1 10. 0. 1; sink 2 20. 0. 1; sink 3 30. 0. 2 ]
+  in
+  let l i = Dme.Subtree.leaf inst.sinks.(i) in
+  let a = (merge inst ~id:10 (l 0) (l 1)).subtree in
+  let b = (merge inst ~id:11 (l 2) (l 3)).subtree in
+  Alcotest.(check (list int)) "a groups" [ 0; 1 ] (Dme.Subtree.groups a);
+  Alcotest.(check (list int)) "shared" [ 1 ] (Dme.Subtree.shared_groups a b)
+
+(* --- Merge cases --------------------------------------------------------- *)
+
+let test_merge_same_group_zero_skew () =
+  (* Two equal sinks 100 apart, zero skew: merging segment through the
+     middle, delays equal. *)
+  let inst = instance ~bound:0. [ sink 0 0. 0. 0; sink 1 100. 0. 0 ] in
+  let r =
+    merge inst (Dme.Subtree.leaf inst.sinks.(0)) (Dme.Subtree.leaf inst.sinks.(1))
+  in
+  Alcotest.(check bool) "kind" true (r.kind = Dme.Merge.Same_group);
+  Alcotest.(check bool) "feasible" true r.feasible;
+  check_float "wire = distance" 100. r.planned_wire;
+  check_float "no snake" 0. r.snake;
+  Alcotest.(check bool) "region contains midpoint" true
+    (Octagon.contains r.subtree.region (pt 50. 0.));
+  Alcotest.(check bool) "region excludes endpoints" false
+    (Octagon.contains r.subtree.region (pt 0. 0.));
+  let iv = Dme.Subtree.IntMap.find 0 r.subtree.delay in
+  check_float "zero width delay" 0. (Interval.width iv);
+  (* cap: 2 sinks + wire *)
+  check_float "cap" (40. +. (0.02 *. 100.)) r.subtree.cap
+
+let test_merge_same_group_snaking () =
+  (* Very unequal loads at distance 0 force snaking. *)
+  let inst =
+    instance ~bound:0. [ sink 0 0. 0. ~cap:10. 0; sink 1 0. 0. ~cap:500. 0 ]
+  in
+  let heavy =
+    merge inst
+      (Dme.Subtree.leaf inst.sinks.(0))
+      (Dme.Subtree.leaf inst.sinks.(1))
+  in
+  check_float "no snake needed at dist 0 with equal delays" 0. heavy.snake;
+  (* Distance large, but one side has a big head start in delay: build an
+     unbalanced inner pair first. *)
+  let inst2 =
+    instance ~bound:0. ~n_groups:1
+      [ sink 0 0. 0. 0; sink 1 20000. 0. 0; sink 2 20100. 0. 0 ]
+  in
+  let inner =
+    merge inst2
+      (Dme.Subtree.leaf inst2.sinks.(1))
+      (Dme.Subtree.leaf inst2.sinks.(2))
+  in
+  let outer = merge inst2 inner.subtree (Dme.Subtree.leaf inst2.sinks.(0)) in
+  Alcotest.(check bool) "feasible" true outer.feasible;
+  (* The lone far sink is faster; balancing may need wire beyond the
+     distance only if the imbalance exceeds the span — here it should
+     balance without snaking. *)
+  check_float "no snake" 0. outer.snake
+
+let test_merge_cross_group () =
+  let inst =
+    instance ~bound:10. ~n_groups:2 [ sink 0 0. 0. 0; sink 1 60. 40. 1 ]
+  in
+  let r =
+    merge inst (Dme.Subtree.leaf inst.sinks.(0)) (Dme.Subtree.leaf inst.sinks.(1))
+  in
+  Alcotest.(check bool) "kind" true (r.kind = Dme.Merge.Cross_group);
+  check_float "wire = distance" 100. r.planned_wire;
+  check_float "no snake ever" 0. r.snake;
+  (* The merging region is inside the SDR: every point splits the
+     distance exactly. *)
+  let reg = r.subtree.region in
+  let c = Octagon.center reg in
+  check_float ~tol:1e-4 "center splits distance" 100.
+    (Pt.dist c (pt 0. 0.) +. Pt.dist c (pt 60. 40.));
+  (* Both groups present, delay intervals disjoint keys. *)
+  Alcotest.(check (list int)) "groups" [ 0; 1 ] (Dme.Subtree.groups r.subtree)
+
+let test_merge_cross_group_interval_soundness () =
+  (* The recorded interval must cover the delay of any admissible
+     split. *)
+  let inst =
+    instance ~bound:10. ~n_groups:2 [ sink 0 0. 0. 0; sink 1 2000. 0. 1 ]
+  in
+  let r =
+    merge inst (Dme.Subtree.leaf inst.sinks.(0)) (Dme.Subtree.leaf inst.sinks.(1))
+  in
+  match r.subtree.build with
+  | Dme.Subtree.Merge { lengths = Dme.Subtree.Split { total; split_lo; split_hi }; _ } ->
+    check_float "total" 2000. total;
+    Alcotest.(check bool) "split range ordered" true (split_lo <= split_hi);
+    (* Nominal bookkeeping: the recorded delay is that of the balanced
+       split, which lies inside the admissible split range; widths stay
+       exact (0 for a single sink). *)
+    let iv0 = Dme.Subtree.IntMap.find 0 r.subtree.delay in
+    check_float "single sink keeps zero width" 0. (Interval.width iv0);
+    let w len = Rc.Elmore.wire_delay inst.params ~len ~load:20. in
+    Alcotest.(check bool) "nominal delay within split range" true
+      (iv0.Interval.lo >= w split_lo -. 1e-9 && iv0.Interval.hi <= w split_hi +. 1e-9)
+  | _ -> Alcotest.fail "expected a split merge"
+
+let test_merge_shared_one () =
+  (* Subtrees {g0, g1} and {g1, g2}: share exactly one group. *)
+  let inst =
+    instance ~bound:10. ~n_groups:3
+      [ sink 0 0. 0. 0; sink 1 100. 0. 1; sink 2 5000. 0. 1; sink 3 5100. 0. 2 ]
+  in
+  let l i = Dme.Subtree.leaf inst.sinks.(i) in
+  let a = (merge inst ~id:10 (l 0) (l 1)).subtree in
+  let b = (merge inst ~id:11 (l 2) (l 3)).subtree in
+  let r = merge inst ~id:12 a b in
+  Alcotest.(check bool) "kind" true (r.kind = Dme.Merge.Shared_one);
+  Alcotest.(check bool) "feasible" true r.feasible;
+  let iv1 = Dme.Subtree.IntMap.find 1 r.subtree.delay in
+  Alcotest.(check bool) "shared group within bound" true
+    (Interval.width iv1 <= 10. +. 1e-6)
+
+let test_merge_shared_multi () =
+  (* Both subtrees contain groups {0, 1}. *)
+  let inst =
+    instance ~bound:10. ~n_groups:2
+      [
+        sink 0 0. 0. 0;
+        sink 1 100. 0. 1;
+        sink 2 5000. 0. 0;
+        sink 3 5100. 0. 1;
+      ]
+  in
+  let l i = Dme.Subtree.leaf inst.sinks.(i) in
+  let a = (merge inst ~id:10 (l 0) (l 1)).subtree in
+  let b = (merge inst ~id:11 (l 2) (l 3)).subtree in
+  let r = merge inst ~id:12 a b in
+  Alcotest.(check bool) "kind" true (r.kind = Dme.Merge.Shared_multi);
+  List.iter
+    (fun g ->
+      let iv = Dme.Subtree.IntMap.find g r.subtree.delay in
+      Alcotest.(check bool)
+        (Printf.sprintf "group %d within bound" g)
+        true
+        (Interval.width iv <= 10. +. 1e-6))
+    [ 0; 1 ]
+
+(* --- Order --------------------------------------------------------------- *)
+
+let mk_instance n ~n_groups ~bound =
+  let rng = Workload.Rng.create 42L in
+  let sinks =
+    List.init n (fun i ->
+        sink i
+          (Workload.Rng.float_range rng 0. 10000.)
+          (Workload.Rng.float_range rng 0. 10000.)
+          (i mod n_groups))
+  in
+  instance ~bound ~n_groups sinks
+
+let test_order_reduces_to_one () =
+  let inst = mk_instance 33 ~n_groups:3 ~bound:10. in
+  let merge_cb ~id a b = (merge inst ~id a b).subtree in
+  let cost (a : Dme.Subtree.t) (b : Dme.Subtree.t) =
+    Octagon.dist a.region b.region
+  in
+  let root, rounds = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
+  Alcotest.(check int) "all sinks" 33 root.n_sinks;
+  Alcotest.(check bool) "several rounds" true (rounds >= 2);
+  (* single-pair mode produces one merge per round *)
+  let config = { Dme.Order.default with multi_merge = false } in
+  let root1, rounds1 = Dme.Order.run inst config ~cost ~merge:merge_cb in
+  Alcotest.(check int) "all sinks single" 33 root1.n_sinks;
+  Alcotest.(check int) "n-1 rounds" 32 rounds1
+
+(* --- Embed --------------------------------------------------------------- *)
+
+let rec check_positions_consistent = function
+  | Tree.Leaf _ -> ()
+  | Tree.Node n ->
+    let check len child =
+      let d = Pt.dist n.pos (Tree.pos child) in
+      Alcotest.(check bool) "edge covers distance" true (len +. 1e-4 >= d)
+    in
+    check n.llen n.left;
+    check n.rlen n.right;
+    check_positions_consistent n.left;
+    check_positions_consistent n.right
+
+let test_embed_valid_tree () =
+  let inst = mk_instance 25 ~n_groups:2 ~bound:10. in
+  let routed, _ = Dme.Engine.run inst in
+  Alcotest.(check int) "sinks preserved" 25 (Tree.n_sinks routed.tree);
+  check_positions_consistent routed.tree;
+  Alcotest.(check bool) "source wire covers distance" true
+    (routed.source_len +. 1e-4 >= Pt.dist routed.source (Tree.pos routed.tree))
+
+(* --- Engine end-to-end --------------------------------------------------- *)
+
+let test_engine_zero_skew () =
+  let inst = mk_instance 30 ~n_groups:1 ~bound:0. in
+  let routed, stats = Dme.Engine.run inst in
+  let routed, _ = Repair.run inst routed in
+  let report = Evaluate.run inst routed in
+  Alcotest.(check bool) "zero skew achieved" true (report.global_skew <= 1e-4);
+  Alcotest.(check int) "all merges same-group" 29 stats.same_group
+
+let test_engine_stats_add_up () =
+  let inst = mk_instance 40 ~n_groups:4 ~bound:10. in
+  let _, stats = Dme.Engine.run inst in
+  Alcotest.(check int) "n-1 merges total" 39
+    (stats.same_group + stats.cross_group + stats.shared_one + stats.shared_multi);
+  Alcotest.(check bool) "cross merges happened" true (stats.cross_group > 0)
+
+let prop_engine_respects_bound =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 40 in
+      let* n_groups = int_range 1 5 in
+      let* bound = oneofl [ 0.; 10.; 50. ] in
+      let* per_group = QCheck.Gen.bool in
+      let* seed = int_range 0 10000 in
+      return (n, n_groups, bound, per_group, seed))
+  in
+  QCheck.Test.make ~name:"engine+repair respects intra-group bound" ~count:120
+    (QCheck.make ~print:(fun (n, g, b, pg, s) ->
+         Printf.sprintf "n=%d groups=%d bound=%g per_group=%b seed=%d" n g b pg s)
+       gen)
+    (fun (n, n_groups, bound, per_group, seed) ->
+      let rng = Workload.Rng.create (Int64.of_int seed) in
+      let sinks =
+        List.init n (fun i ->
+            Sink.make ~id:i
+              ~loc:(pt (Workload.Rng.float_range rng 0. 30000.)
+                      (Workload.Rng.float_range rng 0. 30000.))
+              ~cap:(Workload.Rng.float_range rng 5. 100.)
+              ~group:(Workload.Rng.int rng n_groups))
+      in
+      let n_groups =
+        1 + List.fold_left (fun m (s : Sink.t) -> Int.max m s.group) 0 sinks
+      in
+      let group_bounds =
+        if per_group then
+          Some (Array.init n_groups (fun _ -> Workload.Rng.float_range rng 0. 30.))
+        else None
+      in
+      let inst =
+        Instance.make ~bound ?group_bounds ~source:(pt 0. 0.) ~n_groups
+          (Array.of_list sinks)
+      in
+      let routed, _ = Dme.Engine.run inst in
+      let routed, rstats = Repair.run inst routed in
+      let report = Evaluate.run inst routed in
+      rstats.unresolved_groups = 0 && Evaluate.within_bound inst report)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dme"
+    [
+      ( "subtree",
+        [
+          Alcotest.test_case "leaf" `Quick test_subtree_leaf;
+          Alcotest.test_case "shared groups" `Quick test_subtree_shared_groups;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "same group zero skew" `Quick
+            test_merge_same_group_zero_skew;
+          Alcotest.test_case "same group snaking" `Quick
+            test_merge_same_group_snaking;
+          Alcotest.test_case "cross group" `Quick test_merge_cross_group;
+          Alcotest.test_case "cross group intervals" `Quick
+            test_merge_cross_group_interval_soundness;
+          Alcotest.test_case "shared one" `Quick test_merge_shared_one;
+          Alcotest.test_case "shared multi" `Quick test_merge_shared_multi;
+        ] );
+      ( "order",
+        [ Alcotest.test_case "reduces to one" `Quick test_order_reduces_to_one ] );
+      ("embed", [ Alcotest.test_case "valid tree" `Quick test_embed_valid_tree ]);
+      ( "engine",
+        [
+          Alcotest.test_case "zero skew" `Quick test_engine_zero_skew;
+          Alcotest.test_case "stats add up" `Quick test_engine_stats_add_up;
+        ]
+        @ qsuite [ prop_engine_respects_bound ] );
+    ]

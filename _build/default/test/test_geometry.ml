@@ -1,0 +1,411 @@
+(* Tests for the geometry kernel: canonical octagons, distances, SDRs and
+   the spatial grid.  The qcheck properties pin down the exactness claims
+   the DME engine relies on. *)
+
+open Geometry
+
+let pt = Pt.make
+
+let check_float msg expected actual =
+  Alcotest.(check (float 1e-6)) msg expected actual
+
+(* --- Pt ----------------------------------------------------------------- *)
+
+let test_pt_dist () =
+  check_float "L1 dist" 7. (Pt.dist (pt 0. 0.) (pt 3. 4.));
+  check_float "Linf dist" 4. (Pt.dist_linf (pt 0. 0.) (pt 3. 4.));
+  check_float "rotated s" 7. (Pt.s (pt 3. 4.));
+  check_float "rotated d" (-1.) (Pt.d (pt 3. 4.));
+  let p = pt 3. 4. in
+  Alcotest.(check bool) "of_sd inverse" true (Pt.equal p (Pt.of_sd (Pt.s p) (Pt.d p)))
+
+(* --- Interval ----------------------------------------------------------- *)
+
+let test_interval () =
+  let a = Interval.make 0. 4. and b = Interval.make 6. 9. in
+  check_float "gap" 2. (Interval.gap a b);
+  check_float "gap sym" 2. (Interval.gap b a);
+  check_float "overlap gap" 0. (Interval.gap a (Interval.make 3. 5.));
+  Alcotest.(check bool) "empty" true (Interval.is_empty (Interval.make 2. 1.));
+  Alcotest.(check bool)
+    "inter" true
+    (Interval.equal (Interval.inter a (Interval.make 2. 9.)) (Interval.make 2. 4.));
+  check_float "width" 4. (Interval.width a);
+  check_float "clamp low" 0. (Interval.clamp a (-3.));
+  check_float "clamp high" 4. (Interval.clamp a 9.)
+
+(* --- Octagon: construction and canonical form --------------------------- *)
+
+let test_octagon_canonical () =
+  (* Triangle x >= 0, y >= 0, x + y <= 2: the x and y upper bounds must be
+     tightened to 2 by closure. *)
+  let o =
+    Octagon.of_bounds ~xl:0. ~xh:10. ~yl:0. ~yh:10. ~sl:Float.neg_infinity
+      ~sh:2. ~dl:Float.neg_infinity ~dh:Float.infinity
+  in
+  match Octagon.bounds o with
+  | None -> Alcotest.fail "triangle should not be empty"
+  | Some b ->
+    check_float "xh tightened" 2. b.xh;
+    check_float "yh tightened" 2. b.yh;
+    check_float "sl tightened" 0. b.sl;
+    check_float "dl tightened" (-2.) b.dl;
+    check_float "dh tightened" 2. b.dh
+
+let test_octagon_empty () =
+  let o =
+    Octagon.of_bounds ~xl:0. ~xh:1. ~yl:0. ~yh:1. ~sl:10. ~sh:20.
+      ~dl:Float.neg_infinity ~dh:Float.infinity
+  in
+  Alcotest.(check bool) "inconsistent bounds are empty" true (Octagon.is_empty o);
+  Alcotest.(check bool) "empty is empty" true (Octagon.is_empty Octagon.empty);
+  let a = Octagon.of_point (pt 0. 0.) and b = Octagon.of_point (pt 5. 5.) in
+  Alcotest.(check bool) "disjoint inter" true (Octagon.is_empty (Octagon.inter a b))
+
+let test_octagon_point () =
+  let p = pt 3. 7. in
+  let o = Octagon.of_point p in
+  Alcotest.(check bool) "contains itself" true (Octagon.contains o p);
+  Alcotest.(check bool) "is_point" true (Octagon.is_point o);
+  check_float "dist to other point" 9. (Octagon.dist_pt o (pt 10. 9.));
+  Alcotest.(check bool) "center" true (Pt.equal p (Octagon.center o))
+
+let test_octagon_box () =
+  let o = Octagon.box (pt 0. 0.) (pt 4. 3.) in
+  Alcotest.(check bool) "contains corner" true (Octagon.contains o (pt 4. 0.));
+  Alcotest.(check bool) "contains mid" true (Octagon.contains o (pt 2. 1.5));
+  Alcotest.(check bool) "excludes outside" false (Octagon.contains o (pt 5. 1.));
+  check_float "area" 12. (Octagon.area o);
+  check_float "diameter" 7. (Octagon.diameter o);
+  Alcotest.(check int) "4 vertices" 4 (List.length (Octagon.vertices o))
+
+let test_octagon_segment () =
+  let arc = Octagon.of_segment (pt 0. 4.) (pt 4. 0.) in
+  Alcotest.(check bool) "midpoint on arc" true (Octagon.contains arc (pt 2. 2.));
+  Alcotest.(check bool) "off-arc point" false (Octagon.contains arc (pt 2. 3.));
+  check_float "arc area" 0. (Octagon.area arc);
+  check_float "arc diameter" 8. (Octagon.diameter arc);
+  Alcotest.check_raises "non-octilinear rejected"
+    (Invalid_argument "Octagon.of_segment: (0, 0)-(5, 2) is not octilinear")
+    (fun () -> ignore (Octagon.of_segment (pt 0. 0.) (pt 5. 2.)))
+
+let test_octagon_ball () =
+  let o = Octagon.ball (pt 5. 5.) 2. in
+  Alcotest.(check bool) "corner" true (Octagon.contains o (pt 7. 5.));
+  Alcotest.(check bool) "diag outside" false (Octagon.contains o (pt 6.5 6.5));
+  check_float "ball area" 8. (Octagon.area o)
+
+let test_octagon_dist_segments () =
+  (* Two parallel horizontal segments offset vertically. *)
+  let a = Octagon.of_segment (pt 0. 0.) (pt 10. 0.) in
+  let b = Octagon.of_segment (pt 0. 5.) (pt 10. 5.) in
+  check_float "parallel segments" 5. (Octagon.dist a b);
+  (* Shifted apart horizontally: L1 distance adds the gaps. *)
+  let c = Octagon.of_segment (pt 20. 7.) (pt 30. 7.) in
+  check_float "diagonal offset" 17. (Octagon.dist a c);
+  (* Overlapping regions have distance 0. *)
+  let d = Octagon.box (pt 5. (-1.)) (pt 6. 1.) in
+  check_float "overlap" 0. (Octagon.dist a d)
+
+let test_octagon_inflate () =
+  let a = Octagon.of_point (pt 0. 0.) in
+  let t = Octagon.inflate 3. a in
+  check_float "trr dist" 4. (Octagon.dist_pt t (pt 7. 0.));
+  Alcotest.(check bool) "trr contains radius pt" true (Octagon.contains t (pt 1. 2.));
+  (* Inflating by the full distance makes regions touch. *)
+  let b = Octagon.of_point (pt 10. 0.) in
+  let r = Octagon.dist a b in
+  let meet = Octagon.inter (Octagon.inflate 4. a) (Octagon.inflate (r -. 4.) b) in
+  Alcotest.(check bool) "trr intersection nonempty" false (Octagon.is_empty meet);
+  Alcotest.(check bool) "meeting point" true (Octagon.contains meet (pt 4. 0.))
+
+let test_octagon_nearest_point () =
+  let o = Octagon.box (pt 0. 0.) (pt 4. 4.) in
+  let p = pt 10. 2. in
+  let q = Octagon.nearest_point o p in
+  Alcotest.(check bool) "nearest inside" true (Octagon.contains o q);
+  Alcotest.(check (float 1e-4)) "nearest dist" (Octagon.dist_pt o p)
+    (Pt.dist p q);
+  let inside = pt 1. 1. in
+  Alcotest.(check bool) "inside point maps to itself" true
+    (Pt.equal inside (Octagon.nearest_point o inside))
+
+let test_octagon_sdr () =
+  (* SDR of two points is their bounding box. *)
+  let a = Octagon.of_point (pt 0. 0.) and b = Octagon.of_point (pt 6. 4.) in
+  let s = Octagon.sdr a b in
+  Alcotest.(check bool) "sdr contains interior staircase pt" true
+    (Octagon.contains s (pt 3. 2.));
+  Alcotest.(check bool) "sdr contains corner" true (Octagon.contains s (pt 6. 0.));
+  Alcotest.(check bool) "sdr excludes detour" false (Octagon.contains s (pt 3. 5.));
+  check_float "sdr area" 24. (Octagon.area s);
+  (* Every SDR point is on a shortest path. *)
+  let c = Octagon.center s in
+  check_float "center splits distance" (Octagon.dist a b)
+    (Octagon.dist_pt a c +. Octagon.dist_pt b c)
+
+let test_octagon_hull () =
+  let a = Octagon.of_point (pt 0. 0.) and b = Octagon.of_point (pt 4. 0.) in
+  let h = Octagon.hull a b in
+  Alcotest.(check bool) "hull contains mid" true (Octagon.contains h (pt 2. 0.));
+  Alcotest.(check bool) "hull excludes off-line" false (Octagon.contains h (pt 2. 1.));
+  let h2 = Octagon.hull_list [ a; b; Octagon.of_point (pt 2. 2.) ] in
+  Alcotest.(check bool) "hull_list grows" true (Octagon.contains h2 (pt 2. 1.))
+
+let test_octagon_translate () =
+  let o = Octagon.box (pt 0. 0.) (pt 2. 2.) in
+  let t = Octagon.translate (pt 10. (-5.)) o in
+  Alcotest.(check bool) "translated corner" true (Octagon.contains t (pt 12. (-3.)));
+  Alcotest.(check bool) "old corner gone" false (Octagon.contains t (pt 0. 0.))
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let coord = QCheck.Gen.float_range (-1000.) 1000.
+
+let gen_pt = QCheck.Gen.map2 pt coord coord
+
+(* Random octagon as the octilinear hull of 1-5 random points; the
+   generating points are recorded so membership witnesses are available. *)
+let gen_oct_with_pts =
+  QCheck.Gen.(
+    list_size (int_range 1 5) gen_pt >|= fun pts ->
+    (Octagon.hull_list (List.map Octagon.of_point pts), pts))
+
+let arb_oct_with_pts =
+  QCheck.make
+    ~print:(fun (o, _) -> Format.asprintf "%a" Octagon.pp o)
+    gen_oct_with_pts
+
+let arb_two_octs =
+  QCheck.make
+    ~print:(fun ((a, _), (b, _)) ->
+      Format.asprintf "%a / %a" Octagon.pp a Octagon.pp b)
+    QCheck.Gen.(pair gen_oct_with_pts gen_oct_with_pts)
+
+let arb_oct_and_pt =
+  QCheck.make
+    ~print:(fun ((o, _), p) ->
+      Format.asprintf "%a / %a" Octagon.pp o Pt.pp p)
+    QCheck.Gen.(pair gen_oct_with_pts gen_pt)
+
+let prop_generators_contained =
+  QCheck.Test.make ~name:"hull contains generating points" ~count:300
+    arb_oct_with_pts (fun (o, pts) ->
+      List.for_all (Octagon.contains o) pts)
+
+let prop_pick_point_inside =
+  QCheck.Test.make ~name:"pick_point lies inside" ~count:300 arb_oct_with_pts
+    (fun (o, _) -> Octagon.contains o (Octagon.pick_point o))
+
+let prop_dist_lower_bound =
+  QCheck.Test.make ~name:"dist is a lower bound on point pairs" ~count:300
+    arb_two_octs (fun ((a, pas), (b, pbs)) ->
+      let d = Octagon.dist a b in
+      List.for_all
+        (fun pa -> List.for_all (fun pb -> Pt.dist pa pb +. 1e-6 >= d) pbs)
+        pas)
+
+let prop_closest_pair_realizes_dist =
+  QCheck.Test.make ~name:"closest_pair realizes dist" ~count:300 arb_two_octs
+    (fun ((a, _), (b, _)) ->
+      let d = Octagon.dist a b in
+      let pa, pb = Octagon.closest_pair a b in
+      Octagon.contains a pa && Octagon.contains b pb
+      && Float.abs (Pt.dist pa pb -. d) <= 1e-4)
+
+let prop_nearest_point_exact =
+  QCheck.Test.make ~name:"nearest_point realizes dist_pt" ~count:300
+    arb_oct_and_pt (fun ((o, _), p) ->
+      let q = Octagon.nearest_point o p in
+      Octagon.contains o q
+      && Float.abs (Pt.dist p q -. Octagon.dist_pt o p) <= 1e-4)
+
+let prop_inflate_shrinks_dist =
+  QCheck.Test.make ~name:"inflating by r reduces dist by r" ~count:300
+    QCheck.(
+      pair arb_two_octs (QCheck.make (QCheck.Gen.float_range 0. 500.)))
+    (fun (((a, _), (b, _)), r) ->
+      let d = Octagon.dist a b in
+      let d' = Octagon.dist (Octagon.inflate r a) b in
+      Float.abs (d' -. Float.max 0. (d -. r)) <= 1e-6)
+
+let prop_inter_sound =
+  QCheck.Test.make ~name:"intersection members belong to both" ~count:300
+    arb_two_octs (fun ((a, _), (b, _)) ->
+      let i = Octagon.inter a b in
+      if Octagon.is_empty i then Octagon.dist a b >= -.1e-6
+      else
+        let p = Octagon.pick_point i in
+        Octagon.contains a p && Octagon.contains b p)
+
+let prop_inter_empty_iff_positive_dist =
+  QCheck.Test.make ~name:"empty intersection iff positive distance"
+    ~count:300 arb_two_octs (fun ((a, _), (b, _)) ->
+      let d = Octagon.dist a b in
+      let i = Octagon.inter a b in
+      if Octagon.is_empty i then d > -.1e-6 else d <= 1e-6)
+
+let prop_sdr_points_on_shortest_paths =
+  QCheck.Test.make ~name:"sdr vertices split the distance" ~count:200
+    arb_two_octs (fun ((a, _), (b, _)) ->
+      let d = Octagon.dist a b in
+      let s = Octagon.sdr a b in
+      (not (Octagon.is_empty s))
+      && List.for_all
+           (fun p ->
+             Float.abs (Octagon.dist_pt a p +. Octagon.dist_pt b p -. d)
+             <= 1e-4)
+           (Octagon.center s :: Octagon.vertices s))
+
+let prop_diameter =
+  QCheck.Test.make ~name:"diameter bounds generating point spread" ~count:300
+    arb_oct_with_pts (fun (o, pts) ->
+      let dia = Octagon.diameter o in
+      List.for_all
+        (fun p -> List.for_all (fun q -> Pt.dist p q <= dia +. 1e-6) pts)
+        pts)
+
+let prop_vertices_inside =
+  QCheck.Test.make ~name:"vertices lie inside" ~count:300 arb_oct_with_pts
+    (fun (o, _) -> List.for_all (Octagon.contains o) (Octagon.vertices o))
+
+(* Brute-force cross-check of dist_pt: sample a fine grid over the
+   bounding box and compare the best sampled distance with the closed
+   form.  The grid only bounds from above, so allow the grid pitch as
+   slack. *)
+let prop_dist_pt_brute_force =
+  QCheck.Test.make ~name:"dist_pt matches brute force" ~count:100
+    arb_oct_and_pt (fun ((o, _), p) ->
+      let xr = Octagon.x_range o and yr = Octagon.y_range o in
+      let n = 24 in
+      let pitch =
+        Float.max (Interval.width xr) (Interval.width yr) /. float_of_int n
+      in
+      let best = ref Float.infinity in
+      for i = 0 to n do
+        for j = 0 to n do
+          let q =
+            pt
+              (xr.lo +. (Interval.width xr *. float_of_int i /. float_of_int n))
+              (yr.lo +. (Interval.width yr *. float_of_int j /. float_of_int n))
+          in
+          if Octagon.contains o q then best := Float.min !best (Pt.dist p q)
+        done
+      done;
+      let d = Octagon.dist_pt o p in
+      (* closed form is a lower bound and within 2 grid pitches above *)
+      d <= !best +. 1e-6 && !best <= d +. (2. *. pitch) +. 1e-6)
+
+let prop_hull_monotone =
+  QCheck.Test.make ~name:"hull contains both operands" ~count:300 arb_two_octs
+    (fun ((a, pas), (b, pbs)) ->
+      let h = Octagon.hull a b in
+      List.for_all (Octagon.contains h) (pas @ pbs))
+
+let prop_translate_preserves_dist =
+  QCheck.Test.make ~name:"translation preserves set distance" ~count:300
+    QCheck.(pair arb_two_octs (QCheck.make gen_pt))
+    (fun (((a, _), (b, _)), v) ->
+      let d = Octagon.dist a b in
+      let d' = Octagon.dist (Octagon.translate v a) (Octagon.translate v b) in
+      Float.abs (d -. d') <= 1e-6)
+
+(* --- Grid index ---------------------------------------------------------- *)
+
+let test_grid_basic () =
+  let g = Grid_index.create ~cell:10. in
+  Grid_index.add g ~id:1 (pt 0. 0.) "a";
+  Grid_index.add g ~id:2 (pt 100. 0.) "b";
+  Grid_index.add g ~id:3 (pt 3. 4.) "c";
+  Alcotest.(check int) "size" 3 (Grid_index.size g);
+  (match Grid_index.nearest g (pt 1. 1.) with
+   | Some (id, _, v) ->
+     Alcotest.(check int) "nearest id" 1 id;
+     Alcotest.(check string) "nearest value" "a" v
+   | None -> Alcotest.fail "expected a hit");
+  (match Grid_index.nearest g ~skip:(fun id -> id = 1) (pt 1. 1.) with
+   | Some (id, _, _) -> Alcotest.(check int) "skip works" 3 id
+   | None -> Alcotest.fail "expected a hit");
+  Grid_index.remove g ~id:3 (pt 3. 4.);
+  Alcotest.(check int) "size after remove" 2 (Grid_index.size g);
+  let near2 = Grid_index.k_nearest g (pt 1. 1.) 2 in
+  Alcotest.(check (list int)) "k_nearest order" [ 1; 2 ]
+    (List.map (fun (id, _, _) -> id) near2);
+  let w = Grid_index.within g (pt 0. 0.) 50. in
+  Alcotest.(check int) "within radius" 1 (List.length w)
+
+let prop_grid_matches_linear_scan =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 40) gen_pt >>= fun pts ->
+      gen_pt >|= fun q -> (pts, q))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (pts, q) ->
+        Format.asprintf "%d pts, query %a" (List.length pts) Pt.pp q)
+      gen
+  in
+  QCheck.Test.make ~name:"grid nearest matches linear scan" ~count:200 arb
+    (fun (pts, q) ->
+      let g = Grid_index.create ~cell:50. in
+      List.iteri (fun i p -> Grid_index.add g ~id:i p i) pts;
+      let best_scan =
+        List.fold_left
+          (fun acc p ->
+            match acc with
+            | None -> Some (Pt.dist q p)
+            | Some d -> Some (Float.min d (Pt.dist q p)))
+          None pts
+      in
+      match (Grid_index.nearest g q, best_scan) with
+      | Some (_, p, _), Some d -> Float.abs (Pt.dist q p -. d) <= 1e-9
+      | None, None -> true
+      | _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "geometry"
+    [
+      ( "pt-interval",
+        [
+          Alcotest.test_case "pt distances" `Quick test_pt_dist;
+          Alcotest.test_case "intervals" `Quick test_interval;
+        ] );
+      ( "octagon",
+        [
+          Alcotest.test_case "canonical closure" `Quick test_octagon_canonical;
+          Alcotest.test_case "emptiness" `Quick test_octagon_empty;
+          Alcotest.test_case "point octagon" `Quick test_octagon_point;
+          Alcotest.test_case "box" `Quick test_octagon_box;
+          Alcotest.test_case "manhattan arc" `Quick test_octagon_segment;
+          Alcotest.test_case "ball" `Quick test_octagon_ball;
+          Alcotest.test_case "segment distances" `Quick test_octagon_dist_segments;
+          Alcotest.test_case "inflate / trr" `Quick test_octagon_inflate;
+          Alcotest.test_case "nearest point" `Quick test_octagon_nearest_point;
+          Alcotest.test_case "sdr" `Quick test_octagon_sdr;
+          Alcotest.test_case "hull" `Quick test_octagon_hull;
+          Alcotest.test_case "translate" `Quick test_octagon_translate;
+        ] );
+      ( "octagon-properties",
+        qsuite
+          [
+            prop_generators_contained;
+            prop_pick_point_inside;
+            prop_dist_lower_bound;
+            prop_closest_pair_realizes_dist;
+            prop_nearest_point_exact;
+            prop_inflate_shrinks_dist;
+            prop_inter_sound;
+            prop_inter_empty_iff_positive_dist;
+            prop_sdr_points_on_shortest_paths;
+            prop_diameter;
+            prop_vertices_inside;
+            prop_dist_pt_brute_force;
+            prop_hull_monotone;
+            prop_translate_preserves_dist;
+          ] );
+      ( "grid-index",
+        Alcotest.test_case "basic operations" `Quick test_grid_basic
+        :: qsuite [ prop_grid_matches_linear_scan ] );
+    ]
