@@ -1,8 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the thesis
    and times the library's kernels with Bechamel.
 
-   Usage: main.exe [table1|table2|figures|spice|ablation|micro|quick|all]
-   (default: all).  "quick" restricts the tables to r1-r3 for fast runs. *)
+   Usage: main.exe [table1|table2|figures|spice|ablation|micro|cache|quick|all]
+   (default: all).  "quick" restricts the tables to r1-r3 for fast runs;
+   "cache" (also run by "micro") compares the merge-trial cache off vs on
+   and writes BENCH_<circuit>.json stats files. *)
 
 let bound = 10.
 
@@ -57,9 +59,88 @@ let table ~scheme ~title ~paper ~circuits () =
   print_vs_paper paper rows;
   rows
 
+(* --- Merge-trial cache comparison + BENCH_*.json ------------------------- *)
+
+(* Routes each circuit with the trial cache off then on, checks the trees
+   agree, prints the speedup and writes one BENCH_<circuit>.json per
+   circuit with per-phase timings, cache counters and the full Obs
+   snapshot of each run.  These files are the machine-readable trajectory
+   future performance PRs are judged against. *)
+let cache_bench ?(circuits = [ "r1"; "r2"; "r3" ]) () =
+  header "Merge-trial cache (AST-DME, cache off vs on)";
+  Format.printf "%-8s %9s %9s %8s %11s %11s %7s@." "circuit" "off (s)"
+    "on (s)" "speedup" "trials-off" "trials-on" "drop%";
+  List.iter
+    (fun name ->
+      match Workload.Circuits.find name with
+      | None -> Format.eprintf "cache bench: unknown circuit %S@." name
+      | Some spec ->
+        let inst =
+          Workload.Circuits.instance spec ~n_groups:8
+            ~scheme:Workload.Partition.Intermingled ~bound ()
+        in
+        let timed config =
+          Obs.Report.reset ();
+          let t0 = Obs.Timer.now () in
+          let r = Astskew.Router.ast_dme ~config inst in
+          let elapsed = Obs.Timer.now () -. t0 in
+          (r, elapsed, Obs.Report.snapshot ())
+        in
+        let off_config =
+          { Astskew.Router.ast_default_config with Dme.Engine.trial_cache = false }
+        in
+        let r_off, t_off, snap_off = timed off_config in
+        let r_on, t_on, snap_on = timed Astskew.Router.ast_default_config in
+        let identical =
+          r_off.evaluation.wirelength = r_on.evaluation.wirelength
+          && r_off.evaluation.global_skew = r_on.evaluation.global_skew
+          && r_off.evaluation.max_group_skew = r_on.evaluation.max_group_skew
+        in
+        let trials_off = r_off.engine.trial.trial_merges in
+        let trials_on = r_on.engine.trial.trial_merges in
+        let drop =
+          100. *. (1. -. (float_of_int trials_on /. float_of_int (Int.max 1 trials_off)))
+        in
+        let speedup = t_off /. Float.max 1e-9 t_on in
+        Format.printf "%-8s %9.3f %9.3f %7.2fx %11d %11d %6.1f%%@." spec.name
+          t_off t_on speedup trials_off trials_on drop;
+        if not identical then
+          Format.printf "  WARNING: %s cache-on tree differs from cache-off!@."
+            spec.name;
+        let run_json result elapsed snap =
+          Obs.Json.Obj
+            [
+              ("wall_s", Obs.Json.Float elapsed);
+              ("result", Astskew.Router.json_of_result result);
+              ("obs", snap);
+            ]
+        in
+        let json =
+          Obs.Json.Obj
+            [
+              ("circuit", Obs.Json.String spec.name);
+              ("n_sinks", Obs.Json.Int spec.n_sinks);
+              ("n_groups", Obs.Json.Int 8);
+              ("scheme", Obs.Json.String "intermingled");
+              ("bound_ps", Obs.Json.Float bound);
+              ("identical_trees", Obs.Json.Bool identical);
+              ("speedup", Obs.Json.Float speedup);
+              ("trial_merges_off", Obs.Json.Int trials_off);
+              ("trial_merges_on", Obs.Json.Int trials_on);
+              ("trial_drop_pct", Obs.Json.Float drop);
+              ("cache_off", run_json r_off t_off snap_off);
+              ("cache_on", run_json r_on t_on snap_on);
+            ]
+        in
+        let file = Printf.sprintf "BENCH_%s.json" spec.name in
+        Obs.Json.write_file file json;
+        Format.printf "  wrote %s@." file)
+    circuits
+
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
 let micro () =
+  cache_bench ();
   header "Bechamel micro-benchmarks";
   let open Bechamel in
   let open Geometry in
@@ -185,6 +266,7 @@ let () =
     header "Ablation (Section V.F)";
     Experiments.Ablation.print (Experiments.Ablation.run ())
   | "micro" -> micro ()
+  | "cache" -> cache_bench ()
   | "quick" ->
     run_tables true;
     header "Figures 1-5";
@@ -200,6 +282,6 @@ let () =
     micro ()
   | other ->
     Format.eprintf
-      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|quick|all)@."
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|quick|all)@."
       other;
     exit 1

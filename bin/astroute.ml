@@ -45,6 +45,35 @@ let svg_arg =
   let doc = "Write the routed tree as an SVG drawing to FILE." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
+let stats_json_arg =
+  let doc =
+    "Write routing statistics as JSON to FILE: result metrics (wirelength,      skews, per-phase timings, engine and repair stats) plus every Obs      counter and timer of the process."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+(* The ["results"] field maps router names to Router.json_of_result
+   objects; ["obs"] is the global Obs.Report snapshot (counters/timers
+   accumulated over the whole process).  Returns an exit code. *)
+let write_stats_json path results =
+  let json =
+    Obs.Json.Obj
+      [
+        ( "results",
+          Obs.Json.Obj
+            (List.map
+               (fun (name, r) -> (name, Astskew.Router.json_of_result r))
+               results) );
+        ("obs", Obs.Report.snapshot ());
+      ]
+  in
+  try
+    Obs.Json.write_file path json;
+    Format.printf "wrote %s@." path;
+    0
+  with Sys_error e ->
+    Format.eprintf "astroute: cannot write stats: %s@." e;
+    1
+
 let load_instance ?file circuit groups scheme bound seed =
   match file with
   | Some path -> Clocktree.Io.read_file path
@@ -62,7 +91,7 @@ let print_result name (r : Astskew.Router.result) =
   Format.printf "%-11s %a@." name Astskew.Router.pp_result r
 
 let route_cmd =
-  let run circuit groups scheme bound seed algo file svg =
+  let run circuit groups scheme bound seed algo file svg stats_json =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -88,12 +117,14 @@ let route_cmd =
             Clocktree.Svg.write_file path inst r.routed;
             Format.printf "wrote %s@." path
           | None -> ());
-         0)
+         (match stats_json with
+          | Some path -> write_stats_json path [ (name, r) ]
+          | None -> 0))
   in
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ algo_arg $ file_arg $ svg_arg)
+      $ algo_arg $ file_arg $ svg_arg $ stats_json_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 
@@ -119,7 +150,7 @@ let gen_cmd =
       $ out)
 
 let compare_cmd =
-  let run circuit groups scheme bound seed file =
+  let run circuit groups scheme bound seed file stats_json =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -136,12 +167,21 @@ let compare_cmd =
       print_result "AST-DME" ast;
       Format.printf "AST-DME reduction vs EXT-BST: %.2f%%@."
         (100. *. Astskew.Router.reduction ~baseline:ext ast);
-      0
+      (match stats_json with
+       | Some path ->
+         write_stats_json path
+           [
+             ("greedy-DME", zst);
+             ("EXT-BST", ext);
+             ("MMM-DME", mmm);
+             ("AST-DME", ast);
+           ]
+       | None -> 0)
   in
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ file_arg)
+      $ file_arg $ stats_json_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all routers on one instance.") term
 

@@ -9,6 +9,10 @@ type stats = {
   unresolved_groups : int;
 }
 
+let c_balance = Obs.Counter.make "clocktree.repair.balance_passes"
+let c_lift = Obs.Counter.make "clocktree.repair.lift_sweeps"
+let c_adjusted = Obs.Counter.make "clocktree.repair.adjusted_edges"
+
 (* Stage 1: per-node balancing.  Returns the rebuilt subtree, its
    downstream capacitance and per-group delay intervals from the root. *)
 let balance_pass (inst : Instance.t) tree ~added_wire ~adjusted ~conflicts =
@@ -152,6 +156,7 @@ let run (inst : Instance.t) (r : Tree.routed) =
   let conflicts = ref 0 in
   let rec cycle routed iter =
     let first_conflicts = if iter = 0 then conflicts else ref 0 in
+    Obs.Counter.incr c_balance;
     let tree =
       balance_pass inst routed.Tree.tree ~added_wire ~adjusted
         ~conflicts:first_conflicts
@@ -167,11 +172,14 @@ let run (inst : Instance.t) (r : Tree.routed) =
         report.group_skew;
       (routed, iter, !unresolved)
     end
-    else
+    else begin
+      Obs.Counter.incr c_lift;
       let routed = lift_sweep inst routed report ~slack ~added_wire ~adjusted in
       cycle routed (iter + 1)
+    end
   in
   let routed, lift_iterations, unresolved_groups = cycle r 0 in
+  Obs.Counter.add c_adjusted !adjusted;
   ( routed,
     {
       added_wire = !added_wire;

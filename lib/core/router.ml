@@ -2,24 +2,59 @@ module Instance = Clocktree.Instance
 module Evaluate = Clocktree.Evaluate
 module Repair = Clocktree.Repair
 
+type timings = {
+  engine_s : float;
+  repair_s : float;
+  evaluate_s : float;
+  total_s : float;
+}
+
 type result = {
   routed : Clocktree.Tree.routed;
   evaluation : Evaluate.report;
   engine : Dme.Engine.stats;
   repair : Repair.stats;
   cpu_seconds : float;
+  timings : timings;
 }
+
+let t_engine = Obs.Timer.make "router.engine"
+let t_repair = Obs.Timer.make "router.repair"
+let t_evaluate = Obs.Timer.make "router.evaluate"
 
 (* Route [route_inst] (whose groups define the constraints the engine and
    repair enforce) and evaluate against [eval_inst] (the original problem,
-   whose groups define the reported skews). *)
-let solve ?config ~route_inst ~eval_inst () =
+   whose groups define the reported skews).  [plan] is the engine phase:
+   Dme.Engine.run for the greedy merge order, Dme.Mmm.run for the fixed
+   topology. *)
+let solve_with ~plan ~route_inst ~eval_inst () =
   let t0 = Sys.time () in
-  let routed, engine = Dme.Engine.run ?config route_inst in
-  let routed, repair = Repair.run route_inst routed in
+  let w0 = Obs.Timer.now () in
+  let routed, engine = Obs.Timer.time t_engine (fun () -> plan route_inst) in
+  let w1 = Obs.Timer.now () in
+  let routed, repair =
+    Obs.Timer.time t_repair (fun () -> Repair.run route_inst routed)
+  in
+  let w2 = Obs.Timer.now () in
+  (* cpu_seconds spans planning + repair, as it always has; the wall
+     timings additionally cover evaluation. *)
   let cpu_seconds = Sys.time () -. t0 in
-  let evaluation = Evaluate.run eval_inst routed in
-  { routed; evaluation; engine; repair; cpu_seconds }
+  let evaluation =
+    Obs.Timer.time t_evaluate (fun () -> Evaluate.run eval_inst routed)
+  in
+  let w3 = Obs.Timer.now () in
+  let timings =
+    {
+      engine_s = w1 -. w0;
+      repair_s = w2 -. w1;
+      evaluate_s = w3 -. w2;
+      total_s = w3 -. w0;
+    }
+  in
+  { routed; evaluation; engine; repair; cpu_seconds; timings }
+
+let solve ?config ~route_inst ~eval_inst () =
+  solve_with ~plan:(Dme.Engine.run ?config) ~route_inst ~eval_inst ()
 
 (* AST-DME ships with the §V.F delay-target merge order on (it prevents
    late deep-vs-shallow shared-group merges that would need heavy
@@ -53,16 +88,66 @@ let greedy_dme ?config inst =
   solve ?config ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
 
 let mmm_dme ?(config = ast_default_config) inst =
-  let t0 = Sys.time () in
-  let routed, engine = Dme.Mmm.run ~config inst in
-  let routed, repair = Repair.run inst routed in
-  let cpu_seconds = Sys.time () -. t0 in
-  let evaluation = Evaluate.run inst routed in
-  { routed; evaluation; engine; repair; cpu_seconds }
+  solve_with ~plan:(Dme.Mmm.run ~config) ~route_inst:inst ~eval_inst:inst ()
 
 let reduction ~baseline result =
-  (baseline.evaluation.wirelength -. result.evaluation.wirelength)
-  /. baseline.evaluation.wirelength
+  let base = baseline.evaluation.wirelength in
+  (* Degenerate baselines (single sink at the source) have zero
+     wirelength; report "no reduction" rather than NaN/inf. *)
+  if base = 0. then 0.
+  else (base -. result.evaluation.wirelength) /. base
+
+let json_of_result (r : result) : Obs.Json.t =
+  let open Obs.Json in
+  let engine =
+    let s = r.engine in
+    Obj
+      [
+        ("rounds", Int s.rounds);
+        ("same_group", Int s.same_group);
+        ("cross_group", Int s.cross_group);
+        ("shared_one", Int s.shared_one);
+        ("shared_multi", Int s.shared_multi);
+        ("planned_snake", Float s.planned_snake);
+        ("infeasible_merges", Int s.infeasible_merges);
+        ("trial_merges", Int s.trial.trial_merges);
+        ("trial_cache_hits", Int s.trial.cache_hits);
+        ("trial_cache_misses", Int s.trial.cache_misses);
+        ("trial_elided", Int s.trial.elided_trials);
+        ("trial_reused", Int s.trial.reused_trials);
+      ]
+  in
+  let repair =
+    let s = r.repair in
+    Obj
+      [
+        ("added_wire", Float s.added_wire);
+        ("adjusted_edges", Int s.adjusted_edges);
+        ("conflict_nodes", Int s.conflict_nodes);
+        ("lift_iterations", Int s.lift_iterations);
+        ("unresolved_groups", Int s.unresolved_groups);
+      ]
+  in
+  let timings =
+    Obj
+      [
+        ("engine_s", Float r.timings.engine_s);
+        ("repair_s", Float r.timings.repair_s);
+        ("evaluate_s", Float r.timings.evaluate_s);
+        ("total_s", Float r.timings.total_s);
+      ]
+  in
+  Obj
+    [
+      ("wirelength", Float r.evaluation.wirelength);
+      ("snaking", Float r.evaluation.snaking);
+      ("global_skew_ps", Float r.evaluation.global_skew);
+      ("max_group_skew_ps", Float r.evaluation.max_group_skew);
+      ("cpu_seconds", Float r.cpu_seconds);
+      ("timings", timings);
+      ("engine", engine);
+      ("repair", repair);
+    ]
 
 let pp_result ppf r =
   Format.fprintf ppf "%a, %.2fs cpu, %d infeasible merges, repair +%.0f wire"

@@ -11,12 +11,23 @@
     trees always satisfy the constraints they were routed under;
     evaluation is against the original grouped instance. *)
 
+(** Per-phase wall-clock timings of one routing call; the same phases
+    are accumulated globally in the ["router.engine"], ["router.repair"]
+    and ["router.evaluate"] {!Obs.Timer}s. *)
+type timings = {
+  engine_s : float;  (** planning + embedding (DME or MMM engine) *)
+  repair_s : float;
+  evaluate_s : float;
+  total_s : float;
+}
+
 type result = {
   routed : Clocktree.Tree.routed;
   evaluation : Clocktree.Evaluate.report;  (** w.r.t. the original instance *)
   engine : Dme.Engine.stats;
   repair : Clocktree.Repair.stats;
-  cpu_seconds : float;
+  cpu_seconds : float;  (** CPU time of planning + repair (no evaluation) *)
+  timings : timings;
 }
 
 (** The configuration [ast_dme] uses by default: the engine defaults
@@ -33,7 +44,13 @@ val greedy_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
 val mmm_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
 
 (** Wirelength reduction of [vs] relative to [baseline], as a fraction
-    (the "Reduction" column of Tables I and II). *)
+    (the "Reduction" column of Tables I and II).  [0.] when the baseline
+    wirelength is zero (degenerate instances), never NaN. *)
 val reduction : baseline:result -> result -> float
+
+(** Machine-readable summary of a result: evaluation metrics, engine and
+    repair stats, per-phase timings.  This is the ["result"] object of
+    the [BENCH_*.json] files and of [astroute --stats-json]. *)
+val json_of_result : result -> Obs.Json.t
 
 val pp_result : Format.formatter -> result -> unit

@@ -9,6 +9,7 @@ type config = {
   sdr_samples : int;
   cost_by_planned_wire : bool;
   avoid_infeasible : bool;
+  trial_cache : bool;
 }
 
 let default =
@@ -23,6 +24,24 @@ let default =
     sdr_samples = 9;
     cost_by_planned_wire = false;
     avoid_infeasible = true;
+    trial_cache = true;
+  }
+
+type trial_stats = {
+  trial_merges : int;
+  cache_hits : int;
+  cache_misses : int;
+  elided_trials : int;
+  reused_trials : int;
+}
+
+let no_trials =
+  {
+    trial_merges = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    elided_trials = 0;
+    reused_trials = 0;
   }
 
 type stats = {
@@ -33,6 +52,24 @@ type stats = {
   shared_multi : int;
   planned_snake : float;
   infeasible_merges : int;
+  trial : trial_stats;
+}
+
+let c_trials = Obs.Counter.make "dme.engine.trial_merges"
+let c_hits = Obs.Counter.make "dme.engine.trial_cache_hits"
+let c_misses = Obs.Counter.make "dme.engine.trial_cache_misses"
+let c_elided = Obs.Counter.make "dme.engine.trial_elided"
+let c_reused = Obs.Counter.make "dme.engine.trial_reused"
+let c_committed = Obs.Counter.make "dme.engine.committed_merges"
+
+(* One memo cell per unordered subtree-id pair.  The two orientations are
+   stored separately: Rc.Balance.plan is not guaranteed to be
+   floating-point symmetric in its arguments, and the cached cost closure
+   must return exactly what an uncached run would, so the routed trees
+   stay bit-identical with the cache on or off. *)
+type trial_cell = {
+  mutable fwd : Merge.result option;  (** [a.id <= b.id] orientation *)
+  mutable rev : Merge.result option;
 }
 
 let run ?(config = default) inst =
@@ -42,12 +79,92 @@ let run ?(config = default) inst =
   let shared_multi = ref 0 in
   let planned_snake = ref 0. in
   let infeasible = ref 0 in
-  let merge ~id a b =
-    let result =
-      Merge.run inst ~slack_usage:config.slack_usage
-        ~split_slack:config.split_slack ~width_cap:config.width_cap
-        ~sdr_samples:config.sdr_samples ~id a b
+  let trial_merges = ref 0 in
+  let hits = ref 0 in
+  let misses = ref 0 in
+  let elided = ref 0 in
+  let reused = ref 0 in
+  let run_merge ~id a b =
+    Merge.run inst ~slack_usage:config.slack_usage
+      ~split_slack:config.split_slack ~width_cap:config.width_cap
+      ~sdr_samples:config.sdr_samples ~id a b
+  in
+  (* A trial merge probes a candidate pair for the cost ranking; its
+     result is a pure function of the two subtrees, so it can be
+     memoized and later promoted to the committed merge (the subtree id
+     is the only difference). *)
+  let run_trial a b =
+    incr trial_merges;
+    Obs.Counter.incr c_trials;
+    run_merge ~id:(-1) a b
+  in
+  let cache : (int * int, trial_cell) Hashtbl.t = Hashtbl.create 1024 in
+  (* Keys each live subtree participates in, for eviction.  Subtree ids
+     are never reused, so a stale entry could never be *hit* — eviction
+     only bounds the cache's memory to the surviving pairs. *)
+  let partners : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let pair_key (a : Subtree.t) (b : Subtree.t) =
+    if a.id <= b.id then (a.id, b.id, true) else (b.id, a.id, false)
+  in
+  let link id key =
+    match Hashtbl.find_opt partners id with
+    | Some l -> l := key :: !l
+    | None -> Hashtbl.add partners id (ref [ key ])
+  in
+  let evict id =
+    match Hashtbl.find_opt partners id with
+    | None -> ()
+    | Some keys ->
+      List.iter (Hashtbl.remove cache) !keys;
+      Hashtbl.remove partners id
+  in
+  let lookup a b =
+    let i, j, forward = pair_key a b in
+    match Hashtbl.find_opt cache (i, j) with
+    | None -> None
+    | Some cell -> if forward then cell.fwd else cell.rev
+  in
+  let store a b r =
+    let i, j, forward = pair_key a b in
+    let cell =
+      match Hashtbl.find_opt cache (i, j) with
+      | Some c -> c
+      | None ->
+        let c = { fwd = None; rev = None } in
+        Hashtbl.add cache (i, j) c;
+        link i (i, j);
+        link j (i, j);
+        c
     in
+    if forward then cell.fwd <- Some r else cell.rev <- Some r
+  in
+  let trial a b =
+    if not config.trial_cache then run_trial a b
+    else
+      match lookup a b with
+      | Some r ->
+        incr hits;
+        Obs.Counter.incr c_hits;
+        r
+      | None ->
+        incr misses;
+        Obs.Counter.incr c_misses;
+        let r = run_trial a b in
+        store a b r;
+        r
+  in
+  let merge ~id (a : Subtree.t) (b : Subtree.t) =
+    let result =
+      match if config.trial_cache then lookup a b else None with
+      | Some r ->
+        (* The winning pair was already trial-merged during ranking; the
+           committed merge differs only in the subtree id. *)
+        incr reused;
+        Obs.Counter.incr c_reused;
+        { r with Merge.subtree = { r.Merge.subtree with Subtree.id } }
+      | None -> run_merge ~id a b
+    in
+    Obs.Counter.incr c_committed;
     (match result.kind with
      | Merge.Same_group -> incr same_group
      | Merge.Cross_group -> incr cross_group
@@ -55,21 +172,35 @@ let run ?(config = default) inst =
      | Merge.Shared_multi -> incr shared_multi);
     planned_snake := !planned_snake +. result.snake;
     if not result.feasible then incr infeasible;
+    if config.trial_cache then begin
+      evict a.id;
+      evict b.id
+    end;
     result.subtree
   in
   let cost (a : Subtree.t) (b : Subtree.t) =
     let dist = Geometry.Octagon.dist a.region b.region in
     if config.cost_by_planned_wire || config.avoid_infeasible then begin
-      let trial =
-        Merge.run inst ~slack_usage:config.slack_usage
-          ~split_slack:config.split_slack ~width_cap:config.width_cap
-          ~sdr_samples:config.sdr_samples ~id:(-1) a b
-      in
-      let base = if config.cost_by_planned_wire then trial.planned_wire else dist in
-      (* An infeasible pair (mutually inconsistent shared-group offsets,
-         the thesis' Instance 2) is merged only as a last resort. *)
-      if config.avoid_infeasible && not trial.feasible then base +. 1e9
-      else base
+      if config.trial_cache && Subtree.shared_groups a b = [] then begin
+        (* Cross-group fast path: an unconstrained merge is always
+           feasible and its planned wire is exactly the region distance
+           (Merge.merge_cross), so the trial's only two cost-relevant
+           outputs are known without running it. *)
+        incr elided;
+        Obs.Counter.incr c_elided;
+        dist
+      end
+      else begin
+        let t = trial a b in
+        let base =
+          if config.cost_by_planned_wire then t.planned_wire else dist
+        in
+        (* An infeasible pair (mutually inconsistent shared-group
+           offsets, the thesis' Instance 2) is merged only as a last
+           resort. *)
+        if config.avoid_infeasible && not t.feasible then base +. 1e9
+        else base
+      end
     end
     else dist
   in
@@ -93,4 +224,12 @@ let run ?(config = default) inst =
       shared_multi = !shared_multi;
       planned_snake = !planned_snake;
       infeasible_merges = !infeasible;
+      trial =
+        {
+          trial_merges = !trial_merges;
+          cache_hits = !hits;
+          cache_misses = !misses;
+          elided_trials = !elided;
+          reused_trials = !reused;
+        };
     } )

@@ -29,9 +29,33 @@ type config = {
       (** heavily penalize candidate pairs whose trial merge has
           mutually inconsistent shared-group constraints (Instance 2
           conflicts), merging them only as a last resort *)
+  trial_cache : bool;
+      (** avoid redundant trial {!Merge.run}s in the cost ranking:
+          cross-group probes are elided outright (an unconstrained merge
+          is always feasible with planned wire = region distance),
+          shared-group trials are memoized per candidate pair across
+          rounds, and the winning pair's committed merge reuses its own
+          trial.  Routed trees are bit-identical with the cache on or
+          off; off exists for benchmarking and as a paranoia switch *)
 }
 
 val default : config
+
+(** Trial-merge workload of one engine run.  With the cache off,
+    [trial_merges] counts every cost-probe [Merge.run]; with it on,
+    [trial_merges = cache_misses] and the saving is
+    [elided_trials + cache_hits + reused_trials]. *)
+type trial_stats = {
+  trial_merges : int;  (** trial [Merge.run] executions performed *)
+  cache_hits : int;  (** cost probes answered from the cache *)
+  cache_misses : int;  (** cost probes that ran a fresh trial *)
+  elided_trials : int;
+      (** cross-group cost probes answered without any trial *)
+  reused_trials : int;  (** committed merges promoted from their trial *)
+}
+
+(** All-zero [trial_stats], for engines that never trial-merge (MMM). *)
+val no_trials : trial_stats
 
 type stats = {
   rounds : int;
@@ -43,6 +67,7 @@ type stats = {
   infeasible_merges : int;
       (** merges whose constraints were mutually inconsistent; their
           residual skew is fixed by {!Clocktree.Repair} *)
+  trial : trial_stats;
 }
 
 (** Plan and embed a clock tree for the instance.  The result is the

@@ -66,4 +66,5 @@ let run ?(config = Engine.default) (inst : Clocktree.Instance.t) =
         shared_multi = !shared_multi;
         planned_snake = !planned_snake;
         infeasible_merges = !infeasible;
+        trial = Engine.no_trials;
       } )

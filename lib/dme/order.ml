@@ -12,8 +12,15 @@ type config = {
 let default =
   { multi_merge = true; merge_fraction = 0.5; knn = 16; delay_order_weight = 0. }
 
+let c_probes = Obs.Counter.make "dme.order.nn_probes"
+let c_pairs = Obs.Counter.make "dme.order.pairs_ranked"
+let c_rounds = Obs.Counter.make "dme.order.rounds"
+
 let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
   let n = Clocktree.Instance.n_sinks inst in
+  (* A non-positive knn would make every k-NN query return [] and stall
+     the pairing loop below; clamp rather than crash. *)
+  let knn = Int.max 1 config.knn in
   let cell =
     let bbox = Clocktree.Instance.bbox inst in
     Float.max 1. (Octagon.diameter bbox /. Float.max 1. (Float.sqrt (float_of_int n)))
@@ -45,9 +52,21 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
      ranking is by representative point, so probe several candidates and
      refine with the true merging cost). *)
   let nearest_neighbor (s : Subtree.t) =
+    Obs.Counter.incr c_probes;
     let c = Hashtbl.find centers s.id in
+    let skip id = id = s.id in
+    let candidates = Grid_index.k_nearest grid ~skip c knn in
     let candidates =
-      Grid_index.k_nearest grid ~skip:(fun id -> id = s.id) c config.knn
+      (* Endgame guard: with two or more active subtrees a probe must
+         yield a partner.  The k-NN query can only come back empty for
+         degenerate indices; fall back to the exhaustive nearest scan so
+         the 2-subtree endgame can never report "no partner". *)
+      match candidates with
+      | [] ->
+        (match Grid_index.nearest grid ~skip c with
+         | Some e -> [ e ]
+         | None -> [])
+      | cs -> cs
     in
     List.fold_left
       (fun best (_, _, (t : Subtree.t)) ->
@@ -78,6 +97,7 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
       | None -> assert false
     else begin
       incr rounds;
+      Obs.Counter.incr c_rounds;
       let pairs =
         Hashtbl.fold
           (fun _ s acc ->
@@ -97,6 +117,7 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
             | c -> c)
           pairs
       in
+      Obs.Counter.add c_pairs (List.length pairs);
       let limit =
         if config.multi_merge then
           Int.max 1
@@ -125,8 +146,20 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
           end)
         pairs;
       (* Degenerate safeguard: grid candidates always yield at least one
-         pair when two or more subtrees are active. *)
-      assert (!merged > 0);
+         pair when two or more subtrees are active.  Should that ever
+         fail, merge the two lowest-id survivors directly rather than
+         spinning forever. *)
+      if !merged = 0 then begin
+        let ids = Hashtbl.fold (fun id _ acc -> id :: acc) active [] in
+        match List.sort Int.compare ids with
+        | i :: j :: _ ->
+          let a = Hashtbl.find active i and b = Hashtbl.find active j in
+          let s = merge ~id:(fresh_id ()) a b in
+          delete i;
+          delete j;
+          insert s
+        | _ -> assert false
+      end;
       loop ()
     end
   in

@@ -1,5 +1,12 @@
 type 'a entry = { pt : Pt.t; value : 'a }
 
+(* Query instrumentation: queries = nearest/k_nearest/within calls,
+   rings/cells/entries = work done by the ring scans those queries run. *)
+let c_queries = Obs.Counter.make "geometry.grid.queries"
+let c_rings = Obs.Counter.make "geometry.grid.rings_scanned"
+let c_cells = Obs.Counter.make "geometry.grid.cells_visited"
+let c_entries = Obs.Counter.make "geometry.grid.entries_scanned"
+
 type 'a t = {
   cell : float;
   cells : (int * int, (int, 'a entry) Hashtbl.t) Hashtbl.t;
@@ -53,20 +60,23 @@ let fold_rings t (p : Pt.t) ~stop f =
         Int.max acc (Int.max (Int.abs (gx - cx)) (Int.abs (gy - cy))))
       t.cells 0
   in
+  let visit gx gy =
+    Obs.Counter.incr c_cells;
+    match Hashtbl.find_opt t.cells (gx, gy) with
+    | Some b ->
+      Hashtbl.iter
+        (fun id e ->
+          Obs.Counter.incr c_entries;
+          f id e)
+        b
+    | None -> ()
+  in
   let rec ring r =
     if r > max_ring || stop r then ()
     else begin
-      if r = 0 then begin
-        (match Hashtbl.find_opt t.cells (cx, cy) with
-         | Some b -> Hashtbl.iter (fun id e -> f id e) b
-         | None -> ())
-      end
+      Obs.Counter.incr c_rings;
+      if r = 0 then visit cx cy
       else begin
-        let visit gx gy =
-          match Hashtbl.find_opt t.cells (gx, gy) with
-          | Some b -> Hashtbl.iter (fun id e -> f id e) b
-          | None -> ()
-        in
         for gx = cx - r to cx + r do
           visit gx (cy - r);
           visit gx (cy + r)
@@ -82,6 +92,7 @@ let fold_rings t (p : Pt.t) ~stop f =
   ring 0
 
 let nearest t ?(skip = fun _ -> false) p =
+  Obs.Counter.incr c_queries;
   if t.count = 0 then None
   else begin
     let best = ref None in
@@ -105,36 +116,89 @@ let nearest t ?(skip = fun _ -> false) p =
   end
 
 let k_nearest t ?(skip = fun _ -> false) p k =
+  Obs.Counter.incr c_queries;
   if t.count = 0 || k <= 0 then []
   else begin
-    let acc = ref [] in
-    let nacc = ref 0 in
-    let kth_dist = ref Float.infinity in
-    let recompute_kth () =
-      if !nacc >= k then begin
-        let ds = List.map (fun (_, q, _) -> Pt.dist p q) !acc in
-        let sorted = List.sort Float.compare ds in
-        kth_dist := List.nth sorted (k - 1)
+    (* Bounded selection: a binary max-heap keeps the k best candidates
+       seen so far, ordered by (distance, arrival) — O(log k) per
+       accepted entry instead of the former full re-sort.  The heap root
+       is the running k-th distance, which drives the ring-scan stop
+       condition exactly as before.  Distance ties prefer the
+       later-visited entry, reproducing the (reverse accumulation +
+       stable sort) order of the previous implementation bit for bit. *)
+    let cap = Int.min k t.count in
+    let heap : (float * int * (int * Pt.t * 'a)) option array =
+      Array.make cap None
+    in
+    let size = ref 0 in
+    let arrival = ref 0 in
+    let key i =
+      match heap.(i) with
+      | Some (d, s, _) -> (d, s)
+      | None -> assert false
+    in
+    (* [worse a b]: [a] ranks strictly after [b] among candidates. *)
+    let worse (d1, s1) (d2, s2) = d1 > d2 || (d1 = d2 && s1 < s2) in
+    let swap i j =
+      let tmp = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- tmp
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if worse (key i) (key parent) then begin
+          swap i parent;
+          sift_up parent
+        end
+      end
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = if l < !size && worse (key l) (key i) then l else i in
+      let m = if r < !size && worse (key r) (key m) then r else m in
+      if m <> i then begin
+        swap i m;
+        sift_down m
+      end
+    in
+    let offer d entry =
+      let s = !arrival in
+      incr arrival;
+      if !size < cap then begin
+        heap.(!size) <- Some (d, s, entry);
+        incr size;
+        sift_up (!size - 1)
+      end
+      else if worse (key 0) (d, s) then begin
+        heap.(0) <- Some (d, s, entry);
+        sift_down 0
       end
     in
     let stop r =
-      !nacc >= k && float_of_int (r - 1) *. t.cell > !kth_dist
+      !size = k
+      &&
+      let kth, _ = key 0 in
+      float_of_int (r - 1) *. t.cell > kth
     in
     fold_rings t p ~stop (fun id e ->
-        if not (skip id) then begin
-          acc := (id, e.pt, e.value) :: !acc;
-          incr nacc;
-          recompute_kth ()
-        end);
-    let sorted =
-      List.sort
-        (fun (_, a, _) (_, b, _) -> Float.compare (Pt.dist p a) (Pt.dist p b))
-        !acc
-    in
-    List.filteri (fun i _ -> i < k) sorted
+        if not (skip id) then offer (Pt.dist p e.pt) (id, e.pt, e.value));
+    let kept = ref [] in
+    for i = 0 to !size - 1 do
+      match heap.(i) with
+      | Some c -> kept := c :: !kept
+      | None -> assert false
+    done;
+    !kept
+    |> List.sort (fun (d1, s1, _) (d2, s2, _) ->
+           match Float.compare d1 d2 with
+           | 0 -> Int.compare s2 s1
+           | c -> c)
+    |> List.map (fun (_, _, entry) -> entry)
   end
 
 let within t p r =
+  Obs.Counter.incr c_queries;
   let acc = ref [] in
   let stop ring = float_of_int (ring - 1) *. t.cell > r in
   fold_rings t p ~stop (fun id e ->

@@ -1,0 +1,16 @@
+type t = { name : string; mutable n : int }
+
+let registry : t list ref = ref []
+
+let make name =
+  let c = { name; n = 0 } in
+  registry := c :: !registry;
+  c
+
+let name c = c.name
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let value c = c.n
+let reset c = c.n <- 0
+let all () = List.rev !registry
+let find name = List.find_opt (fun c -> c.name = name) (all ())

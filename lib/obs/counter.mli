@@ -1,0 +1,27 @@
+(** Named monotonic counters.
+
+    Counters are created once at module-initialization time (they
+    register themselves in a global registry) and bumped from hot paths;
+    a bump is a single unboxed field mutation, cheap enough for
+    per-candidate instrumentation inside the routing kernels.
+    {!Report.snapshot} collects every registered counter. *)
+
+type t
+
+(** [make name] creates and registers a counter starting at 0.  Names
+    are dotted paths ("dme.engine.trial_merges"); they should be unique
+    — {!find} returns the first registration. *)
+val make : string -> t
+
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+
+(** Reset to 0 (the registration is kept). *)
+val reset : t -> unit
+
+(** All registered counters, in registration order. *)
+val all : unit -> t list
+
+val find : string -> t option

@@ -1,0 +1,19 @@
+(** A minimal JSON value type and emitter — just enough for the stats
+    output of {!Report} and the benchmark harness, with no external
+    dependency.  Emission only; parsing is out of scope. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Write the value to [path] followed by a newline, creating or
+    truncating the file. *)
+val write_file : string -> t -> unit

@@ -1,0 +1,21 @@
+(** Snapshot and reset of every registered {!Counter} and {!Timer}.
+
+    The snapshot is a JSON object
+
+    {v
+    { "counters": { "<name>": <int>, ... },
+      "timers":   { "<name>": { "wall_s": <float>,
+                                "cpu_s": <float>,
+                                "calls": <int> }, ... } }
+    v}
+
+    with entries in registration order.  Benchmarks typically call
+    {!reset} before a measured region and {!snapshot} after it. *)
+
+val snapshot : unit -> Json.t
+
+(** Zero every registered counter and timer. *)
+val reset : unit -> unit
+
+(** Current value of the named counter; 0 when no such counter exists. *)
+val counter : string -> int

@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  mutable wall : float;
+  mutable cpu : float;
+  mutable count : int;
+}
+
+let registry : t list ref = ref []
+
+let make name =
+  let t = { name; wall = 0.; cpu = 0.; count = 0 } in
+  registry := t :: !registry;
+  t
+
+let name t = t.name
+let now () = Unix.gettimeofday ()
+
+let record t ~wall ~cpu =
+  t.wall <- t.wall +. wall;
+  t.cpu <- t.cpu +. cpu;
+  t.count <- t.count + 1
+
+let time t f =
+  let w0 = now () and c0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () -> record t ~wall:(now () -. w0) ~cpu:(Sys.time () -. c0))
+    f
+
+let wall_seconds t = t.wall
+let cpu_seconds t = t.cpu
+let calls t = t.count
+
+let reset t =
+  t.wall <- 0.;
+  t.cpu <- 0.;
+  t.count <- 0
+
+let all () = List.rev !registry
+let find name = List.find_opt (fun t -> t.name = name) (all ())

@@ -1,0 +1,29 @@
+(** Named accumulating wall/CPU timers.
+
+    Like {!Counter}, timers register themselves globally at creation and
+    are collected by {!Report.snapshot}.  Each {!time} call adds one
+    sample: elapsed wall-clock seconds, elapsed process CPU seconds and
+    a call count. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+
+(** [time t f] runs [f ()], accumulating its wall and CPU time into [t]
+    (also on exception). *)
+val time : t -> (unit -> 'a) -> 'a
+
+(** Current wall clock in seconds (arbitrary epoch); for callers that
+    time phases manually. *)
+val now : unit -> float
+
+(** [record t ~wall ~cpu] adds one externally measured sample. *)
+val record : t -> wall:float -> cpu:float -> unit
+
+val wall_seconds : t -> float
+val cpu_seconds : t -> float
+val calls : t -> int
+val reset : t -> unit
+val all : unit -> t list
+val find : string -> t option

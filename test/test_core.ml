@@ -77,6 +77,30 @@ let test_reduction_sign () =
   Alcotest.(check (float 1e-9)) "self reduction is zero" 0.
     (Astskew.Router.reduction ~baseline:a a)
 
+let test_reduction_degenerate_baseline () =
+  (* A single sink placed exactly at the source routes with zero
+     wirelength; reduction must report 0., not NaN (regression for the
+     0/0 divide). *)
+  let sinks = [| Sink.make ~id:0 ~loc:(pt 10000. 10000.) ~cap:35. ~group:0 |] in
+  let inst =
+    Instance.make ~bound:10. ~source:(pt 10000. 10000.) ~n_groups:1 sinks
+  in
+  let base = Astskew.Router.greedy_dme inst in
+  Alcotest.(check (float 1e-12)) "baseline wirelength is zero" 0.
+    base.evaluation.wirelength;
+  let red = Astskew.Router.reduction ~baseline:base base in
+  Alcotest.(check bool) "reduction is finite" true (Float.is_finite red);
+  Alcotest.(check (float 1e-12)) "reduction is zero" 0. red
+
+let test_timings_recorded () =
+  let inst = mk_instance 40 ~n_groups:2 ~bound:10. in
+  let r = Astskew.Router.ast_dme inst in
+  let t = r.timings in
+  Alcotest.(check bool) "phase timings non-negative" true
+    (t.engine_s >= 0. && t.repair_s >= 0. && t.evaluate_s >= 0.);
+  Alcotest.(check bool) "total covers phases" true
+    (t.total_s +. 1e-9 >= t.engine_s +. t.repair_s +. t.evaluate_s)
+
 let test_cpu_time_recorded () =
   let inst = mk_instance 40 ~n_groups:2 ~bound:10. in
   let r = Astskew.Router.ast_dme inst in
@@ -104,6 +128,9 @@ let () =
       ( "reporting",
         [
           Alcotest.test_case "reduction" `Quick test_reduction_sign;
+          Alcotest.test_case "reduction on zero-wirelength baseline" `Quick
+            test_reduction_degenerate_baseline;
+          Alcotest.test_case "phase timings" `Quick test_timings_recorded;
           Alcotest.test_case "cpu time" `Quick test_cpu_time_recorded;
           Alcotest.test_case "pp_result" `Quick test_pp_result_smoke;
         ] );

@@ -205,6 +205,43 @@ let test_order_reduces_to_one () =
   Alcotest.(check int) "all sinks single" 33 root1.n_sinks;
   Alcotest.(check int) "n-1 rounds" 32 rounds1
 
+(* Endgame audit: the smallest instances exercise the final 2- and
+   3-subtree rounds of the nearest-neighbour loop, where a grid query
+   returning [] (or a knn misconfiguration) used to stall the order. *)
+let test_order_two_sink_endgame () =
+  let inst = instance ~bound:10. ~n_groups:2 [ sink 0 0. 0. 0; sink 1 700. 300. 1 ] in
+  let merge_cb ~id a b = (merge inst ~id a b).subtree in
+  let cost (a : Dme.Subtree.t) (b : Dme.Subtree.t) =
+    Octagon.dist a.region b.region
+  in
+  let root, rounds = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
+  Alcotest.(check int) "both sinks merged" 2 root.n_sinks;
+  Alcotest.(check int) "one round" 1 rounds
+
+let test_order_three_sink_endgame () =
+  let inst =
+    instance ~bound:10. ~n_groups:3
+      [ sink 0 0. 0. 0; sink 1 900. 0. 1; sink 2 0. 900. 2 ]
+  in
+  let merge_cb ~id a b = (merge inst ~id a b).subtree in
+  let cost (a : Dme.Subtree.t) (b : Dme.Subtree.t) =
+    Octagon.dist a.region b.region
+  in
+  let root, _ = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
+  Alcotest.(check int) "all three sinks merged" 3 root.n_sinks
+
+let test_order_knn_zero_clamped () =
+  (* knn = 0 used to make every query return [] and loop forever; it is
+     now clamped to 1. *)
+  let inst = mk_instance 12 ~n_groups:2 ~bound:10. in
+  let merge_cb ~id a b = (merge inst ~id a b).subtree in
+  let cost (a : Dme.Subtree.t) (b : Dme.Subtree.t) =
+    Octagon.dist a.region b.region
+  in
+  let config = { Dme.Order.default with knn = 0 } in
+  let root, _ = Dme.Order.run inst config ~cost ~merge:merge_cb in
+  Alcotest.(check int) "all sinks merged" 12 root.n_sinks
+
 (* --- Embed --------------------------------------------------------------- *)
 
 let rec check_positions_consistent = function
@@ -243,6 +280,59 @@ let test_engine_stats_add_up () =
   Alcotest.(check int) "n-1 merges total" 39
     (stats.same_group + stats.cross_group + stats.shared_one + stats.shared_multi);
   Alcotest.(check bool) "cross merges happened" true (stats.cross_group > 0)
+
+(* --- Trial cache determinism --------------------------------------------- *)
+
+let rec tree_equal a b =
+  match (a, b) with
+  | Tree.Leaf s1, Tree.Leaf s2 -> s1.Sink.id = s2.Sink.id
+  | Tree.Node n1, Tree.Node n2 ->
+    Pt.equal n1.pos n2.pos
+    && n1.llen = n2.llen && n1.rlen = n2.rlen
+    && tree_equal n1.left n2.left
+    && tree_equal n1.right n2.right
+  | _ -> false
+
+let test_trial_cache_bit_identical () =
+  (* The trial cache (memoization + cross-group elision + winner reuse)
+     must be a pure speedup: routing with it on and off must produce
+     bit-identical trees — positions, exact edge lengths, sink delays. *)
+  let cache_off =
+    { Astskew.Router.ast_default_config with Dme.Engine.trial_cache = false }
+  in
+  List.iter
+    (fun name ->
+      let spec = Option.get (Workload.Circuits.find name) in
+      let inst =
+        Workload.Circuits.instance spec ~n_groups:6
+          ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+      in
+      let off = Astskew.Router.ast_dme ~config:cache_off inst in
+      let on = Astskew.Router.ast_dme inst in
+      Alcotest.(check bool)
+        (name ^ ": identical topology and embedding")
+        true
+        (tree_equal off.routed.tree on.routed.tree
+        && Pt.equal off.routed.source on.routed.source
+        && off.routed.source_len = on.routed.source_len);
+      Alcotest.(check bool)
+        (name ^ ": identical wirelength/skews")
+        true
+        (off.evaluation.wirelength = on.evaluation.wirelength
+        && off.evaluation.global_skew = on.evaluation.global_skew
+        && off.evaluation.max_group_skew = on.evaluation.max_group_skew);
+      Alcotest.(check bool)
+        (name ^ ": identical per-sink delays")
+        true
+        (off.evaluation.delays = on.evaluation.delays);
+      (* and the cache actually did something *)
+      Alcotest.(check bool)
+        (name ^ ": cache active")
+        true
+        (on.engine.trial.cache_hits + on.engine.trial.elided_trials > 0
+        && off.engine.trial.cache_hits = 0
+        && off.engine.trial.elided_trials = 0))
+    [ "r1"; "r2"; "r3" ]
 
 let prop_engine_respects_bound =
   let gen =
@@ -308,12 +398,20 @@ let () =
           Alcotest.test_case "shared multi" `Quick test_merge_shared_multi;
         ] );
       ( "order",
-        [ Alcotest.test_case "reduces to one" `Quick test_order_reduces_to_one ] );
+        [
+          Alcotest.test_case "reduces to one" `Quick test_order_reduces_to_one;
+          Alcotest.test_case "two-sink endgame" `Quick test_order_two_sink_endgame;
+          Alcotest.test_case "three-sink endgame" `Quick
+            test_order_three_sink_endgame;
+          Alcotest.test_case "knn=0 clamped" `Quick test_order_knn_zero_clamped;
+        ] );
       ("embed", [ Alcotest.test_case "valid tree" `Quick test_embed_valid_tree ]);
       ( "engine",
         [
           Alcotest.test_case "zero skew" `Quick test_engine_zero_skew;
           Alcotest.test_case "stats add up" `Quick test_engine_stats_add_up;
+          Alcotest.test_case "trial cache bit-identical" `Slow
+            test_trial_cache_bit_identical;
         ]
         @ qsuite [ prop_engine_respects_bound ] );
     ]

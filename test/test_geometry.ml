@@ -362,6 +362,49 @@ let prop_grid_matches_linear_scan =
       | None, None -> true
       | _ -> false)
 
+(* The bounded-heap k_nearest must agree with a brute-force k-NN on
+   random point sets, for every k and with skip predicates (regression
+   for the former O(m·k log k) accumulator re-sort). *)
+let prop_grid_k_nearest_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 120 in
+      let* pts = list_repeat n gen_pt in
+      let* q = gen_pt in
+      let* k = int_range 1 40 in
+      let* cell = oneofl [ 3.; 25.; 120. ] in
+      let* with_skip = bool in
+      return (pts, q, k, cell, with_skip))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (pts, _, k, cell, skip) ->
+        Printf.sprintf "%d pts, k=%d cell=%g skip=%b" (List.length pts) k cell
+          skip)
+      gen
+  in
+  QCheck.Test.make ~name:"grid k_nearest matches brute force" ~count:300 arb
+    (fun (pts, q, k, cell, with_skip) ->
+      let skip = if with_skip then fun id -> id mod 3 = 0 else fun _ -> false in
+      let g = Grid_index.create ~cell in
+      List.iteri (fun i p -> Grid_index.add g ~id:i p i) pts;
+      let got = Grid_index.k_nearest g ~skip q k in
+      let brute =
+        List.filteri (fun i _ -> not (skip i)) pts
+        |> List.map (Pt.dist q)
+        |> List.sort Float.compare
+      in
+      let expect_n = Int.min k (List.length brute) in
+      List.length got = expect_n
+      && List.for_all2
+           (fun (_, p, _) d -> Float.abs (Pt.dist q p -. d) <= 1e-9)
+           got
+           (List.filteri (fun i _ -> i < expect_n) brute)
+      (* returned entries are distinct and not skipped *)
+      && List.length (List.sort_uniq compare (List.map (fun (id, _, _) -> id) got))
+         = expect_n
+      && List.for_all (fun (id, _, _) -> not (skip id)) got)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -407,5 +450,9 @@ let () =
           ] );
       ( "grid-index",
         Alcotest.test_case "basic operations" `Quick test_grid_basic
-        :: qsuite [ prop_grid_matches_linear_scan ] );
+        :: qsuite
+             [
+               prop_grid_matches_linear_scan;
+               prop_grid_k_nearest_matches_brute_force;
+             ] );
     ]

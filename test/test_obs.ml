@@ -1,0 +1,118 @@
+(* Tests for the lib/obs instrumentation library: counters, timers, the
+   JSON emitter and the report snapshot. *)
+
+let test_counter_basics () =
+  let c = Obs.Counter.make "test.counter.basics" in
+  Alcotest.(check string) "name" "test.counter.basics" (Obs.Counter.name c);
+  Alcotest.(check int) "starts at 0" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 5;
+  Alcotest.(check int) "incr + add" 7 (Obs.Counter.value c);
+  Obs.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.value c)
+
+let test_counter_registry () =
+  let c = Obs.Counter.make "test.counter.registry" in
+  Obs.Counter.add c 3;
+  (match Obs.Counter.find "test.counter.registry" with
+   | None -> Alcotest.fail "counter not registered"
+   | Some c' -> Alcotest.(check int) "find sees same cell" 3 (Obs.Counter.value c'));
+  Alcotest.(check bool) "registry lists it" true
+    (List.exists
+       (fun c' -> Obs.Counter.name c' = "test.counter.registry")
+       (Obs.Counter.all ()));
+  Alcotest.(check bool) "unknown name" true
+    (Obs.Counter.find "test.counter.no_such" = None)
+
+let test_timer_accumulates () =
+  let t = Obs.Timer.make "test.timer.accumulates" in
+  Alcotest.(check int) "no calls yet" 0 (Obs.Timer.calls t);
+  let r = Obs.Timer.time t (fun () -> 42) in
+  Alcotest.(check int) "result passed through" 42 r;
+  Alcotest.(check int) "one call" 1 (Obs.Timer.calls t);
+  Alcotest.(check bool) "wall non-negative" true (Obs.Timer.wall_seconds t >= 0.);
+  Obs.Timer.record t ~wall:0.5 ~cpu:0.25;
+  Alcotest.(check int) "manual sample counts" 2 (Obs.Timer.calls t);
+  Alcotest.(check bool) "wall includes sample" true (Obs.Timer.wall_seconds t >= 0.5);
+  Alcotest.(check bool) "cpu includes sample" true (Obs.Timer.cpu_seconds t >= 0.25);
+  Obs.Timer.reset t;
+  Alcotest.(check int) "reset calls" 0 (Obs.Timer.calls t);
+  Alcotest.(check (float 0.)) "reset wall" 0. (Obs.Timer.wall_seconds t)
+
+let test_timer_times_on_exception () =
+  let t = Obs.Timer.make "test.timer.exn" in
+  (try Obs.Timer.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "sample recorded despite exception" 1 (Obs.Timer.calls t)
+
+let test_json_to_string () =
+  let open Obs.Json in
+  Alcotest.(check string) "null" "null" (to_string Null);
+  Alcotest.(check string) "bool" "true" (to_string (Bool true));
+  Alcotest.(check string) "int" "-3" (to_string (Int (-3)));
+  Alcotest.(check string) "float" "1.5" (to_string (Float 1.5));
+  Alcotest.(check string) "nan is null" "null" (to_string (Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (to_string (Float Float.infinity));
+  Alcotest.(check string) "string escaping" {|"a\"b\\c\n"|}
+    (to_string (String "a\"b\\c\n"));
+  Alcotest.(check string) "list" "[1,2]" (to_string (List [ Int 1; Int 2 ]));
+  Alcotest.(check string) "obj" {|{"a":1,"b":[]}|}
+    (to_string (Obj [ ("a", Int 1); ("b", List []) ]))
+
+let test_json_write_file () =
+  let path = Filename.temp_file "obs_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Json.write_file path (Obs.Json.Obj [ ("x", Obs.Json.Int 1) ]);
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "file contents" {|{"x":1}|} line)
+
+let test_report_snapshot () =
+  let c = Obs.Counter.make "test.report.counter" in
+  let t = Obs.Timer.make "test.report.timer" in
+  Obs.Counter.add c 11;
+  Obs.Timer.record t ~wall:0.1 ~cpu:0.05;
+  Alcotest.(check int) "Report.counter reads value" 11
+    (Obs.Report.counter "test.report.counter");
+  Alcotest.(check int) "Report.counter on unknown is 0" 0
+    (Obs.Report.counter "test.report.no_such");
+  let s = Obs.Json.to_string (Obs.Report.snapshot ()) in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "snapshot has counter" true
+    (contains {|"test.report.counter":11|});
+  Alcotest.(check bool) "snapshot has timer" true (contains {|"test.report.timer"|});
+  (* Report.reset zeroes registered counters and timers. *)
+  Obs.Report.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Obs.Report.counter "test.report.counter");
+  Alcotest.(check int) "timer zeroed" 0 (Obs.Timer.calls t)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "registry" `Quick test_counter_registry;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "accumulates" `Quick test_timer_accumulates;
+          Alcotest.test_case "times on exception" `Quick
+            test_timer_times_on_exception;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "to_string" `Quick test_json_to_string;
+          Alcotest.test_case "write_file" `Quick test_json_write_file;
+        ] );
+      ("report", [ Alcotest.test_case "snapshot" `Quick test_report_snapshot ]);
+    ]
