@@ -1,10 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the thesis
    and times the library's kernels with Bechamel.
 
-   Usage: main.exe [table1|table2|figures|spice|ablation|micro|cache|quick|all]
+   Usage: main.exe
+     [table1|table2|figures|spice|ablation|micro|cache|quick|all]
+     | fuzz [--cases N] [--seed S] [--inject] [--replay CASE]
    (default: all).  "quick" restricts the tables to r1-r3 for fast runs;
    "cache" (also run by "micro") compares the merge-trial cache off vs on
-   and writes BENCH_<circuit>.json stats files. *)
+   and writes BENCH_<circuit>.json stats files; "fuzz" runs the lib/check
+   property-based fuzzer, prints a JSON summary, and writes the shrunk
+   repro of any failure to FUZZ_REPRO.txt before exiting non-zero. *)
 
 let bound = 10.
 
@@ -224,10 +228,81 @@ let micro () =
       Format.printf "%-40s %s@." name pretty)
     (List.sort (fun (a, _) (b, _) -> compare a b) entries)
 
+(* --- Property-based fuzzing (lib/check) ----------------------------------- *)
+
+let fuzz_repro_file = "FUZZ_REPRO.txt"
+
+let fuzz args =
+  let cases = ref 100 in
+  let seed = ref 1L in
+  let inject = ref false in
+  let replay = ref None in
+  let usage () =
+    Format.eprintf
+      "usage: fuzz [--cases N] [--seed S] [--inject] [--replay CASE]@.";
+    exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--cases" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n > 0 -> cases := n
+       | _ -> usage ());
+      parse rest
+    | "--seed" :: s :: rest ->
+      (match Int64.of_string_opt s with
+       | Some s -> seed := s
+       | None -> usage ());
+      parse rest
+    | "--inject" :: rest ->
+      inject := true;
+      parse rest
+    | "--replay" :: c :: rest ->
+      (match int_of_string_opt c with
+       | Some c when c >= 0 -> replay := Some c
+       | _ -> usage ());
+      parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  match !replay with
+  | Some case ->
+    let findings = Check.replay ~inject:!inject ~seed:!seed ~case () in
+    List.iter (Format.printf "%a@." Check.Oracle.pp_finding) findings;
+    if findings <> [] then exit 1
+  | None ->
+    (* stdout carries only the JSON summary; progress goes to stderr. *)
+    Format.eprintf "==== Fuzz: %d cases, seed %Ld%s ====@." !cases !seed
+      (if !inject then ", injected skew violations" else "");
+    let progress (case : Check.Gen.case) =
+      if case.index mod 25 = 0 then
+        Format.eprintf "case %d (%s)...@." case.index
+          (Check.Gen.regime_to_string case.regime)
+    in
+    let summary =
+      Check.fuzz ~inject:!inject ~progress ~cases:!cases ~seed:!seed ()
+    in
+    Format.printf "%a@." Obs.Json.pp (Check.Runner.json_of_summary summary);
+    if not (Check.Runner.ok summary) then begin
+      let repro =
+        String.concat "\n"
+          (List.map Check.Runner.repro_text summary.failures)
+      in
+      let oc = open_out fuzz_repro_file in
+      output_string oc repro;
+      close_out oc;
+      Format.eprintf "wrote shrunk repro(s) to %s@." fuzz_repro_file;
+      exit 1
+    end
+
 (* --- main ----------------------------------------------------------------- *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "fuzz" then begin
+    fuzz (List.tl (List.tl (Array.to_list Sys.argv)));
+    exit 0
+  end;
   let circuits quickly =
     if quickly then
       List.filter

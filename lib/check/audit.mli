@@ -1,0 +1,49 @@
+(** Invariant auditor for routed clock trees.
+
+    Three layers, each returning the (possibly empty) list of violated
+    invariants:
+
+    - {!structure}: the tree is well-formed — every instance sink appears
+      as exactly one leaf and is byte-identical to the instance's record;
+      positions and edge lengths are finite; every edge is at least as
+      long as the L1 distance between its endpoints (the excess being
+      snaking wire); the derived RC tree is electrically sane.
+    - {!semantics}: an {!Clocktree.Evaluate.report} is consistent with
+      the tree it claims to describe — delays, wirelength, snaking and
+      all skew aggregates match an independent recomputation.
+    - {!bound}: the tree satisfies the skew contract it was routed
+      under ({!Grouped} for AST-DME/MMM-DME, {!Global} for the fused
+      EXT-BST and zero-skew baselines). *)
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Skew contract of a router's output (see {!Astskew.Router}). *)
+type contract =
+  | Grouped  (** per-group skew within each group's own bound *)
+  | Global of float  (** global skew within the given bound *)
+
+val structure :
+  Clocktree.Instance.t -> Clocktree.Tree.routed -> violation list
+
+val semantics :
+  Clocktree.Instance.t ->
+  Clocktree.Tree.routed ->
+  Clocktree.Evaluate.report ->
+  violation list
+
+val bound :
+  contract -> Clocktree.Instance.t -> Clocktree.Evaluate.report -> violation list
+
+(** All three layers in order. *)
+val run :
+  contract ->
+  Clocktree.Instance.t ->
+  Clocktree.Tree.routed ->
+  Clocktree.Evaluate.report ->
+  violation list
+
+(** Structural equality of routed trees, exact on floats — the
+    "bit-identical" relation the trial-merge cache promises. *)
+val tree_equal : Clocktree.Tree.routed -> Clocktree.Tree.routed -> bool

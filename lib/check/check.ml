@@ -1,0 +1,16 @@
+(** Property-based fuzzing and invariant auditing for the whole routing
+    stack: {!Gen} makes difficult instances, {!Audit} checks routed
+    trees, {!Oracle} cross-checks the routers and delay models, {!Shrink}
+    minimises failures and {!Runner} drives a whole fuzz run.
+
+    The one-call entry points: [Check.fuzz ~cases ~seed ()] for a run,
+    [Check.replay ~seed ~case ()] for one case from a printed repro. *)
+
+module Gen = Gen
+module Audit = Audit
+module Oracle = Oracle
+module Shrink = Shrink
+module Runner = Runner
+
+let fuzz = Runner.run
+let replay = Runner.replay

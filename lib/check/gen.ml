@@ -1,0 +1,198 @@
+module Pt = Geometry.Pt
+module Rng = Workload.Rng
+module Instance = Clocktree.Instance
+module Sink = Clocktree.Sink
+
+type regime =
+  | Uniform
+  | Intermingled
+  | Clustered
+  | Collinear
+  | Duplicates
+  | Tiny_groups
+  | Extreme_rc
+  | Zero_bound
+
+let all_regimes =
+  [|
+    Uniform;
+    Intermingled;
+    Clustered;
+    Collinear;
+    Duplicates;
+    Tiny_groups;
+    Extreme_rc;
+    Zero_bound;
+  |]
+
+let regime_to_string = function
+  | Uniform -> "uniform"
+  | Intermingled -> "intermingled"
+  | Clustered -> "clustered"
+  | Collinear -> "collinear"
+  | Duplicates -> "duplicates"
+  | Tiny_groups -> "tiny-groups"
+  | Extreme_rc -> "extreme-rc"
+  | Zero_bound -> "zero-bound"
+
+let regime_of_string s =
+  Array.find_opt (fun r -> regime_to_string r = s) all_regimes
+
+type case = {
+  seed : int64;
+  index : int;
+  regime : regime;
+  instance : Instance.t;
+}
+
+(* Shared knobs.  Instances stay small (<= ~40 sinks) so each fuzz case
+   can afford several full router runs plus a transient simulation. *)
+
+let gen_bound rng = Rng.choice rng [| 0.; 1.; 5.; 10.; 25. |]
+
+(* Some coordinates are snapped to a coarse grid to provoke exact ties in
+   distances and merging-region computations. *)
+let coord rng ~die =
+  let x = Rng.float_range rng 0. die in
+  if Rng.bool rng then Float.round (x /. 64.) *. 64. else x
+
+let gen_groups rng ~n_groups n =
+  (* Round-robin base assignment keeps every group inhabited; a shuffle
+     removes the spatial correlation with sink order. *)
+  let groups = Array.init n (fun i -> i mod n_groups) in
+  Rng.shuffle rng groups;
+  groups
+
+let gen_group_bounds rng ~n_groups ~bound =
+  if Rng.int rng 3 > 0 then None
+  else
+    Some
+      (Array.init n_groups (fun _ ->
+           Rng.choice rng [| 0.; bound; 2. *. bound; 50. |]))
+
+let finish rng ?params ?rd ?group_bounds ~die ~bound ~n_groups locs caps groups
+    =
+  let n = Array.length locs in
+  let sinks =
+    Array.init n (fun i ->
+        Sink.make ~id:i ~loc:locs.(i) ~cap:caps.(i) ~group:groups.(i))
+  in
+  let source =
+    if Rng.bool rng then Pt.make (die /. 2.) (die /. 2.)
+    else Pt.make (Rng.float_range rng 0. die) (Rng.float_range rng 0. die)
+  in
+  Instance.make ?params ?rd ?group_bounds ~bound ~source ~n_groups sinks
+
+let default_caps rng n = Array.init n (fun _ -> Rng.float_range rng 5. 100.)
+
+let uniform ?(die = 20000.) rng ~scheme =
+  let n = 2 + Rng.int rng 39 in
+  let n_groups = 1 + Rng.int rng (Int.min 6 n) in
+  let locs = Array.init n (fun _ -> Pt.make (coord rng ~die) (coord rng ~die)) in
+  let groups =
+    match scheme with
+    | None -> gen_groups rng ~n_groups n
+    | Some scheme ->
+      Workload.Partition.assign scheme (Rng.split rng) ~die ~n_groups locs
+  in
+  let bound = gen_bound rng in
+  let group_bounds = gen_group_bounds rng ~n_groups ~bound in
+  finish rng ?group_bounds ~die ~bound ~n_groups locs (default_caps rng n)
+    groups
+
+let collinear rng =
+  let die = 20000. in
+  let n = 2 + Rng.int rng 14 in
+  let n_groups = 1 + Rng.int rng (Int.min 4 n) in
+  let anchor = Pt.make (coord rng ~die) (coord rng ~die) in
+  let dir =
+    Rng.choice rng [| Pt.make 1. 0.; Pt.make 0. 1.; Pt.make 1. 1.; Pt.make 1. (-1.) |]
+  in
+  let locs =
+    Array.init n (fun _ ->
+        let t = Float.round (Rng.float_range rng 0. (die /. 2.)) in
+        Pt.add anchor (Pt.scale t dir))
+  in
+  let groups = gen_groups rng ~n_groups n in
+  finish rng ~die ~bound:(gen_bound rng) ~n_groups locs (default_caps rng n)
+    groups
+
+let duplicates rng =
+  let die = 10000. in
+  let n = 2 + Rng.int rng 14 in
+  let n_groups = 1 + Rng.int rng (Int.min 4 n) in
+  let source = Pt.make (die /. 2.) (die /. 2.) in
+  (* A handful of base locations, one of them the source itself; several
+     sinks land on the same point. *)
+  let n_base = 1 + Rng.int rng 4 in
+  let base =
+    Array.init n_base (fun i ->
+        if i = 0 && Rng.bool rng then source
+        else Pt.make (coord rng ~die) (coord rng ~die))
+  in
+  let locs = Array.init n (fun _ -> Rng.choice rng base) in
+  let groups = gen_groups rng ~n_groups n in
+  let caps = default_caps rng n in
+  let sinks =
+    Array.init n (fun i ->
+        Sink.make ~id:i ~loc:locs.(i) ~cap:caps.(i) ~group:groups.(i))
+  in
+  Instance.make ~bound:(gen_bound rng) ~source ~n_groups sinks
+
+let tiny_groups rng =
+  let die = 20000. in
+  let n = 3 + Rng.int rng 21 in
+  (* Group sizes of 1-3: at least (n+2)/3 groups. *)
+  let n_groups = ((n + 2) / 3) + Rng.int rng (n - ((n + 2) / 3) + 1) in
+  let locs = Array.init n (fun _ -> Pt.make (coord rng ~die) (coord rng ~die)) in
+  let groups = gen_groups rng ~n_groups n in
+  let bound = gen_bound rng in
+  let group_bounds = gen_group_bounds rng ~n_groups ~bound in
+  finish rng ?group_bounds ~die ~bound ~n_groups locs (default_caps rng n)
+    groups
+
+let extreme_rc rng =
+  let die = Rng.choice rng [| 100.; 5000.; 200000. |] in
+  let n = 2 + Rng.int rng 14 in
+  let n_groups = 1 + Rng.int rng (Int.min 4 n) in
+  let params =
+    Rc.Wire.make
+      ~r:(Rng.choice rng [| 1e-5; 0.003; 0.5; 5. |])
+      ~c:(Rng.choice rng [| 1e-4; 0.02; 1.; 5. |])
+  in
+  let rd = Rng.choice rng [| 0.01; 100.; 1e4 |] in
+  let caps = Array.init n (fun _ -> Rng.choice rng [| 0.01; 20.; 2000. |]) in
+  let locs = Array.init n (fun _ -> Pt.make (coord rng ~die) (coord rng ~die)) in
+  let groups = gen_groups rng ~n_groups n in
+  finish rng ~params ~rd ~die ~bound:(gen_bound rng) ~n_groups locs caps groups
+
+let zero_bound rng =
+  let die = 20000. in
+  let n = 2 + Rng.int rng 19 in
+  let n_groups = 1 + Rng.int rng (Int.min 5 n) in
+  let locs = Array.init n (fun _ -> Pt.make (coord rng ~die) (coord rng ~die)) in
+  let groups = gen_groups rng ~n_groups n in
+  let group_bounds =
+    if Rng.bool rng then None
+    else Some (Array.init n_groups (fun _ -> Rng.choice rng [| 0.; 0.; 10. |]))
+  in
+  finish rng ?group_bounds ~die ~bound:0. ~n_groups locs (default_caps rng n)
+    groups
+
+let instance rng regime =
+  match regime with
+  | Uniform -> uniform rng ~scheme:None
+  | Intermingled -> uniform rng ~scheme:(Some Workload.Partition.Intermingled)
+  | Clustered -> uniform rng ~scheme:(Some Workload.Partition.Clustered)
+  | Collinear -> collinear rng
+  | Duplicates -> duplicates rng
+  | Tiny_groups -> tiny_groups rng
+  | Extreme_rc -> extreme_rc rng
+  | Zero_bound -> zero_bound rng
+
+let case ~seed ~index =
+  (* Each case draws from its own generator state so cases are
+     independent of each other and of the order they run in. *)
+  let rng = Rng.create (Int64.add seed (Int64.of_int (0x10001 * index))) in
+  let regime = all_regimes.(index mod Array.length all_regimes) in
+  { seed; index; regime; instance = instance rng regime }

@@ -1,0 +1,36 @@
+(** Random-instance generator for the fuzzing subsystem.
+
+    Each {!regime} targets one family of "difficult instances" in the
+    thesis' sense: sink-group structures or electrical corners that
+    stress a different part of the planner / repair / evaluation stack.
+    Everything is driven by {!Workload.Rng}, so a [(seed, index)] pair
+    identifies an instance exactly — across runs and platforms. *)
+
+type regime =
+  | Uniform  (** uniform sinks, a few groups — the baseline workload *)
+  | Intermingled  (** every group spread across the whole die (Table II) *)
+  | Clustered  (** spatially clustered groups (Table I) *)
+  | Collinear  (** all sinks on one horizontal/vertical/±45° line *)
+  | Duplicates  (** coincident sink locations, possibly on the source *)
+  | Tiny_groups  (** many degenerate groups of 1-3 sinks *)
+  | Extreme_rc  (** extreme unit RC, driver resistance and load caps *)
+  | Zero_bound  (** zero or mixed per-group skew bounds *)
+
+val all_regimes : regime array
+val regime_to_string : regime -> string
+val regime_of_string : string -> regime option
+
+(** One fuzz case: the instance plus the coordinates that regenerate it. *)
+type case = {
+  seed : int64;  (** master fuzz seed *)
+  index : int;  (** case number within the run *)
+  regime : regime;
+  instance : Clocktree.Instance.t;
+}
+
+(** Deterministically rebuild case [index] of a run started from [seed].
+    The regime cycles through {!all_regimes} by index. *)
+val case : seed:int64 -> index:int -> case
+
+(** Sample one instance of the given regime from the generator state. *)
+val instance : Workload.Rng.t -> regime -> Clocktree.Instance.t

@@ -1,0 +1,48 @@
+(** Differential oracles: run the library's routers and delay models
+    against each other on one instance and audit every output against its
+    own contract.
+
+    - {!routers}: AST-DME, EXT-BST, greedy-DME and MMM-DME each produce a
+      structurally/semantically valid tree satisfying the skew contract
+      they were routed under (grouped bound for AST/MMM, fused global
+      bound for EXT-BST, zero skew for greedy).  Wirelength orderings
+      between routers are deliberately {e not} asserted — on grouped
+      instances no router dominates another in general.
+    - {!cache_identity}: the trial-merge cache is semantically inert —
+      AST-DME with [trial_cache] off and on produce identical trees.
+    - {!delay_models}: Elmore and backward-Euler transient 50%-crossing
+      delays agree on the routed RC tree wherever an exact relation
+      exists: every sink crosses, no crossing exceeds its Elmore delay
+      (Elmore is an upper bound for RC trees under step input), and
+      crossings are non-decreasing from the root down (node voltages
+      trail their parents' while charging).  The thesis' Chapter III
+      claim — intra-group skews of the two models agree within a small
+      tolerance — is additionally asserted for realistic interconnect
+      parameters (default wire RC, rd >= 10 ohm, loads within 1-1000 fF);
+      under adversarial RC the claim is legitimately false, which the
+      fuzzer itself demonstrated.
+
+    A raised exception anywhere is converted into a finding with oracle
+    name ["exception"], so fuzzing surfaces crashes as ordinary
+    failures. *)
+
+type finding = {
+  oracle : string;  (** "ast-dme", "cache-identity", "delay-models", ... *)
+  violations : Audit.violation list;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val routers : ?inject:bool -> Clocktree.Instance.t -> finding list
+val cache_identity : Clocktree.Instance.t -> finding list
+val delay_models : ?resolution:int -> Clocktree.Instance.t -> finding list
+
+(** Every oracle in sequence; the empty list means the case passed.
+    [inject] deliberately snakes one leaf edge of the AST tree before
+    auditing, to prove violations are caught (used by the fuzz
+    self-test). *)
+val all : ?inject:bool -> Clocktree.Instance.t -> finding list
+
+(** Re-run only the oracles whose names appear in [of_run], e.g. to check
+    that a shrunk instance still reproduces the original failure. *)
+val reproduces : ?inject:bool -> of_run:finding list -> Clocktree.Instance.t -> bool

@@ -1,0 +1,107 @@
+type failure = {
+  case : Gen.case;
+  findings : Oracle.finding list;
+  shrunk : Clocktree.Instance.t;
+  shrunk_findings : Oracle.finding list;
+}
+
+type summary = {
+  seed : int64;
+  cases : int;
+  passed : int;
+  failures : failure list;
+  elapsed_s : float;
+}
+
+let check ?inject (case : Gen.case) =
+  match Oracle.all ?inject case.instance with
+  | [] -> None
+  | findings ->
+    let shrunk =
+      Shrink.run
+        ~fails:(Oracle.reproduces ?inject ~of_run:findings)
+        case.instance
+    in
+    let shrunk_findings = Oracle.all ?inject shrunk in
+    Some { case; findings; shrunk; shrunk_findings }
+
+let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
+  let t0 = Obs.Timer.now () in
+  let failures = ref [] in
+  for index = 0 to cases - 1 do
+    let case = Gen.case ~seed ~index in
+    progress case;
+    match check ?inject case with
+    | None -> ()
+    | Some failure -> failures := failure :: !failures
+  done;
+  let failures = List.rev !failures in
+  {
+    seed;
+    cases;
+    passed = cases - List.length failures;
+    failures;
+    elapsed_s = Obs.Timer.now () -. t0;
+  }
+
+let replay ?inject ~seed ~case () =
+  Oracle.all ?inject (Gen.case ~seed ~index:case).instance
+
+let ok s = s.failures = []
+
+let json_of_failure f =
+  let open Obs.Json in
+  let violations vs =
+    List
+      (List.map
+         (fun (v : Audit.violation) ->
+           Obj
+             [ ("invariant", String v.invariant); ("detail", String v.detail) ])
+         vs)
+  in
+  let findings fs =
+    List
+      (List.map
+         (fun (x : Oracle.finding) ->
+           Obj
+             [ ("oracle", String x.oracle); ("violations", violations x.violations) ])
+         fs)
+  in
+  Obj
+    [
+      ("case", Int f.case.index);
+      ("regime", String (Gen.regime_to_string f.case.regime));
+      ("n_sinks", Int (Clocktree.Instance.n_sinks f.case.instance));
+      ("findings", findings f.findings);
+      ("shrunk_sinks", Int (Clocktree.Instance.n_sinks f.shrunk));
+      ("shrunk_findings", findings f.shrunk_findings);
+    ]
+
+let json_of_summary s =
+  let open Obs.Json in
+  Obj
+    [
+      ("seed", String (Int64.to_string s.seed));
+      ("cases", Int s.cases);
+      ("passed", Int s.passed);
+      ("failed", Int (List.length s.failures));
+      ("elapsed_s", Float s.elapsed_s);
+      ("failures", List (List.map json_of_failure s.failures));
+    ]
+
+let repro_text f =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "# fuzz failure: seed %Ld case %d regime %s\n"
+    f.case.seed f.case.index
+    (Gen.regime_to_string f.case.regime);
+  Printf.bprintf b "# replay: Check.replay ~seed:%LdL ~case:%d ()\n"
+    f.case.seed f.case.index;
+  List.iter
+    (fun (x : Oracle.finding) ->
+      List.iter
+        (fun (v : Audit.violation) ->
+          Printf.bprintf b "# %s / %s: %s\n" x.oracle v.invariant v.detail)
+        x.violations)
+    f.shrunk_findings;
+  Buffer.add_string b (Clocktree.Io.to_string f.shrunk);
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** The fuzz driver: generate, audit, shrink, summarise.
+
+    [run ~cases ~seed ()] replays cases [0 .. cases-1] of the
+    deterministic stream identified by [seed], runs every oracle on each
+    instance, and greedily shrinks any failure to a minimal repro.  The
+    summary is printable as JSON ({!json_of_summary}); a failing case's
+    shrunk instance is serialised with {!Clocktree.Io} so it can be
+    frozen as a regression test ({!repro_text}).
+
+    [replay ~seed ~case ()] re-runs a single printed case — the entry
+    point to paste from a failing CI log. *)
+
+type failure = {
+  case : Gen.case;
+  findings : Oracle.finding list;  (** on the original instance *)
+  shrunk : Clocktree.Instance.t;
+  shrunk_findings : Oracle.finding list;  (** on the shrunk instance *)
+}
+
+type summary = {
+  seed : int64;
+  cases : int;
+  passed : int;
+  failures : failure list;
+  elapsed_s : float;
+}
+
+val run :
+  ?inject:bool ->
+  ?progress:(Gen.case -> unit) ->
+  cases:int ->
+  seed:int64 ->
+  unit ->
+  summary
+
+val replay : ?inject:bool -> seed:int64 -> case:int -> unit -> Oracle.finding list
+
+val ok : summary -> bool
+val json_of_summary : summary -> Obs.Json.t
+
+(** Io text of the shrunk instance, prefixed with comment lines recording
+    the seed, case index, regime and violated invariants. *)
+val repro_text : failure -> string

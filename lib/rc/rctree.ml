@@ -44,6 +44,23 @@ let downstream_cap t =
   done;
   down
 
+let audit t =
+  let faults = ref [] in
+  let fault fmt = Printf.ksprintf (fun m -> faults := m :: !faults) fmt in
+  if not (Float.is_finite t.rd) || t.rd < 0. then
+    fault "driver resistance %g is negative or non-finite" t.rd;
+  Array.iteri
+    (fun i r ->
+      if not (Float.is_finite r) || r < 0. then
+        fault "node %d: resistance %g is negative or non-finite" i r)
+    t.res;
+  Array.iteri
+    (fun i c ->
+      if not (Float.is_finite c) || c < 0. then
+        fault "node %d: capacitance %g is negative or non-finite" i c)
+    t.cap;
+  List.rev !faults
+
 let elmore t =
   let n = size t in
   let down = downstream_cap t in

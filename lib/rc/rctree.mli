@@ -20,6 +20,12 @@ val res : t -> int -> float
 val parent : t -> int -> int
 val children : t -> int -> int array
 
+(** Electrical sanity faults of the tree: negative or non-finite
+    resistances / capacitances / driver resistance.  Empty on a healthy
+    tree.  (The structural invariants — dense parents, parents before
+    children — are enforced by {!build} and cannot be violated here.) *)
+val audit : t -> string list
+
 (** Total capacitance hanging below each node, including its own. *)
 val downstream_cap : t -> float array
 

@@ -20,6 +20,12 @@ let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   int_of_float (float t *. float_of_int n)
 
+let bool t = float t < 0.5
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
 let split t = create (next t)
 
 let shuffle t arr =

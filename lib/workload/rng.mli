@@ -16,6 +16,12 @@ val float_range : t -> float -> float -> float
 (** Uniform in [0, n). *)
 val int : t -> int -> int
 
+(** Fair coin. *)
+val bool : t -> bool
+
+(** Uniform element of a non-empty array. *)
+val choice : t -> 'a array -> 'a
+
 (** An independent generator split off deterministically. *)
 val split : t -> t
 

@@ -1,0 +1,427 @@
+(* Tests for the lib/check fuzzing subsystem itself, plus the frozen
+   regression instances it produced during development.
+
+   The frozen cases are generator output (shrunk where a failure was
+   involved) serialised with Clocktree.Io: deterministic stand-ins for
+   whole fuzz regimes, cheap enough to run on every dune runtest. *)
+
+open Clocktree
+
+let parse text =
+  match Io.of_string text with
+  | Ok inst -> inst
+  | Error e -> Alcotest.failf "frozen case does not parse: %s" e
+
+let assert_clean name inst =
+  match Check.Oracle.all inst with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "%s: %a" name
+      (Format.pp_print_list Check.Oracle.pp_finding)
+      findings
+
+(* --- frozen generator cases ---------------------------------------------- *)
+
+(* Shrunk repro of the one real find of the first fuzz campaigns (seed
+   1234, case 150, extreme-rc): a 0.01-ohm driver with fF-to-pF load
+   spread, where transient and Elmore intra-group skews legitimately
+   diverge.  Frozen to pin the oracle gating: the exact invariants
+   (Elmore upper bound, crossing monotonicity) must still hold. *)
+let extreme_rc_shrunk =
+  "params 0.003 0.02\n\
+   driver 0.01\n\
+   source 50 50\n\
+   bound 25\n\
+   groups 2\n\
+   sink 0 0 64 2000 0\n\
+   sink 1 64 54 2000 0\n\
+   sink 2 2 34 20 0\n\
+   sink 3 0 17 0.01 1\n\
+   sink 4 35 0 0.01 1\n\
+   sink 5 69 20 0.01 1\n"
+
+(* Every sink coincident with the source: all merge distances are zero. *)
+let coincident_point =
+  "driver 100\n\
+   source 500 500\n\
+   bound 0\n\
+   groups 1\n\
+   sink 0 500 500 20 0\n\
+   sink 1 500 500 35 0\n\
+   sink 2 500 500 50 0\n"
+
+(* Collinear sinks on a ±45° Manhattan arc, two interleaved zero-bound
+   groups: merging regions are degenerate segments. *)
+let collinear_diagonal =
+  "driver 100\n\
+   source 0 0\n\
+   bound 0\n\
+   groups 2\n\
+   sink 0 0 1000 20 0\n\
+   sink 1 250 750 30 1\n\
+   sink 2 500 500 40 0\n\
+   sink 3 750 250 30 1\n\
+   sink 4 1000 0 20 0\n"
+
+(* Degenerate groups: every group is a singleton, so intra-group bounds
+   constrain nothing and the router degenerates to pure wirelength
+   minimisation under per-group bookkeeping. *)
+let singleton_groups =
+  "driver 100\n\
+   source 5000 5000\n\
+   bound 0\n\
+   groups 5\n\
+   groupbound 0 0\n\
+   groupbound 1 10\n\
+   groupbound 2 0\n\
+   groupbound 3 50\n\
+   groupbound 4 0\n\
+   sink 0 0 0 20 0\n\
+   sink 1 10000 0 80 1\n\
+   sink 2 0 10000 35 2\n\
+   sink 3 10000 10000 50 3\n\
+   sink 4 5000 2500 5 4\n"
+
+(* Two zero-bound groups spread across opposite corners (the thesis'
+   "intermingled" shape at minimum size). *)
+let zero_bound_intermingled =
+  "driver 100\n\
+   source 5000 5000\n\
+   bound 0\n\
+   groups 2\n\
+   sink 0 0 0 20 0\n\
+   sink 1 10000 10000 20 0\n\
+   sink 2 10000 0 20 1\n\
+   sink 3 0 10000 20 1\n"
+
+(* One sink: the tree is a single leaf wired to the source. *)
+let single_sink =
+  "driver 100\n\
+   source 0 0\n\
+   bound 0\n\
+   groups 1\n\
+   sink 0 7000 3000 42 0\n"
+
+(* Exact duplicate sinks in one zero-bound group, plus a distant
+   singleton group: zero-distance merges inside a bounded group. *)
+let duplicate_pair_zero_bound =
+  "driver 100\n\
+   source 1000 1000\n\
+   bound 0\n\
+   groups 2\n\
+   sink 0 2000 2000 25 0\n\
+   sink 1 2000 2000 25 0\n\
+   sink 2 0 9000 60 1\n"
+
+let frozen_cases =
+  [
+    ("extreme-rc shrunk repro", extreme_rc_shrunk);
+    ("coincident point", coincident_point);
+    ("collinear diagonal", collinear_diagonal);
+    ("singleton groups", singleton_groups);
+    ("zero-bound intermingled", zero_bound_intermingled);
+    ("single sink", single_sink);
+    ("duplicate pair zero bound", duplicate_pair_zero_bound);
+  ]
+
+let test_frozen (name, text) () = assert_clean name (parse text)
+
+(* --- generator ------------------------------------------------------------ *)
+
+let test_generator_determinism () =
+  let a = Check.Gen.case ~seed:42L ~index:5 in
+  let b = Check.Gen.case ~seed:42L ~index:5 in
+  Alcotest.(check string) "same instance text" (Io.to_string a.instance)
+    (Io.to_string b.instance);
+  Alcotest.(check bool) "regimes cycle" true
+    ((Check.Gen.case ~seed:42L ~index:8).regime
+    = (Check.Gen.case ~seed:42L ~index:0).regime)
+
+let test_generator_regimes_shapes () =
+  (* Spot-check the regimes produce what they claim. *)
+  let find regime =
+    let rec go i =
+      if i > 64 then Alcotest.failf "no case of regime in 64 draws"
+      else
+        let c = Check.Gen.case ~seed:7L ~index:i in
+        if c.regime = regime then c.instance else go (i + 1)
+    in
+    go 0
+  in
+  let collinear = find Check.Gen.Collinear in
+  let on_line =
+    let s0 = collinear.sinks.(0).loc in
+    Array.for_all
+      (fun (s : Sink.t) ->
+        let d = Geometry.Pt.sub s.loc s0 in
+        Float.abs d.x < 1e-6 || Float.abs d.y < 1e-6
+        || Float.abs (Float.abs d.x -. Float.abs d.y) < 1e-6)
+      collinear.sinks
+  in
+  Alcotest.(check bool) "collinear sinks on one line" true on_line;
+  let tiny = find Check.Gen.Tiny_groups in
+  let sizes = Instance.group_sizes tiny in
+  Alcotest.(check bool) "tiny groups have <= 3 sinks" true
+    (Array.for_all (fun k -> k >= 1 && k <= 3) sizes);
+  let zb = find Check.Gen.Zero_bound in
+  Alcotest.(check bool) "zero-bound instance has a zero bound" true
+    (List.exists
+       (fun g -> Instance.bound_for zb g = 0.)
+       (List.init zb.n_groups Fun.id))
+
+(* --- fuzz smoke + determinism --------------------------------------------- *)
+
+let test_fuzz_smoke () =
+  let s = Check.fuzz ~cases:24 ~seed:7L () in
+  Alcotest.(check int) "all cases pass" 24 s.passed;
+  Alcotest.(check bool) "ok" true (Check.Runner.ok s)
+
+let test_replay_matches_run () =
+  let findings = Check.replay ~seed:7L ~case:3 () in
+  Alcotest.(check int) "clean case replays clean" 0 (List.length findings);
+  let a = Check.fuzz ~cases:6 ~seed:99L () in
+  let b = Check.fuzz ~cases:6 ~seed:99L () in
+  let strip (s : Check.Runner.summary) =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("passed", Obs.Json.Int s.passed);
+           ( "failures",
+             Obs.Json.List
+               (List.map
+                  (fun (f : Check.Runner.failure) ->
+                    Obs.Json.String (Check.Runner.repro_text f))
+                  s.failures) );
+         ])
+  in
+  Alcotest.(check string) "runs are deterministic" (strip a) (strip b)
+
+(* --- injection: violations are caught and shrunk --------------------------- *)
+
+let test_injected_violation_caught_and_shrunk () =
+  (* Inject a skew-bound violation into every case; each must be caught
+     and shrink to a handful of sinks (the acceptance bar is <= 8). *)
+  let s = Check.fuzz ~inject:true ~cases:4 ~seed:1L () in
+  Alcotest.(check int) "every injected case fails" 4
+    (List.length s.failures);
+  List.iter
+    (fun (f : Check.Runner.failure) ->
+      let n = Instance.n_sinks f.shrunk in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d shrunk to %d sinks" f.case.index n)
+        true (n <= 8);
+      Alcotest.(check bool) "shrunk instance still fails" true
+        (f.shrunk_findings <> []);
+      let bound_violated =
+        List.exists
+          (fun (x : Check.Oracle.finding) ->
+            List.exists
+              (fun (v : Check.Audit.violation) ->
+                v.invariant = "within-bound")
+              x.violations)
+          f.shrunk_findings
+      in
+      Alcotest.(check bool) "skew bound violation reported" true
+        bound_violated)
+    s.failures
+
+(* --- auditor unit checks --------------------------------------------------- *)
+
+let test_audit_flags_broken_trees () =
+  let pt = Geometry.Pt.make in
+  let sink id x y group =
+    Sink.make ~id ~loc:(pt x y) ~cap:20. ~group
+  in
+  let s0 = sink 0 0. 0. 0 and s1 = sink 1 100. 0. 0 in
+  let inst = Instance.make ~source:(pt 0. 0.) ~n_groups:1 [| s0; s1 |] in
+  let node left right ~llen ~rlen =
+    Tree.Node { pos = pt 50. 0.; left; right; llen; rlen }
+  in
+  (* A short edge bypassing the Tree.node constructor. *)
+  let short =
+    Tree.route (pt 0. 0.) (node (Tree.Leaf s0) (Tree.Leaf s1) ~llen:10. ~rlen:50.)
+  in
+  let vs = Check.Audit.structure inst short in
+  Alcotest.(check bool) "short edge flagged" true
+    (List.exists
+       (fun (v : Check.Audit.violation) ->
+         v.invariant = "edge-covers-distance")
+       vs);
+  (* A duplicate leaf (sink 0 twice, sink 1 missing). *)
+  let dup =
+    Tree.route (pt 0. 0.) (node (Tree.Leaf s0) (Tree.Leaf s0) ~llen:50. ~rlen:50.)
+  in
+  let vs = Check.Audit.structure inst dup in
+  Alcotest.(check bool) "duplicate and missing sinks flagged" true
+    (List.length
+       (List.filter
+          (fun (v : Check.Audit.violation) -> v.invariant = "sink-coverage")
+          vs)
+     >= 2);
+  (* A report that lies about its wirelength. *)
+  let good =
+    Tree.route (pt 0. 0.) (node (Tree.Leaf s0) (Tree.Leaf s1) ~llen:50. ~rlen:50.)
+  in
+  let rep = Evaluate.run inst good in
+  let lying = { rep with Evaluate.wirelength = rep.Evaluate.wirelength +. 1. } in
+  Alcotest.(check bool) "wirelength lie flagged" true
+    (List.exists
+       (fun (v : Check.Audit.violation) ->
+         v.invariant = "wirelength-match")
+       (Check.Audit.semantics inst good lying))
+
+(* --- shrinker -------------------------------------------------------------- *)
+
+let test_shrinker_minimises () =
+  (* Failure predicate: some group holds two sinks further than 5000
+     apart.  The shrinker should cut everything else away. *)
+  let inst = (Check.Gen.case ~seed:3L ~index:0).instance in
+  let fails (i : Instance.t) =
+    let far = ref false in
+    Array.iter
+      (fun (a : Sink.t) ->
+        Array.iter
+          (fun (b : Sink.t) ->
+            if a.group = b.group && Geometry.Pt.dist a.loc b.loc > 5000. then
+              far := true)
+          i.sinks)
+      i.sinks;
+    !far
+  in
+  if fails inst then begin
+    let shrunk = Check.Shrink.run ~fails inst in
+    Alcotest.(check bool) "still fails" true (fails shrunk);
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk from %d to %d sinks" (Instance.n_sinks inst)
+         (Instance.n_sinks shrunk))
+      true
+      (Instance.n_sinks shrunk = 2)
+  end
+  else Alcotest.fail "seed 3 case 0 unexpectedly has no far pair"
+
+let test_with_sinks_renumbers () =
+  let inst = parse singleton_groups in
+  let kept =
+    List.filter
+      (fun (s : Sink.t) -> s.id = 1 || s.id = 3)
+      (Array.to_list inst.sinks)
+  in
+  match Check.Shrink.with_sinks inst kept with
+  | None -> Alcotest.fail "non-empty subset"
+  | Some sub ->
+    Alcotest.(check int) "two sinks" 2 (Instance.n_sinks sub);
+    Alcotest.(check int) "two groups" 2 sub.n_groups;
+    Alcotest.(check (array int)) "dense groups" [| 0; 1 |]
+      (Array.map (fun (s : Sink.t) -> s.group) sub.sinks);
+    (* Per-group bounds follow their groups through the renumbering. *)
+    Alcotest.(check (float 0.)) "group 1's bound survives" 10.
+      (Instance.bound_for sub 0);
+    Alcotest.(check (float 0.)) "group 3's bound survives" 50.
+      (Instance.bound_for sub 1)
+
+(* --- Io round-trip on fuzzed instances (satellite) ------------------------- *)
+
+let test_io_roundtrip_fuzzed () =
+  for index = 0 to 63 do
+    let case = Check.Gen.case ~seed:11L ~index in
+    let text = Io.to_string case.instance in
+    match Io.of_string text with
+    | Error e -> Alcotest.failf "case %d does not re-parse: %s" index e
+    | Ok inst' ->
+      (* print ∘ parse ∘ print = print, and every field survives exactly:
+         %.17g serialisation is lossless for finite doubles. *)
+      Alcotest.(check string)
+        (Printf.sprintf "case %d round-trips" index)
+        text (Io.to_string inst');
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d fields exact" index)
+        true
+        (case.instance.bound = inst'.bound
+        && case.instance.rd = inst'.rd
+        && case.instance.params = inst'.params
+        && case.instance.group_bounds = inst'.group_bounds
+        && Geometry.Pt.equal case.instance.source inst'.source
+        && case.instance.sinks = inst'.sinks)
+  done
+
+(* --- repair idempotence (satellite) ---------------------------------------- *)
+
+let check_second_repair_is_noop name inst (routed : Tree.routed) =
+  let repaired, stats = Repair.run inst routed in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: no second-pass wire (+%g)" name stats.added_wire)
+    true
+    (stats.added_wire = 0.);
+  Alcotest.(check int)
+    (Printf.sprintf "%s: no second-pass edge adjustments" name)
+    0 stats.adjusted_edges;
+  Alcotest.(check int)
+    (Printf.sprintf "%s: no second-pass lift sweeps" name)
+    0 stats.lift_iterations;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: tree unchanged" name)
+    true
+    (Check.Audit.tree_equal routed repaired)
+
+let test_repair_idempotent_fuzzed () =
+  for index = 0 to 31 do
+    let case = Check.Gen.case ~seed:5L ~index in
+    let r = Astskew.Router.ast_dme case.instance in
+    check_second_repair_is_noop
+      (Printf.sprintf "case %d (%s)" index
+         (Check.Gen.regime_to_string case.regime))
+      case.instance r.routed
+  done
+
+let test_repair_idempotent_r1_r3 () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Workload.Circuits.find name) in
+      let inst =
+        Workload.Circuits.instance spec ~n_groups:8
+          ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+      in
+      let r = Astskew.Router.ast_dme inst in
+      check_second_repair_is_noop name inst r.routed)
+    [ "r1"; "r2"; "r3" ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "frozen-cases",
+        List.map
+          (fun (name, text) ->
+            Alcotest.test_case name `Quick (test_frozen (name, text)))
+          frozen_cases );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_determinism;
+          Alcotest.test_case "regime shapes" `Quick
+            test_generator_regimes_shapes;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "fuzz smoke" `Slow test_fuzz_smoke;
+          Alcotest.test_case "replay + determinism" `Slow
+            test_replay_matches_run;
+          Alcotest.test_case "injected violation caught + shrunk" `Slow
+            test_injected_violation_caught_and_shrunk;
+        ] );
+      ( "audit",
+        [ Alcotest.test_case "flags broken trees" `Quick
+            test_audit_flags_broken_trees ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimises to the core" `Quick
+            test_shrinker_minimises;
+          Alcotest.test_case "with_sinks renumbers" `Quick
+            test_with_sinks_renumbers;
+        ] );
+      ( "io-roundtrip",
+        [ Alcotest.test_case "fuzzed instances" `Quick test_io_roundtrip_fuzzed ] );
+      ( "repair-idempotence",
+        [
+          Alcotest.test_case "fuzzed trees" `Slow test_repair_idempotent_fuzzed;
+          Alcotest.test_case "r1-r3" `Slow test_repair_idempotent_r1_r3;
+        ] );
+    ]

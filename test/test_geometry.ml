@@ -296,6 +296,87 @@ let prop_dist_pt_brute_force =
       (* closed form is a lower bound and within 2 grid pitches above *)
       d <= !best +. 1e-6 && !best <= d +. (2. *. pitch) +. 1e-6)
 
+(* Brute-force cross-check of the set-to-set distance: sample grids over
+   both octagons and compare the best sampled pair against the closed
+   form, which must bound from below and sit within the combined grid
+   pitch above. *)
+let prop_dist_brute_force =
+  QCheck.Test.make ~name:"dist matches brute force" ~count:60 arb_two_octs
+    (fun ((a, _), (b, _)) ->
+      let samples o =
+        let xr = Octagon.x_range o and yr = Octagon.y_range o in
+        let n = 12 in
+        let pts = ref [] in
+        for i = 0 to n do
+          for j = 0 to n do
+            let q =
+              pt
+                (xr.lo +. (Interval.width xr *. float_of_int i /. float_of_int n))
+                (yr.lo +. (Interval.width yr *. float_of_int j /. float_of_int n))
+            in
+            if Octagon.contains o q then pts := q :: !pts
+          done
+        done;
+        let pitch =
+          Float.max (Interval.width xr) (Interval.width yr) /. float_of_int n
+        in
+        (!pts, pitch)
+      in
+      let pa, pitch_a = samples a and pb, pitch_b = samples b in
+      let best = ref Float.infinity in
+      List.iter
+        (fun p -> List.iter (fun q -> best := Float.min !best (Pt.dist p q)) pb)
+        pa;
+      let d = Octagon.dist a b in
+      d <= !best +. 1e-6
+      && !best <= d +. (2. *. (pitch_a +. pitch_b)) +. 1e-6)
+
+let prop_inter_commutes =
+  QCheck.Test.make ~name:"intersection commutes" ~count:300 arb_two_octs
+    (fun ((a, _), (b, _)) ->
+      Octagon.equal (Octagon.inter a b) (Octagon.inter b a))
+
+let prop_dist_symmetric =
+  QCheck.Test.make ~name:"dist is symmetric" ~count:300 arb_two_octs
+    (fun ((a, _), (b, _)) ->
+      Float.abs (Octagon.dist a b -. Octagon.dist b a) <= 1e-9)
+
+(* Set distance obeys a triangle inequality once crossing the middle set
+   is paid for: d(A,C) <= d(A,B) + diam(B) + d(B,C). *)
+let prop_dist_triangle =
+  QCheck.Test.make ~name:"dist triangle inequality through a set" ~count:200
+    QCheck.(pair arb_two_octs arb_oct_with_pts)
+    (fun (((a, _), (c, _)), (b, _)) ->
+      Octagon.dist a c
+      <= Octagon.dist a b +. Octagon.diameter b +. Octagon.dist b c +. 1e-6)
+
+let gen_interval =
+  QCheck.Gen.(map2 (fun a b -> Interval.make (Float.min a b) (Float.max a b))
+                coord coord)
+
+let arb_three_intervals =
+  QCheck.make
+    ~print:(fun ((a : Interval.t), (b : Interval.t), (c : Interval.t)) ->
+      Printf.sprintf "[%g,%g] [%g,%g] [%g,%g]" a.lo a.hi b.lo b.hi c.lo c.hi)
+    QCheck.Gen.(triple gen_interval gen_interval gen_interval)
+
+let prop_interval_inter_commutes =
+  QCheck.Test.make ~name:"interval intersection commutes" ~count:300
+    arb_three_intervals (fun (a, b, _) ->
+      let i = Interval.inter a b and j = Interval.inter b a in
+      (Interval.is_empty i && Interval.is_empty j) || Interval.equal i j)
+
+let prop_interval_gap_symmetric =
+  QCheck.Test.make ~name:"interval gap is symmetric" ~count:300
+    arb_three_intervals (fun (a, b, _) ->
+      Float.abs (Interval.gap a b -. Interval.gap b a) <= 1e-9)
+
+let prop_interval_gap_triangle =
+  QCheck.Test.make ~name:"interval gap triangle through an interval"
+    ~count:300 arb_three_intervals (fun (a, b, c) ->
+      Interval.gap a c
+      <= Interval.gap a b +. Interval.width b +. Interval.gap b c +. 1e-9)
+
 let prop_hull_monotone =
   QCheck.Test.make ~name:"hull contains both operands" ~count:300 arb_two_octs
     (fun ((a, pas), (b, pbs)) ->
@@ -445,8 +526,19 @@ let () =
             prop_diameter;
             prop_vertices_inside;
             prop_dist_pt_brute_force;
+            prop_dist_brute_force;
+            prop_inter_commutes;
+            prop_dist_symmetric;
+            prop_dist_triangle;
             prop_hull_monotone;
             prop_translate_preserves_dist;
+          ] );
+      ( "interval-properties",
+        qsuite
+          [
+            prop_interval_inter_commutes;
+            prop_interval_gap_symmetric;
+            prop_interval_gap_triangle;
           ] );
       ( "grid-index",
         Alcotest.test_case "basic operations" `Quick test_grid_basic
