@@ -2,13 +2,18 @@
    and times the library's kernels with Bechamel.
 
    Usage: main.exe
-     [table1|table2|figures|spice|ablation|micro|cache|quick|all]
+     [table1|table2|figures|spice|ablation|micro|quick|all]
+     | cache [CIRCUIT...]
+     | par [CIRCUIT...]
      | fuzz [--cases N] [--seed S] [--inject] [--replay CASE]
    (default: all).  "quick" restricts the tables to r1-r3 for fast runs;
    "cache" (also run by "micro") compares the merge-trial cache off vs on
-   and writes BENCH_<circuit>.json stats files; "fuzz" runs the lib/check
-   property-based fuzzer, prints a JSON summary, and writes the shrunk
-   repro of any failure to FUZZ_REPRO.txt before exiting non-zero. *)
+   over r1-r5 (or the listed circuits), sweeps the engine's jobs knob,
+   and writes BENCH_<circuit>.json stats files; "par" prints just the
+   jobs sweep (speedup vs jobs in {1,2,4,cores}); "fuzz" runs the
+   lib/check property-based fuzzer, prints a JSON summary, and writes the
+   shrunk repro of any failure to FUZZ_REPRO.txt before exiting
+   non-zero. *)
 
 let bound = 10.
 
@@ -63,14 +68,102 @@ let table ~scheme ~title ~paper ~circuits () =
   print_vs_paper paper rows;
   rows
 
+(* --- Parallel ranking sweep (jobs in {1,2,4,cores}) ----------------------- *)
+
+let bench_instance (spec : Workload.Circuits.spec) =
+  Workload.Circuits.instance spec ~n_groups:8
+    ~scheme:Workload.Partition.Intermingled ~bound ()
+
+(* Routes the instance once per jobs value (AST-DME) and reports wall and
+   engine time plus the speedup relative to jobs=1.  The engine freezes
+   each round's state before probing, so every run must produce the same
+   tree; the sweep cross-checks evaluation metrics and trial stats. *)
+let par_sweep inst =
+  let cores = Domain.recommended_domain_count () in
+  let sweep = List.sort_uniq Int.compare [ 1; 2; 4; cores ] in
+  let runs =
+    List.map
+      (fun jobs ->
+        Obs.Report.reset ();
+        let t0 = Obs.Timer.now () in
+        let r = Astskew.Router.ast_dme ~jobs inst in
+        let wall = Obs.Timer.now () -. t0 in
+        (jobs, wall, r))
+      sweep
+  in
+  let _, base_wall, (base : Astskew.Router.result) = List.hd runs in
+  let same (a : Astskew.Router.result) (b : Astskew.Router.result) =
+    a.evaluation.wirelength = b.evaluation.wirelength
+    && a.evaluation.global_skew = b.evaluation.global_skew
+    && a.evaluation.max_group_skew = b.evaluation.max_group_skew
+    && a.engine.trial = b.engine.trial
+  in
+  let rows =
+    List.map
+      (fun (jobs, wall, (r : Astskew.Router.result)) ->
+        (jobs, wall, r.timings.engine_s, base_wall /. Float.max 1e-9 wall,
+         same base r))
+      runs
+  in
+  (cores, rows)
+
+let par_json (cores, rows) =
+  let open Obs.Json in
+  Obj
+    [
+      ("cores", Int cores);
+      ( "runs",
+        List
+          (List.map
+             (fun (jobs, wall, engine_s, speedup, identical) ->
+               Obj
+                 [
+                   ("jobs", Int jobs);
+                   ("wall_s", Float wall);
+                   ("engine_s", Float engine_s);
+                   ("speedup_vs_jobs1", Float speedup);
+                   ("identical_to_jobs1", Bool identical);
+                 ])
+             rows) );
+    ]
+
+let print_par_sweep name (cores, rows) =
+  List.iter
+    (fun (jobs, wall, engine_s, speedup, identical) ->
+      Format.printf "%-8s %5d %9.3f %9.3f %7.2fx %9s@." name jobs wall
+        engine_s speedup
+        (if identical then "ok" else "DIFFERS!"))
+    rows;
+  ignore cores
+
+let par_header () =
+  Format.printf "%-8s %5s %9s %9s %8s %9s@." "circuit" "jobs" "wall (s)"
+    "engine(s)" "speedup" "tree"
+
+let default_circuits = [ "r1"; "r2"; "r3"; "r4"; "r5" ]
+
+let par_bench ?(circuits = default_circuits) () =
+  header
+    (Printf.sprintf "Parallel ranking sweep (AST-DME, %d core%s)"
+       (Domain.recommended_domain_count ())
+       (if Domain.recommended_domain_count () = 1 then "" else "s"));
+  par_header ();
+  List.iter
+    (fun name ->
+      match Workload.Circuits.find name with
+      | None -> Format.eprintf "par bench: unknown circuit %S@." name
+      | Some spec -> print_par_sweep spec.name (par_sweep (bench_instance spec)))
+    circuits
+
 (* --- Merge-trial cache comparison + BENCH_*.json ------------------------- *)
 
 (* Routes each circuit with the trial cache off then on, checks the trees
-   agree, prints the speedup and writes one BENCH_<circuit>.json per
-   circuit with per-phase timings, cache counters and the full Obs
-   snapshot of each run.  These files are the machine-readable trajectory
-   future performance PRs are judged against. *)
-let cache_bench ?(circuits = [ "r1"; "r2"; "r3" ]) () =
+   agree, prints the speedup, sweeps the engine jobs knob, and writes one
+   BENCH_<circuit>.json per circuit with per-phase timings, cache
+   counters, the jobs sweep and the full Obs snapshot of each run.  These
+   files are the machine-readable trajectory future performance PRs are
+   judged against. *)
+let cache_bench ?(circuits = default_circuits) () =
   header "Merge-trial cache (AST-DME, cache off vs on)";
   Format.printf "%-8s %9s %9s %8s %11s %11s %7s@." "circuit" "off (s)"
     "on (s)" "speedup" "trials-off" "trials-on" "drop%";
@@ -79,10 +172,7 @@ let cache_bench ?(circuits = [ "r1"; "r2"; "r3" ]) () =
       match Workload.Circuits.find name with
       | None -> Format.eprintf "cache bench: unknown circuit %S@." name
       | Some spec ->
-        let inst =
-          Workload.Circuits.instance spec ~n_groups:8
-            ~scheme:Workload.Partition.Intermingled ~bound ()
-        in
+        let inst = bench_instance spec in
         let timed config =
           Obs.Report.reset ();
           let t0 = Obs.Timer.now () in
@@ -111,6 +201,7 @@ let cache_bench ?(circuits = [ "r1"; "r2"; "r3" ]) () =
         if not identical then
           Format.printf "  WARNING: %s cache-on tree differs from cache-off!@."
             spec.name;
+        let par = par_sweep inst in
         let run_json result elapsed snap =
           Obs.Json.Obj
             [
@@ -132,6 +223,7 @@ let cache_bench ?(circuits = [ "r1"; "r2"; "r3" ]) () =
               ("trial_merges_off", Obs.Json.Int trials_off);
               ("trial_merges_on", Obs.Json.Int trials_on);
               ("trial_drop_pct", Obs.Json.Float drop);
+              ("par", par_json par);
               ("cache_off", run_json r_off t_off snap_off);
               ("cache_on", run_json r_on t_on snap_on);
             ]
@@ -237,9 +329,10 @@ let fuzz args =
   let seed = ref 1L in
   let inject = ref false in
   let replay = ref None in
+  let regime = ref None in
   let usage () =
     Format.eprintf
-      "usage: fuzz [--cases N] [--seed S] [--inject] [--replay CASE]@.";
+      "usage: fuzz [--cases N] [--seed S] [--inject] [--replay CASE]        [--regime R]@.";
     exit 2
   in
   let rec parse = function
@@ -262,12 +355,21 @@ let fuzz args =
        | Some c when c >= 0 -> replay := Some c
        | _ -> usage ());
       parse rest
+    | "--regime" :: r :: rest ->
+      (* Only meaningful with --replay: forces the regime of the
+         replayed case (e.g. "huge" for a scaled par-identity case). *)
+      (match Check.Gen.regime_of_string r with
+       | Some r -> regime := Some r
+       | None -> usage ());
+      parse rest
     | _ -> usage ()
   in
   parse args;
   match !replay with
   | Some case ->
-    let findings = Check.replay ~inject:!inject ~seed:!seed ~case () in
+    let findings =
+      Check.replay ~inject:!inject ?regime:!regime ~seed:!seed ~case ()
+    in
     List.iter (Format.printf "%a@." Check.Oracle.pp_finding) findings;
     if findings <> [] then exit 1
   | None ->
@@ -299,8 +401,16 @@ let fuzz args =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let rest =
+    if Array.length Sys.argv > 2 then
+      Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    else []
+  in
+  let circuits_of rest =
+    match rest with [] -> None | cs -> Some cs
+  in
   if what = "fuzz" then begin
-    fuzz (List.tl (List.tl (Array.to_list Sys.argv)));
+    fuzz rest;
     exit 0
   end;
   let circuits quickly =
@@ -341,7 +451,8 @@ let () =
     header "Ablation (Section V.F)";
     Experiments.Ablation.print (Experiments.Ablation.run ())
   | "micro" -> micro ()
-  | "cache" -> cache_bench ()
+  | "cache" -> cache_bench ?circuits:(circuits_of rest) ()
+  | "par" -> par_bench ?circuits:(circuits_of rest) ()
   | "quick" ->
     run_tables true;
     header "Figures 1-5";
@@ -357,6 +468,6 @@ let () =
     micro ()
   | other ->
     Format.eprintf
-      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|quick|all)@."
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|quick|all)@."
       other;
     exit 1

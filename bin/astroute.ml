@@ -31,6 +31,15 @@ let seed_arg =
   let doc = "Override the deterministic placement seed." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the engine's merge ranking (1 = fully serial).      Defaults to the ASTSKEW_JOBS environment variable, else 1.  Routed      trees are bit-identical for any value; only wall time changes."
+  in
+  Arg.(
+    value
+    & opt int (Par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let algo_arg =
   let doc =
     "Algorithm: ast (AST-DME), ext (EXT-BST), zst (greedy-DME) or mmm      (fixed MMM topology)."
@@ -91,7 +100,7 @@ let print_result name (r : Astskew.Router.result) =
   Format.printf "%-11s %a@." name Astskew.Router.pp_result r
 
 let route_cmd =
-  let run circuit groups scheme bound seed algo file svg stats_json =
+  let run circuit groups scheme bound seed algo file svg stats_json jobs =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -99,10 +108,10 @@ let route_cmd =
     | Ok inst ->
       let result =
         match algo with
-        | "ast" -> Some ("AST-DME", Astskew.Router.ast_dme inst)
-        | "ext" -> Some ("EXT-BST", Astskew.Router.ext_bst inst)
-        | "zst" -> Some ("greedy-DME", Astskew.Router.greedy_dme inst)
-        | "mmm" -> Some ("MMM-DME", Astskew.Router.mmm_dme inst)
+        | "ast" -> Some ("AST-DME", Astskew.Router.ast_dme ~jobs inst)
+        | "ext" -> Some ("EXT-BST", Astskew.Router.ext_bst ~jobs inst)
+        | "zst" -> Some ("greedy-DME", Astskew.Router.greedy_dme ~jobs inst)
+        | "mmm" -> Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs inst)
         | _ -> None
       in
       (match result with
@@ -124,7 +133,7 @@ let route_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ algo_arg $ file_arg $ svg_arg $ stats_json_arg)
+      $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 
@@ -150,17 +159,17 @@ let gen_cmd =
       $ out)
 
 let compare_cmd =
-  let run circuit groups scheme bound seed file stats_json =
+  let run circuit groups scheme bound seed file stats_json jobs =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
       1
     | Ok inst ->
       Format.printf "%a@." Clocktree.Instance.pp inst;
-      let zst = Astskew.Router.greedy_dme inst in
-      let ext = Astskew.Router.ext_bst inst in
-      let mmm = Astskew.Router.mmm_dme inst in
-      let ast = Astskew.Router.ast_dme inst in
+      let zst = Astskew.Router.greedy_dme ~jobs inst in
+      let ext = Astskew.Router.ext_bst ~jobs inst in
+      let mmm = Astskew.Router.mmm_dme ~jobs inst in
+      let ast = Astskew.Router.ast_dme ~jobs inst in
       print_result "greedy-DME" zst;
       print_result "EXT-BST" ext;
       print_result "MMM-DME" mmm;
@@ -181,7 +190,7 @@ let compare_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ file_arg $ stats_json_arg)
+      $ file_arg $ stats_json_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all routers on one instance.") term
 

@@ -12,7 +12,11 @@ type regime =
   | Tiny_groups
   | Extreme_rc
   | Zero_bound
+  | Huge
 
+(* [Huge] is deliberately absent: instances of hundreds to ~1500 sinks
+   are far too slow for the full oracle battery that every cycled case
+   runs.  The runner samples it separately at a reduced rate. *)
 let all_regimes =
   [|
     Uniform;
@@ -34,9 +38,12 @@ let regime_to_string = function
   | Tiny_groups -> "tiny-groups"
   | Extreme_rc -> "extreme-rc"
   | Zero_bound -> "zero-bound"
+  | Huge -> "huge"
 
 let regime_of_string s =
-  Array.find_opt (fun r -> regime_to_string r = s) all_regimes
+  List.find_opt
+    (fun r -> regime_to_string r = s)
+    (Huge :: Array.to_list all_regimes)
 
 type case = {
   seed : int64;
@@ -179,6 +186,23 @@ let zero_bound rng =
   finish rng ?group_bounds ~die ~bound:0. ~n_groups locs (default_caps rng n)
     groups
 
+(* Benchmark-scale instances (hundreds to ~1500 sinks, r4/r5 territory):
+   wide enough to exercise many-round multi-merge scheduling and the
+   parallel ranking path on realistically deep merge trees.  Bounds stay
+   >= 5 ps — zero-bound stress at this scale belongs to [Zero_bound]. *)
+let huge rng =
+  let die = 100000. in
+  let n = 200 + Rng.int rng 1301 in
+  let n_groups = 4 + Rng.int rng 13 in
+  let locs = Array.init n (fun _ -> Pt.make (coord rng ~die) (coord rng ~die)) in
+  let scheme =
+    if Rng.bool rng then Workload.Partition.Intermingled
+    else Workload.Partition.Clustered
+  in
+  let groups = Workload.Partition.assign scheme (Rng.split rng) ~die ~n_groups locs in
+  let bound = Rng.choice rng [| 5.; 10.; 25. |] in
+  finish rng ~die ~bound ~n_groups locs (default_caps rng n) groups
+
 let instance rng regime =
   match regime with
   | Uniform -> uniform rng ~scheme:None
@@ -189,10 +213,15 @@ let instance rng regime =
   | Tiny_groups -> tiny_groups rng
   | Extreme_rc -> extreme_rc rng
   | Zero_bound -> zero_bound rng
+  | Huge -> huge rng
 
-let case ~seed ~index =
+let case ?regime ~seed ~index () =
   (* Each case draws from its own generator state so cases are
      independent of each other and of the order they run in. *)
   let rng = Rng.create (Int64.add seed (Int64.of_int (0x10001 * index))) in
-  let regime = all_regimes.(index mod Array.length all_regimes) in
+  let regime =
+    match regime with
+    | Some r -> r
+    | None -> all_regimes.(index mod Array.length all_regimes)
+  in
   { seed; index; regime; instance = instance rng regime }

@@ -15,7 +15,13 @@ type regime =
   | Tiny_groups  (** many degenerate groups of 1-3 sinks *)
   | Extreme_rc  (** extreme unit RC, driver resistance and load caps *)
   | Zero_bound  (** zero or mixed per-group skew bounds *)
+  | Huge
+      (** benchmark-scale instances (200 to ~1500 sinks).  Too slow for
+          the full oracle battery, so it is excluded from
+          {!all_regimes}; {!Runner.run} samples it separately against
+          the parallel-identity oracle only. *)
 
+(** The regimes cycled by index in {!case} — everything except [Huge]. *)
 val all_regimes : regime array
 val regime_to_string : regime -> string
 val regime_of_string : string -> regime option
@@ -29,8 +35,10 @@ type case = {
 }
 
 (** Deterministically rebuild case [index] of a run started from [seed].
-    The regime cycles through {!all_regimes} by index. *)
-val case : seed:int64 -> index:int -> case
+    The regime cycles through {!all_regimes} by index unless [regime]
+    forces one (the generator stream depends only on [(seed, index)], so
+    a forced regime is exactly as reproducible). *)
+val case : ?regime:regime -> seed:int64 -> index:int -> unit -> case
 
 (** Sample one instance of the given regime from the generator state. *)
 val instance : Workload.Rng.t -> regime -> Clocktree.Instance.t

@@ -133,6 +133,40 @@ let cache_identity inst =
           :: !diff;
       List.rev !diff)
 
+(* --- parallel ranking bit-identity ---------------------------------------- *)
+
+let par_identity ?(jobs = [ 2; 4 ]) inst =
+  guard "par-identity" (fun () ->
+      let serial = Router.ast_dme ~jobs:1 inst in
+      let check j =
+        let par = Router.ast_dme ~jobs:j inst in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff := { Audit.invariant = "par-identity"; detail } :: !diff)
+            fmt
+        in
+        if not (Audit.tree_equal serial.routed par.routed) then
+          add "jobs=%d tree differs structurally from jobs=1" j;
+        Array.iteri
+          (fun i d ->
+            if d <> par.evaluation.delays.(i) then
+              add "jobs=%d sink %d delay: serial %.17g, parallel %.17g" j i d
+                par.evaluation.delays.(i))
+          serial.evaluation.delays;
+        if serial.evaluation.wirelength <> par.evaluation.wirelength then
+          add "jobs=%d wirelength: serial %.17g, parallel %.17g" j
+            serial.evaluation.wirelength par.evaluation.wirelength;
+        (* Stats equality is stricter than tree equality: it proves the
+           workers' trial merges and cache traffic were exactly the
+           serial ones, i.e. scheduling never leaked into the cache. *)
+        if serial.engine.trial <> par.engine.trial then
+          add "jobs=%d trial stats differ from jobs=1" j;
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
 (* --- Elmore vs transient ------------------------------------------------- *)
 
 let delay_models ?(resolution = 300) inst =
@@ -218,7 +252,8 @@ let delay_models ?(resolution = 300) inst =
       List.rev !out)
 
 let all ?(inject = false) inst =
-  routers ~inject inst @ cache_identity inst @ delay_models inst
+  routers ~inject inst @ cache_identity inst @ par_identity inst
+  @ delay_models inst
 
 let reproduces ?inject ~of_run inst =
   let names = List.map (fun f -> f.oracle) of_run in

@@ -10,6 +10,9 @@
       instances no router dominates another in general.
     - {!cache_identity}: the trial-merge cache is semantically inert —
       AST-DME with [trial_cache] off and on produce identical trees.
+    - {!par_identity}: parallel cost ranking is deterministic — AST-DME
+      with [jobs] > 1 produces the exact tree, sink delays, wirelength
+      {e and} trial-cache statistics of the serial [jobs = 1] run.
     - {!delay_models}: Elmore and backward-Euler transient 50%-crossing
       delays agree on the routed RC tree wherever an exact relation
       exists: every sink crosses, no crossing exceeds its Elmore delay
@@ -35,6 +38,12 @@ val pp_finding : Format.formatter -> finding -> unit
 
 val routers : ?inject:bool -> Clocktree.Instance.t -> finding list
 val cache_identity : Clocktree.Instance.t -> finding list
+
+(** Route with [jobs = 1] then with each entry of [jobs] (default
+    [[2; 4]]) and report any difference in tree structure, per-sink
+    delays, wirelength or trial-merge statistics. *)
+val par_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
 val delay_models : ?resolution:int -> Clocktree.Instance.t -> finding list
 
 (** Every oracle in sequence; the empty list means the case passed.

@@ -8,6 +8,7 @@ type failure = {
 type summary = {
   seed : int64;
   cases : int;
+  scaled_cases : int;
   passed : int;
   failures : failure list;
   elapsed_s : float;
@@ -25,13 +26,36 @@ let check ?inject (case : Gen.case) =
     let shrunk_findings = Oracle.all ?inject shrunk in
     Some { case; findings; shrunk; shrunk_findings }
 
+(* Huge cases run (and shrink against) the parallel-identity oracle
+   alone: the full battery would take minutes per 1500-sink instance,
+   and scale only stresses the parallel ranking path anyway. *)
+let check_huge (case : Gen.case) =
+  match Oracle.par_identity case.instance with
+  | [] -> None
+  | findings ->
+    let fails inst = Oracle.par_identity inst <> [] in
+    let shrunk = Shrink.run ~fails case.instance in
+    let shrunk_findings = Oracle.par_identity shrunk in
+    Some { case; findings; shrunk; shrunk_findings }
+
 let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
   let t0 = Obs.Timer.now () in
   let failures = ref [] in
   for index = 0 to cases - 1 do
-    let case = Gen.case ~seed ~index in
+    let case = Gen.case ~seed ~index () in
     progress case;
     match check ?inject case with
+    | None -> ()
+    | Some failure -> failures := failure :: !failures
+  done;
+  (* One benchmark-scale par-identity case per 25 ordinary ones, at
+     indices just past the ordinary range so repros stay addressable as
+     (seed, index, Huge). *)
+  let scaled_cases = cases / 25 in
+  for k = 0 to scaled_cases - 1 do
+    let case = Gen.case ~regime:Gen.Huge ~seed ~index:(cases + k) () in
+    progress case;
+    match check_huge case with
     | None -> ()
     | Some failure -> failures := failure :: !failures
   done;
@@ -39,13 +63,17 @@ let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
   {
     seed;
     cases;
-    passed = cases - List.length failures;
+    scaled_cases;
+    passed = cases + scaled_cases - List.length failures;
     failures;
     elapsed_s = Obs.Timer.now () -. t0;
   }
 
-let replay ?inject ~seed ~case () =
-  Oracle.all ?inject (Gen.case ~seed ~index:case).instance
+let replay ?inject ?regime ~seed ~case () =
+  let c = Gen.case ?regime ~seed ~index:case () in
+  match c.regime with
+  | Gen.Huge -> Oracle.par_identity c.instance
+  | _ -> Oracle.all ?inject c.instance
 
 let ok s = s.failures = []
 
@@ -83,6 +111,7 @@ let json_of_summary s =
     [
       ("seed", String (Int64.to_string s.seed));
       ("cases", Int s.cases);
+      ("scaled_cases", Int s.scaled_cases);
       ("passed", Int s.passed);
       ("failed", Int (List.length s.failures));
       ("elapsed_s", Float s.elapsed_s);
@@ -94,7 +123,8 @@ let repro_text f =
   Printf.bprintf b "# fuzz failure: seed %Ld case %d regime %s\n"
     f.case.seed f.case.index
     (Gen.regime_to_string f.case.regime);
-  Printf.bprintf b "# replay: Check.replay ~seed:%LdL ~case:%d ()\n"
+  Printf.bprintf b "# replay: Check.replay%s ~seed:%LdL ~case:%d ()\n"
+    (if f.case.regime = Gen.Huge then " ~regime:Check.Gen.Huge" else "")
     f.case.seed f.case.index;
   List.iter
     (fun (x : Oracle.finding) ->

@@ -2,13 +2,18 @@
 
     [run ~cases ~seed ()] replays cases [0 .. cases-1] of the
     deterministic stream identified by [seed], runs every oracle on each
-    instance, and greedily shrinks any failure to a minimal repro.  The
-    summary is printable as JSON ({!json_of_summary}); a failing case's
-    shrunk instance is serialised with {!Clocktree.Io} so it can be
-    frozen as a regression test ({!repro_text}).
+    instance, and greedily shrinks any failure to a minimal repro.  It
+    then appends [cases / 25] benchmark-scale {!Gen.Huge} cases (indices
+    [cases ..]) checked against {!Oracle.par_identity} alone — the full
+    battery is far too slow at 1500 sinks.  The summary is printable as
+    JSON ({!json_of_summary}); a failing case's shrunk instance is
+    serialised with {!Clocktree.Io} so it can be frozen as a regression
+    test ({!repro_text}).
 
     [replay ~seed ~case ()] re-runs a single printed case — the entry
-    point to paste from a failing CI log. *)
+    point to paste from a failing CI log.  Pass [~regime:Gen.Huge] to
+    replay a scaled case (huge replays run the par-identity oracle
+    only, matching the original check). *)
 
 type failure = {
   case : Gen.case;
@@ -19,7 +24,8 @@ type failure = {
 
 type summary = {
   seed : int64;
-  cases : int;
+  cases : int;  (** ordinary cases (regimes cycled by index) *)
+  scaled_cases : int;  (** appended {!Gen.Huge} par-identity cases *)
   passed : int;
   failures : failure list;
   elapsed_s : float;
@@ -33,7 +39,13 @@ val run :
   unit ->
   summary
 
-val replay : ?inject:bool -> seed:int64 -> case:int -> unit -> Oracle.finding list
+val replay :
+  ?inject:bool ->
+  ?regime:Gen.regime ->
+  seed:int64 ->
+  case:int ->
+  unit ->
+  Oracle.finding list
 
 val ok : summary -> bool
 val json_of_summary : summary -> Obs.Json.t

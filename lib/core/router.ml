@@ -56,6 +56,15 @@ let solve_with ~plan ~route_inst ~eval_inst () =
 let solve ?config ~route_inst ~eval_inst () =
   solve_with ~plan:(Dme.Engine.run ?config) ~route_inst ~eval_inst ()
 
+(* [jobs] overrides the engine parallelism of [config] (or of [default]
+   when no config was given); routed trees are jobs-invariant, so this
+   only affects wall time. *)
+let with_jobs ?jobs ~default config =
+  let config = Option.value config ~default in
+  match jobs with
+  | None -> config
+  | Some j -> { config with Dme.Engine.jobs = j }
+
 (* AST-DME ships with the §V.F delay-target merge order on (it prevents
    late deep-vs-shallow shared-group merges that would need heavy
    snaking); the baselines use the plain nearest-neighbour order of
@@ -63,7 +72,8 @@ let solve ?config ~route_inst ~eval_inst () =
 let ast_default_config =
   { Dme.Engine.default with delay_order_weight = 400. }
 
-let ast_dme ?(config = ast_default_config) inst =
+let ast_dme ?config ?jobs inst =
+  let config = with_jobs ?jobs ~default:ast_default_config config in
   solve ~config ~route_inst:inst ~eval_inst:inst ()
 
 (* Fuse all groups into one: intra-group bound becomes a global bound;
@@ -81,13 +91,16 @@ let fused ?bound (inst : Instance.t) =
     ~bound:(Option.value bound ~default)
     ~source:inst.source ~n_groups:1 sinks
 
-let ext_bst ?config inst =
-  solve ?config ~route_inst:(fused inst) ~eval_inst:inst ()
+let ext_bst ?config ?jobs inst =
+  let config = with_jobs ?jobs ~default:Dme.Engine.default config in
+  solve ~config ~route_inst:(fused inst) ~eval_inst:inst ()
 
-let greedy_dme ?config inst =
-  solve ?config ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
+let greedy_dme ?config ?jobs inst =
+  let config = with_jobs ?jobs ~default:Dme.Engine.default config in
+  solve ~config ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
 
-let mmm_dme ?(config = ast_default_config) inst =
+let mmm_dme ?config ?jobs inst =
+  let config = with_jobs ?jobs ~default:ast_default_config config in
   solve_with ~plan:(Dme.Mmm.run ~config) ~route_inst:inst ~eval_inst:inst ()
 
 let reduction ~baseline result =

@@ -34,14 +34,28 @@ type result = {
     plus the §V.F delay-target merge order. *)
 val ast_default_config : Dme.Engine.config
 
-val ast_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
-val ext_bst : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
-val greedy_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
+(** Each router takes an optional [jobs] override for the engine's
+    ranking parallelism (see {!Dme.Engine.config}); it wins over both
+    [config.jobs] and the [ASTSKEW_JOBS] environment default.  Routed
+    trees are bit-identical for any [jobs], so the knob only affects
+    wall time. *)
+
+val ast_dme :
+  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
+
+val ext_bst :
+  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
+
+val greedy_dme :
+  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
 
 (** Associative-skew routing on a fixed Method-of-Means-and-Medians
     topology instead of the greedy merge order; a second baseline that
-    isolates how much the merge order contributes. *)
-val mmm_dme : ?config:Dme.Engine.config -> Clocktree.Instance.t -> result
+    isolates how much the merge order contributes.  The MMM engine never
+    trial-merges, so [jobs] is accepted for interface uniformity but has
+    no effect. *)
+val mmm_dme :
+  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
 
 (** Wirelength reduction of [vs] relative to [baseline], as a fraction
     (the "Reduction" column of Tables I and II).  [0.] when the baseline

@@ -10,6 +10,7 @@ type config = {
   cost_by_planned_wire : bool;
   avoid_infeasible : bool;
   trial_cache : bool;
+  jobs : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     cost_by_planned_wire = false;
     avoid_infeasible = true;
     trial_cache = true;
+    jobs = Par.Pool.default_jobs ();
   }
 
 type trial_stats = {
@@ -72,6 +74,21 @@ type trial_cell = {
   mutable rev : Merge.result option;
 }
 
+(* Side results of one ranking probe, carried back to the main domain:
+   trials the probe had to run itself (found neither in the round-start
+   cache snapshot nor elided) plus its cache-counter deltas.  The cache
+   is frozen while probes run, so a probe's note is a pure function of
+   its subtree and the round-start state — identical for any jobs count,
+   and identical to what the pre-parallel serial code observed (within a
+   round no two probes ever evaluate the same pair orientation, so
+   installing trials at round end loses no hits). *)
+type note = {
+  fresh : (Subtree.t * Subtree.t * Merge.result) list;
+  n_trials : int;
+  n_hits : int;
+  n_elided : int;
+}
+
 let run ?(config = default) inst =
   let same_group = ref 0 in
   let cross_group = ref 0 in
@@ -88,15 +105,6 @@ let run ?(config = default) inst =
     Merge.run inst ~slack_usage:config.slack_usage
       ~split_slack:config.split_slack ~width_cap:config.width_cap
       ~sdr_samples:config.sdr_samples ~id a b
-  in
-  (* A trial merge probes a candidate pair for the cost ranking; its
-     result is a pure function of the two subtrees, so it can be
-     memoized and later promoted to the committed merge (the subtree id
-     is the only difference). *)
-  let run_trial a b =
-    incr trial_merges;
-    Obs.Counter.incr c_trials;
-    run_merge ~id:(-1) a b
   in
   let cache : (int * int, trial_cell) Hashtbl.t = Hashtbl.create 1024 in
   (* Keys each live subtree participates in, for eviction.  Subtree ids
@@ -138,20 +146,72 @@ let run ?(config = default) inst =
     in
     if forward then cell.fwd <- Some r else cell.rev <- Some r
   in
-  let trial a b =
-    if not config.trial_cache then run_trial a b
-    else
-      match lookup a b with
+  (* One ranking probe's cost evaluator.  A trial merge probes a
+     candidate pair; its result is a pure function of the two subtrees,
+     so it can be answered from the (frozen) cache, elided outright for
+     cross-group pairs, or run fresh — in which case the result rides
+     back in the note for the main domain to install.  Shared state is
+     only read here, making the session safe on worker domains. *)
+  let session () =
+    let fresh = ref [] in
+    let n_trials = ref 0 and n_hits = ref 0 and n_elided = ref 0 in
+    let trial a b =
+      match if config.trial_cache then lookup a b else None with
       | Some r ->
-        incr hits;
-        Obs.Counter.incr c_hits;
+        incr n_hits;
         r
       | None ->
-        incr misses;
-        Obs.Counter.incr c_misses;
-        let r = run_trial a b in
-        store a b r;
+        incr n_trials;
+        let r = run_merge ~id:(-1) a b in
+        if config.trial_cache then fresh := (a, b, r) :: !fresh;
         r
+    in
+    let cost (a : Subtree.t) (b : Subtree.t) =
+      let dist = Geometry.Octagon.dist a.region b.region in
+      if config.cost_by_planned_wire || config.avoid_infeasible then begin
+        if config.trial_cache && Subtree.shared_groups a b = [] then begin
+          (* Cross-group fast path: an unconstrained merge is always
+             feasible and its planned wire is exactly the region distance
+             (Merge.merge_cross), so the trial's only two cost-relevant
+             outputs are known without running it. *)
+          incr n_elided;
+          dist
+        end
+        else begin
+          let t = trial a b in
+          let base =
+            if config.cost_by_planned_wire then t.planned_wire else dist
+          in
+          (* An infeasible pair (mutually inconsistent shared-group
+             offsets, the thesis' Instance 2) is merged only as a last
+             resort. *)
+          if config.avoid_infeasible && not t.feasible then base +. 1e9
+          else base
+        end
+      end
+      else dist
+    in
+    ( cost,
+      fun () ->
+        {
+          fresh = List.rev !fresh;
+          n_trials = !n_trials;
+          n_hits = !n_hits;
+          n_elided = !n_elided;
+        } )
+  in
+  let absorb note =
+    trial_merges := !trial_merges + note.n_trials;
+    Obs.Counter.add c_trials note.n_trials;
+    if config.trial_cache then begin
+      hits := !hits + note.n_hits;
+      Obs.Counter.add c_hits note.n_hits;
+      misses := !misses + note.n_trials;
+      Obs.Counter.add c_misses note.n_trials;
+      elided := !elided + note.n_elided;
+      Obs.Counter.add c_elided note.n_elided;
+      List.iter (fun (a, b, r) -> store a b r) note.fresh
+    end
   in
   let merge ~id (a : Subtree.t) (b : Subtree.t) =
     let result =
@@ -178,32 +238,6 @@ let run ?(config = default) inst =
     end;
     result.subtree
   in
-  let cost (a : Subtree.t) (b : Subtree.t) =
-    let dist = Geometry.Octagon.dist a.region b.region in
-    if config.cost_by_planned_wire || config.avoid_infeasible then begin
-      if config.trial_cache && Subtree.shared_groups a b = [] then begin
-        (* Cross-group fast path: an unconstrained merge is always
-           feasible and its planned wire is exactly the region distance
-           (Merge.merge_cross), so the trial's only two cost-relevant
-           outputs are known without running it. *)
-        incr elided;
-        Obs.Counter.incr c_elided;
-        dist
-      end
-      else begin
-        let t = trial a b in
-        let base =
-          if config.cost_by_planned_wire then t.planned_wire else dist
-        in
-        (* An infeasible pair (mutually inconsistent shared-group
-           offsets, the thesis' Instance 2) is merged only as a last
-           resort. *)
-        if config.avoid_infeasible && not t.feasible then base +. 1e9
-        else base
-      end
-    end
-    else dist
-  in
   let order_config =
     Order.
       {
@@ -213,7 +247,16 @@ let run ?(config = default) inst =
         delay_order_weight = config.delay_order_weight;
       }
   in
-  let root, rounds = Order.run inst order_config ~cost ~merge in
+  let jobs = Int.max 1 config.jobs in
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  let root, rounds =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+      (fun () ->
+        Order.run_ranked ?pool inst order_config
+          ~coster:{ Order.session; absorb }
+          ~merge)
+  in
   let routed = Embed.run inst root in
   ( routed,
     {

@@ -37,6 +37,15 @@ type config = {
           rounds, and the winning pair's committed merge reuses its own
           trial.  Routed trees are bit-identical with the cache on or
           off; off exists for benchmarking and as a paranoia switch *)
+  jobs : int;
+      (** domains used for the per-round candidate ranking (nearest
+          neighbour probes and their trial merges); 1 = fully serial.
+          Routed trees and engine stats are bit-identical for any value:
+          probes run against frozen round-start state, side results are
+          absorbed in a fixed order on the main domain, and merges
+          commit serially (see {!Order}).  The default is the
+          [ASTSKEW_JOBS] environment variable, else 1
+          ({!Par.Pool.default_jobs}) *)
 }
 
 val default : config

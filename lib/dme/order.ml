@@ -12,11 +12,19 @@ type config = {
 let default =
   { multi_merge = true; merge_fraction = 0.5; knn = 16; delay_order_weight = 0. }
 
+type 'note coster = {
+  session : unit -> (Subtree.t -> Subtree.t -> float) * (unit -> 'note);
+  absorb : 'note -> unit;
+}
+
+let of_cost cost = { session = (fun () -> (cost, fun () -> ())); absorb = ignore }
+
 let c_probes = Obs.Counter.make "dme.order.nn_probes"
 let c_pairs = Obs.Counter.make "dme.order.pairs_ranked"
 let c_rounds = Obs.Counter.make "dme.order.rounds"
 
-let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
+let run_ranked ?pool (inst : Clocktree.Instance.t) config
+    ~(coster : 'note coster) ~merge =
   let n = Clocktree.Instance.n_sinks inst in
   (* A non-positive knn would make every k-NN query return [] and stall
      the pairing loop below; clamp rather than crash. *)
@@ -50,8 +58,11 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
   in
   (* Cheapest merge partner of [s] among the grid candidates (grid
      ranking is by representative point, so probe several candidates and
-     refine with the true merging cost). *)
-  let nearest_neighbor (s : Subtree.t) =
+     refine with the true merging cost).  Runs on worker domains during
+     a parallel round: [active], [centers] and [grid] are only read, and
+     the candidate order plus the explicit lowest-id tie-break make the
+     winner independent of evaluation order. *)
+  let nearest_neighbor ~cost (s : Subtree.t) =
     Obs.Counter.incr c_probes;
     let c = Hashtbl.find centers s.id in
     let skip id = id = s.id in
@@ -70,16 +81,18 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
     in
     List.fold_left
       (fun best (_, _, (t : Subtree.t)) ->
-        let d = merge_cost s t in
+        let d = cost s t in
         match best with
-        | Some (_, bd) when bd <= d -> best
+        | Some ((bt : Subtree.t), bd)
+          when bd < d || (bd = d && bt.id < t.id) ->
+          best
         | _ -> Some (t, d))
       None candidates
   in
   (* Deep subtrees have small delay targets; merging shallow pairs first
      (Chaturvedi-Hu) keeps depths homogeneous and avoids late merges that
      must snake to match a buried group's delay. *)
-  let cost (a : Subtree.t) (b : Subtree.t) d =
+  let biased (a : Subtree.t) (b : Subtree.t) d =
     let depth_bias =
       if config.delay_order_weight = 0. then 0.
       else
@@ -87,6 +100,32 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
         config.delay_order_weight *. ((ha.hi +. hb.hi) /. 2.)
     in
     d +. depth_bias
+  in
+  (* One probe = one coster session: the returned note carries whatever
+     side results (e.g. freshly run trial merges) the cost function
+     produced, to be absorbed on the main domain in snapshot order. *)
+  let probe (s : Subtree.t) =
+    let cost, finish = coster.session () in
+    let best = nearest_neighbor ~cost s in
+    (best, finish ())
+  in
+  let snapshot () =
+    let arr =
+      Array.of_list (Hashtbl.fold (fun _ s acc -> s :: acc) active [])
+    in
+    Array.sort
+      (fun (a : Subtree.t) (b : Subtree.t) -> Int.compare a.id b.id)
+      arr;
+    arr
+  in
+  (* The same unordered pair can be proposed by both endpoints with
+     slightly different costs (trial orientation asymmetry); keep only
+     the cheapest proposal per pair.  Input: sorted by (i, j, cost). *)
+  let rec dedupe = function
+    | ((_, i1, j1) as p) :: (_, i2, j2) :: rest when i1 = i2 && j1 = j2 ->
+      dedupe (p :: rest)
+    | p :: rest -> p :: dedupe rest
+    | [] -> []
   in
   let rounds = ref 0 in
   let rec loop () =
@@ -98,24 +137,45 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
     else begin
       incr rounds;
       Obs.Counter.incr c_rounds;
-      let pairs =
-        Hashtbl.fold
-          (fun _ s acc ->
-            match nearest_neighbor s with
-            | None -> acc
-            | Some (t, d) ->
-              let i = Int.min s.Subtree.id t.Subtree.id
-              and j = Int.max s.Subtree.id t.Subtree.id in
-              (cost s t d, i, j) :: acc)
-          active []
+      (* Rank in three strictly separated phases so the routed tree is
+         bit-identical for any jobs count: (1) probe every active
+         subtree against the frozen grid/cache state — in parallel
+         chunks when a pool is given; (2) absorb the probes' side
+         results on this domain in snapshot (ascending-id) order;
+         (3) sort, dedupe and commit merges serially. *)
+      let snap = snapshot () in
+      let probes =
+        match pool with
+        | Some pool -> Par.Pool.map_chunked pool probe snap
+        | None -> Array.map probe snap
       in
+      let pairs = ref [] in
+      Array.iteri
+        (fun idx (best, note) ->
+          coster.absorb note;
+          match best with
+          | None -> ()
+          | Some ((t : Subtree.t), d) ->
+            let s = snap.(idx) in
+            let i = Int.min s.Subtree.id t.id and j = Int.max s.Subtree.id t.id in
+            pairs := (biased s t d, i, j) :: !pairs)
+        probes;
       let pairs =
-        List.sort_uniq
+        List.sort
           (fun (c1, i1, j1) (c2, i2, j2) ->
-            match Float.compare c1 c2 with
-            | 0 -> (match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
+            match Int.compare i1 i2 with
+            | 0 ->
+              (match Int.compare j1 j2 with
+               | 0 -> Float.compare c1 c2
+               | c -> c)
             | c -> c)
-          pairs
+          !pairs
+        |> dedupe
+        |> List.sort (fun (c1, i1, j1) (c2, i2, j2) ->
+               match Float.compare c1 c2 with
+               | 0 ->
+                 (match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
+               | c -> c)
       in
       Obs.Counter.add c_pairs (List.length pairs);
       let limit =
@@ -165,3 +225,6 @@ let run (inst : Clocktree.Instance.t) config ~cost:merge_cost ~merge =
   in
   let root = loop () in
   (root, !rounds)
+
+let run inst config ~cost ~merge =
+  run_ranked inst config ~coster:(of_cost cost) ~merge

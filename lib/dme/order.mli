@@ -2,9 +2,15 @@
     multi-merge rounds (§V.F enhancement 1) and optional delay-target
     biasing (§V.F enhancement 2).
 
-    Each round computes, for every active subtree, its nearest neighbour
-    by exact region distance among the [knn] grid candidates, sorts the
-    candidate pairs by cost and greedily merges a disjoint prefix. *)
+    Each round snapshots the active subtrees sorted by id, computes every
+    subtree's cheapest merge partner among its [knn] grid candidates —
+    in parallel chunks when a {!Par.Pool} is supplied — then sorts the
+    candidate pairs by cost (deduplicating the two proposals of an
+    unordered pair down to the cheaper one) and greedily merges a
+    disjoint prefix.  Probing is read-only with respect to every shared
+    structure and the partner choice tie-breaks on the lowest subtree id,
+    so the selected merges — and hence the routed tree — are bit-identical
+    for any jobs count. *)
 
 type config = {
   multi_merge : bool;
@@ -19,13 +25,41 @@ type config = {
 
 val default : config
 
-(** [run inst config ~cost ~merge] reduces the sink set to one subtree,
-    calling [merge ~id a b] for every selected pair.  [cost a b] is the
-    merging cost used to rank candidate pairs — typically the planned
+(** How ranking evaluates merge costs.  [session] is called once per
+    nearest-neighbour probe — on a worker domain during parallel rounds —
+    and returns the cost function for that probe plus a finisher whose
+    ['note] carries any side results the probe produced (for the DME
+    engine: freshly executed trial merges and cache-counter deltas).
+    The cost function must not mutate shared state; [absorb] is called
+    for every probe's note on the calling domain, in ascending subtree-id
+    order, before any merge of the round is committed. *)
+type 'note coster = {
+  session : unit -> (Subtree.t -> Subtree.t -> float) * (unit -> 'note);
+  absorb : 'note -> unit;
+}
+
+(** Wrap a pure, self-contained cost function (no side results). *)
+val of_cost : (Subtree.t -> Subtree.t -> float) -> unit coster
+
+(** [run_ranked ?pool inst config ~coster ~merge] reduces the sink set to
+    one subtree, calling [merge ~id a b] on the calling domain for every
+    selected pair.  With [pool], candidate probing runs on the pool's
+    domains; results are deterministic and identical to the serial run.
+    Returns the final subtree and the number of rounds executed. *)
+val run_ranked :
+  ?pool:Par.Pool.t ->
+  Clocktree.Instance.t ->
+  config ->
+  coster:'note coster ->
+  merge:(id:int -> Subtree.t -> Subtree.t -> Subtree.t) ->
+  Subtree.t * int
+
+(** [run inst config ~cost ~merge] is {!run_ranked} without a pool over
+    {!of_cost}[ cost]: the serial interface used by tests and simple
+    callers.  [cost a b] ranks candidate pairs — typically the planned
     wire of a trial merge, so partners that merge without snaking (e.g.
     cross-group neighbours) are preferred over equally close partners
-    that would require balancing wire.  Returns the final subtree and
-    the number of rounds executed. *)
+    that would require balancing wire. *)
 val run :
   Clocktree.Instance.t ->
   config ->

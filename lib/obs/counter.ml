@@ -1,16 +1,23 @@
-type t = { name : string; mutable n : int }
+type t = { name : string; n : int Atomic.t }
 
-let registry : t list ref = ref []
+(* The registry is CAS-updated so counters created from racing domains
+   are never lost, though in practice [make] runs at module init on the
+   main domain. *)
+let registry : t list Atomic.t = Atomic.make []
 
 let make name =
-  let c = { name; n = 0 } in
-  registry := c :: !registry;
+  let c = { name; n = Atomic.make 0 } in
+  let rec register () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old (c :: old)) then register ()
+  in
+  register ();
   c
 
 let name c = c.name
-let incr c = c.n <- c.n + 1
-let add c k = c.n <- c.n + k
-let value c = c.n
-let reset c = c.n <- 0
-let all () = List.rev !registry
+let incr c = Atomic.incr c.n
+let add c k = ignore (Atomic.fetch_and_add c.n k)
+let value c = Atomic.get c.n
+let reset c = Atomic.set c.n 0
+let all () = List.rev (Atomic.get registry)
 let find name = List.find_opt (fun c -> c.name = name) (all ())

@@ -2,9 +2,11 @@
 
     Counters are created once at module-initialization time (they
     register themselves in a global registry) and bumped from hot paths;
-    a bump is a single unboxed field mutation, cheap enough for
-    per-candidate instrumentation inside the routing kernels.
-    {!Report.snapshot} collects every registered counter. *)
+    a bump is a single atomic fetch-and-add, cheap enough for
+    per-candidate instrumentation inside the routing kernels and safe to
+    issue concurrently from worker domains (increments are never lost,
+    so totals are scheduling-independent).  {!Report.snapshot} collects
+    every registered counter. *)
 
 type t
 

@@ -1,24 +1,38 @@
+(* A timer's three fields are updated together under its mutex so a
+   sample recorded on one domain is never observed torn from another.
+   Timing a section is far coarser-grained than counter bumps, so an
+   uncontended lock per sample is noise. *)
 type t = {
   name : string;
+  lock : Mutex.t;
   mutable wall : float;
   mutable cpu : float;
   mutable count : int;
 }
 
-let registry : t list ref = ref []
+let registry : t list Atomic.t = Atomic.make []
 
 let make name =
-  let t = { name; wall = 0.; cpu = 0.; count = 0 } in
-  registry := t :: !registry;
+  let t = { name; lock = Mutex.create (); wall = 0.; cpu = 0.; count = 0 } in
+  let rec register () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old (t :: old)) then register ()
+  in
+  register ();
   t
 
 let name t = t.name
 let now () = Unix.gettimeofday ()
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let record t ~wall ~cpu =
-  t.wall <- t.wall +. wall;
-  t.cpu <- t.cpu +. cpu;
-  t.count <- t.count + 1
+  locked t (fun () ->
+      t.wall <- t.wall +. wall;
+      t.cpu <- t.cpu +. cpu;
+      t.count <- t.count + 1)
 
 let time t f =
   let w0 = now () and c0 = Sys.time () in
@@ -26,14 +40,15 @@ let time t f =
     ~finally:(fun () -> record t ~wall:(now () -. w0) ~cpu:(Sys.time () -. c0))
     f
 
-let wall_seconds t = t.wall
-let cpu_seconds t = t.cpu
-let calls t = t.count
+let wall_seconds t = locked t (fun () -> t.wall)
+let cpu_seconds t = locked t (fun () -> t.cpu)
+let calls t = locked t (fun () -> t.count)
 
 let reset t =
-  t.wall <- 0.;
-  t.cpu <- 0.;
-  t.count <- 0
+  locked t (fun () ->
+      t.wall <- 0.;
+      t.cpu <- 0.;
+      t.count <- 0)
 
-let all () = List.rev !registry
+let all () = List.rev (Atomic.get registry)
 let find name = List.find_opt (fun t -> t.name = name) (all ())

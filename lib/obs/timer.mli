@@ -3,7 +3,9 @@
     Like {!Counter}, timers register themselves globally at creation and
     are collected by {!Report.snapshot}.  Each {!time} call adds one
     sample: elapsed wall-clock seconds, elapsed process CPU seconds and
-    a call count. *)
+    a call count.  Samples are recorded under a per-timer mutex, so
+    timing sections on concurrent domains is safe (no lost or torn
+    samples). *)
 
 type t
 

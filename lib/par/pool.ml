@@ -1,0 +1,128 @@
+(* Worker domains block on [work] until a batch is posted; a batch is a
+   closure every participant (workers + the posting domain) runs once.
+   The closure itself loops over an atomic chunk cursor, so scheduling
+   only decides which domain computes which chunk — never what any chunk
+   computes or where its results land. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (** signalled when a batch is posted or on stop *)
+  finished : Condition.t;  (** signalled when the last worker leaves a batch *)
+  mutable batch : (unit -> unit) option;
+  mutable epoch : int;  (** bumped per posted batch *)
+  mutable running : int;  (** workers still inside the current batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t seen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.epoch = seen do
+    Condition.wait t.work t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let batch = Option.get t.batch in
+    Mutex.unlock t.mutex;
+    (* Batches never raise: map_chunked catches per chunk. *)
+    batch ();
+    Mutex.lock t.mutex;
+    t.running <- t.running - 1;
+    if t.running = 0 then Condition.broadcast t.finished;
+    Mutex.unlock t.mutex;
+    worker_loop t epoch
+  end
+
+let create ?(jobs = 1) () =
+  let jobs = Int.max 1 jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      epoch = 0;
+      running = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Run [batch] on every domain of the pool and wait for all of them. *)
+let run_batch t batch =
+  if t.workers = [] then batch ()
+  else begin
+    Mutex.lock t.mutex;
+    t.batch <- Some batch;
+    t.epoch <- t.epoch + 1;
+    t.running <- List.length t.workers;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    batch ();
+    Mutex.lock t.mutex;
+    while t.running > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex
+  end
+
+let map_chunked t ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> Int.max 1 (Int.min c n)
+      | None -> Int.max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs))
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    let results = Array.make n None in
+    let errors = Array.make n_chunks None in
+    let cursor = Atomic.make 0 in
+    let batch () =
+      let rec go () =
+        let c = Atomic.fetch_and_add cursor 1 in
+        if c < n_chunks then begin
+          let lo = c * chunk in
+          let hi = Int.min n (lo + chunk) - 1 in
+          (try
+             for i = lo to hi do
+               results.(i) <- Some (f arr.(i))
+             done
+           with exn -> errors.(c) <- Some exn);
+          go ()
+        end
+      in
+      go ()
+    in
+    run_batch t batch;
+    Array.iter (function Some exn -> raise exn | None -> ()) errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let jobs_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some j when j >= 1 -> Some j
+  | _ -> None
+
+let default_jobs () =
+  let cap = 8 * Domain.recommended_domain_count () in
+  match Option.bind (Sys.getenv_opt "ASTSKEW_JOBS") jobs_of_string with
+  | Some j -> Int.min j cap
+  | None -> 1

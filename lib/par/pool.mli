@@ -1,0 +1,53 @@
+(** Fixed-size domain work pool with a deterministic parallel map.
+
+    A pool owns [jobs - 1] worker domains (zero when [jobs = 1]); the
+    domain that created the pool participates in every batch, so a pool
+    of [jobs = n] computes with [n] domains total.  The only primitive is
+    {!map_chunked}: results are gathered in input-index order and every
+    output element is computed by exactly one domain, so for a pure
+    function the result is bit-identical to [Array.map] regardless of
+    [jobs], chunk size or scheduling.  This is the property the DME
+    engine's parallel merge ranking relies on for jobs-invariant routed
+    trees.
+
+    Thread-safety contract for the mapped function: it runs concurrently
+    on several domains, so it must not mutate shared state.  Reading
+    shared immutable data (or data the caller guarantees is not mutated
+    for the duration of the call, e.g. a frozen {!Geometry.Grid_index})
+    is safe; {!Obs.Counter} increments are atomic and therefore also
+    safe.  [map_chunked] is not reentrant: the mapped function must not
+    itself call into the same pool. *)
+
+type t
+
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is
+    clamped to at least 1).  Pools are cheap enough to create per
+    engine run but are designed for reuse across many [map_chunked]
+    calls; call {!shutdown} when done to join the workers. *)
+val create : ?jobs:int -> unit -> t
+
+(** Number of domains (including the caller) a batch runs on. *)
+val jobs : t -> int
+
+(** [map_chunked t ?chunk f arr] is [Array.map f arr] computed by all
+    domains of the pool.  The input is split into contiguous chunks of
+    [chunk] elements (clamped to [1 .. length arr]; default: enough
+    chunks to balance [4 * jobs] ways) which domains claim from a shared
+    atomic cursor.  If [f] raises, the exception of the lowest-indexed
+    failing chunk is re-raised on the calling domain after the batch
+    completes — deterministic, whichever domain hit it. *)
+val map_chunked : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Join the worker domains.  Idempotent; after shutdown the pool still
+    works but runs everything on the calling domain. *)
+val shutdown : t -> unit
+
+(** [default_jobs ()] is the process-wide default parallelism: the value
+    of the [ASTSKEW_JOBS] environment variable when it parses as a
+    positive integer, else 1 (fully serial).  Never exceeds
+    [8 * Domain.recommended_domain_count] (a fat-finger guard). *)
+val default_jobs : unit -> int
+
+(** Parse a jobs value the way [default_jobs] does: positive integers
+    only. *)
+val jobs_of_string : string -> int option

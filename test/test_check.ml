@@ -129,13 +129,13 @@ let test_frozen (name, text) () = assert_clean name (parse text)
 (* --- generator ------------------------------------------------------------ *)
 
 let test_generator_determinism () =
-  let a = Check.Gen.case ~seed:42L ~index:5 in
-  let b = Check.Gen.case ~seed:42L ~index:5 in
+  let a = Check.Gen.case ~seed:42L ~index:5 () in
+  let b = Check.Gen.case ~seed:42L ~index:5 () in
   Alcotest.(check string) "same instance text" (Io.to_string a.instance)
     (Io.to_string b.instance);
   Alcotest.(check bool) "regimes cycle" true
-    ((Check.Gen.case ~seed:42L ~index:8).regime
-    = (Check.Gen.case ~seed:42L ~index:0).regime)
+    ((Check.Gen.case ~seed:42L ~index:8 ()).regime
+    = (Check.Gen.case ~seed:42L ~index:0 ()).regime)
 
 let test_generator_regimes_shapes () =
   (* Spot-check the regimes produce what they claim. *)
@@ -143,7 +143,7 @@ let test_generator_regimes_shapes () =
     let rec go i =
       if i > 64 then Alcotest.failf "no case of regime in 64 draws"
       else
-        let c = Check.Gen.case ~seed:7L ~index:i in
+        let c = Check.Gen.case ~seed:7L ~index:i () in
         if c.regime = regime then c.instance else go (i + 1)
     in
     go 0
@@ -168,6 +168,27 @@ let test_generator_regimes_shapes () =
     (List.exists
        (fun g -> Instance.bound_for zb g = 0.)
        (List.init zb.n_groups Fun.id))
+
+let test_generator_huge () =
+  (* Huge is excluded from the index cycle (too slow for the full oracle
+     battery) but must be forcible, deterministic, and benchmark-scale. *)
+  Alcotest.(check bool) "huge not in all_regimes" true
+    (not (Array.mem Check.Gen.Huge Check.Gen.all_regimes));
+  Alcotest.(check (option string)) "regime_of_string round-trips"
+    (Some "huge")
+    (Option.map Check.Gen.regime_to_string
+       (Check.Gen.regime_of_string "huge"));
+  let a = Check.Gen.case ~regime:Check.Gen.Huge ~seed:13L ~index:101 () in
+  let b = Check.Gen.case ~regime:Check.Gen.Huge ~seed:13L ~index:101 () in
+  Alcotest.(check string) "deterministic" (Io.to_string a.instance)
+    (Io.to_string b.instance);
+  let n = Instance.n_sinks a.instance in
+  Alcotest.(check bool) "200 <= sinks <= 1500" true (n >= 200 && n <= 1500);
+  Alcotest.(check bool) "several groups" true (a.instance.n_groups >= 4);
+  Alcotest.(check bool) "bound at least 5 ps" true
+    (List.for_all
+       (fun g -> Instance.bound_for a.instance g >= 5.)
+       (List.init a.instance.n_groups Fun.id))
 
 (* --- fuzz smoke + determinism --------------------------------------------- *)
 
@@ -275,7 +296,7 @@ let test_audit_flags_broken_trees () =
 let test_shrinker_minimises () =
   (* Failure predicate: some group holds two sinks further than 5000
      apart.  The shrinker should cut everything else away. *)
-  let inst = (Check.Gen.case ~seed:3L ~index:0).instance in
+  let inst = (Check.Gen.case ~seed:3L ~index:0 ()).instance in
   let fails (i : Instance.t) =
     let far = ref false in
     Array.iter
@@ -323,7 +344,7 @@ let test_with_sinks_renumbers () =
 
 let test_io_roundtrip_fuzzed () =
   for index = 0 to 63 do
-    let case = Check.Gen.case ~seed:11L ~index in
+    let case = Check.Gen.case ~seed:11L ~index () in
     let text = Io.to_string case.instance in
     match Io.of_string text with
     | Error e -> Alcotest.failf "case %d does not re-parse: %s" index e
@@ -365,7 +386,7 @@ let check_second_repair_is_noop name inst (routed : Tree.routed) =
 
 let test_repair_idempotent_fuzzed () =
   for index = 0 to 31 do
-    let case = Check.Gen.case ~seed:5L ~index in
+    let case = Check.Gen.case ~seed:5L ~index () in
     let r = Astskew.Router.ast_dme case.instance in
     check_second_repair_is_noop
       (Printf.sprintf "case %d (%s)" index
@@ -398,6 +419,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_generator_determinism;
           Alcotest.test_case "regime shapes" `Quick
             test_generator_regimes_shapes;
+          Alcotest.test_case "huge regime" `Slow test_generator_huge;
         ] );
       ( "runner",
         [

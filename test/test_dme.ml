@@ -334,6 +334,43 @@ let test_trial_cache_bit_identical () =
         && off.engine.trial.elided_trials = 0))
     [ "r1"; "r2"; "r3" ]
 
+let test_parallel_bit_identical () =
+  (* Parallel cost ranking must be a pure speedup: jobs=1 and jobs=4
+     must produce bit-identical trees — positions, exact edge lengths,
+     sink delays — AND identical trial-cache statistics (proving the
+     workers ran exactly the trials the serial code would have). *)
+  List.iter
+    (fun name ->
+      let spec = Option.get (Workload.Circuits.find name) in
+      let inst =
+        Workload.Circuits.instance spec ~n_groups:6
+          ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+      in
+      let serial = Astskew.Router.ast_dme ~jobs:1 inst in
+      let par = Astskew.Router.ast_dme ~jobs:4 inst in
+      Alcotest.(check bool)
+        (name ^ ": identical topology and embedding")
+        true
+        (tree_equal serial.routed.tree par.routed.tree
+        && Pt.equal serial.routed.source par.routed.source
+        && serial.routed.source_len = par.routed.source_len);
+      Alcotest.(check bool)
+        (name ^ ": identical wirelength/skews")
+        true
+        (serial.evaluation.wirelength = par.evaluation.wirelength
+        && serial.evaluation.global_skew = par.evaluation.global_skew
+        && serial.evaluation.max_group_skew = par.evaluation.max_group_skew);
+      Alcotest.(check bool)
+        (name ^ ": identical per-sink delays")
+        true
+        (serial.evaluation.delays = par.evaluation.delays);
+      Alcotest.(check bool)
+        (name ^ ": identical trial stats")
+        true
+        (serial.engine.trial = par.engine.trial
+        && serial.engine.trial.trial_merges > 0))
+    [ "r1"; "r2" ]
+
 let prop_engine_respects_bound =
   let gen =
     QCheck.Gen.(
@@ -412,6 +449,8 @@ let () =
           Alcotest.test_case "stats add up" `Quick test_engine_stats_add_up;
           Alcotest.test_case "trial cache bit-identical" `Slow
             test_trial_cache_bit_identical;
+          Alcotest.test_case "parallel ranking bit-identical" `Slow
+            test_parallel_bit_identical;
         ]
         @ qsuite [ prop_engine_respects_bound ] );
     ]

@@ -1,0 +1,196 @@
+(* Tests for Par.Pool: deterministic chunked parallel map over a fixed
+   set of worker domains, plus the atomicity of Obs counters that the
+   thread-safety contract of the mapped function relies on. *)
+
+let with_pool jobs f =
+  let pool = Par.Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
+
+(* --- map_chunked: ordering and determinism -------------------------------- *)
+
+(* Adversarial chunk sizes: 0 (clamps to 1), 1, odd sizes that don't
+   divide the input, and far larger than the input. *)
+let chunks = [ None; Some 0; Some 1; Some 3; Some 7; Some 1000 ]
+let jobs_sweep = [ 1; 2; 4 ]
+
+let test_map_matches_array_map () =
+  let input = Array.init 103 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              let got = Par.Pool.map_chunked pool ?chunk f input in
+              Alcotest.(check (array int))
+                (Printf.sprintf "jobs=%d chunk=%s" jobs
+                   (match chunk with
+                    | None -> "default"
+                    | Some c -> string_of_int c))
+                expected got)
+            chunks))
+    jobs_sweep
+
+let test_map_empty_and_single () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let empty = Par.Pool.map_chunked pool string_of_int [||] in
+          Alcotest.(check (array string)) "empty input" [||] empty;
+          let one = Par.Pool.map_chunked pool ~chunk:5 string_of_int [| 7 |] in
+          Alcotest.(check (array string)) "single element" [| "7" |] one))
+    jobs_sweep
+
+(* Each output slot must be written exactly once — count writes per index
+   through an atomic per-slot tally. *)
+let test_each_index_once () =
+  let n = 64 in
+  let writes = Array.init n (fun _ -> Atomic.make 0) in
+  with_pool 4 (fun pool ->
+      let _ =
+        Par.Pool.map_chunked pool ~chunk:3
+          (fun i ->
+            Atomic.incr writes.(i);
+            i)
+          (Array.init n (fun i -> i))
+      in
+      Array.iteri
+        (fun i w ->
+          Alcotest.(check int)
+            (Printf.sprintf "index %d computed once" i)
+            1 (Atomic.get w))
+        writes)
+
+(* --- exception propagation ------------------------------------------------- *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let raised =
+            try
+              ignore
+                (Par.Pool.map_chunked pool ~chunk:1
+                   (fun i -> if i mod 10 = 3 then raise (Boom i) else i)
+                   (Array.init 40 (fun i -> i)));
+              None
+            with Boom i -> Some i
+          in
+          (* Several chunks fail (i = 3, 13, 23, 33); the lowest-indexed
+             failing chunk wins regardless of which domain ran it. *)
+          Alcotest.(check (option int))
+            (Printf.sprintf "lowest failing chunk's exception (jobs=%d)" jobs)
+            (Some 3) raised;
+          (* The pool survives a failed batch. *)
+          let ok = Par.Pool.map_chunked pool succ [| 1; 2; 3 |] in
+          Alcotest.(check (array int)) "pool usable after raise" [| 2; 3; 4 |] ok))
+    [ 1; 4 ]
+
+(* --- pool reuse and shutdown ----------------------------------------------- *)
+
+let test_pool_reuse () =
+  with_pool 4 (fun pool ->
+      Alcotest.(check int) "jobs" 4 (Par.Pool.jobs pool);
+      for round = 1 to 50 do
+        let n = 1 + (round mod 17) in
+        let got = Par.Pool.map_chunked pool ~chunk:2 (fun x -> x * round)
+            (Array.init n (fun i -> i)) in
+        let expected = Array.init n (fun i -> i * round) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          expected got
+      done)
+
+let test_shutdown_then_use () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool (* idempotent *);
+  let got = Par.Pool.map_chunked pool succ (Array.init 10 (fun i -> i)) in
+  Alcotest.(check (array int))
+    "post-shutdown map runs inline"
+    (Array.init 10 (fun i -> i + 1))
+    got
+
+let test_create_clamps () =
+  let pool = Par.Pool.create ~jobs:0 () in
+  Alcotest.(check int) "jobs clamped to 1" 1 (Par.Pool.jobs pool);
+  Par.Pool.shutdown pool
+
+(* --- Obs.Counter atomicity under domains ----------------------------------- *)
+
+let test_counter_atomic_across_domains () =
+  let c = Obs.Counter.make "test.par.atomic" in
+  Obs.Counter.reset c;
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int)
+    "4 domains x 25k increments, none lost"
+    (4 * per_domain) (Obs.Counter.value c)
+
+(* --- default_jobs / jobs_of_string ----------------------------------------- *)
+
+let test_jobs_of_string () =
+  let check s expected =
+    Alcotest.(check (option int)) (Printf.sprintf "parse %S" s) expected
+      (Par.Pool.jobs_of_string s)
+  in
+  check "1" (Some 1);
+  check "4" (Some 4);
+  check "0" None;
+  check "-2" None;
+  check "" None;
+  check "two" None;
+  check "4.5" None
+
+let test_default_jobs_positive () =
+  (* Whatever the environment says, the default is a sane positive
+     parallelism within the fat-finger cap. *)
+  let d = Par.Pool.default_jobs () in
+  Alcotest.(check bool) "default_jobs >= 1" true (d >= 1);
+  Alcotest.(check bool)
+    "default_jobs within cap" true
+    (d <= 8 * Domain.recommended_domain_count ())
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "map_chunked",
+        [
+          Alcotest.test_case "matches Array.map for all jobs x chunks" `Quick
+            test_map_matches_array_map;
+          Alcotest.test_case "empty and single-element inputs" `Quick
+            test_map_empty_and_single;
+          Alcotest.test_case "each index computed exactly once" `Quick
+            test_each_index_once;
+          Alcotest.test_case "deterministic exception propagation" `Quick
+            test_exception_propagates;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "reuse across 50 batches" `Quick test_pool_reuse;
+          Alcotest.test_case "shutdown is idempotent, then inline" `Quick
+            test_shutdown_then_use;
+          Alcotest.test_case "jobs clamped to >= 1" `Quick test_create_clamps;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "counter increments atomic across 4 domains"
+            `Quick test_counter_atomic_across_domains;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "jobs_of_string" `Quick test_jobs_of_string;
+          Alcotest.test_case "default_jobs sane" `Quick
+            test_default_jobs_positive;
+        ] );
+    ]
