@@ -5,15 +5,22 @@
      [table1|table2|figures|spice|ablation|micro|quick|all]
      | cache [CIRCUIT...]
      | par [CIRCUIT...]
+     | smoke [CIRCUIT]
+     | compare OLD.json NEW.json [--threshold PCT]
      | fuzz [--cases N] [--seed S] [--inject] [--replay CASE]
    (default: all).  "quick" restricts the tables to r1-r3 for fast runs;
    "cache" (also run by "micro") compares the merge-trial cache off vs on
-   over r1-r5 (or the listed circuits), sweeps the engine's jobs knob,
-   and writes BENCH_<circuit>.json stats files; "par" prints just the
-   jobs sweep (speedup vs jobs in {1,2,4,cores}); "fuzz" runs the
-   lib/check property-based fuzzer, prints a JSON summary, and writes the
-   shrunk repro of any failure to FUZZ_REPRO.txt before exiting
-   non-zero. *)
+   and incremental ranking off vs on over r1-r5 (or the listed circuits),
+   sweeps the engine's jobs knob, and writes BENCH_<circuit>.json stats
+   files; "par" prints just the jobs sweep (speedup vs jobs in
+   {1,2,4,cores}); "smoke" is the deterministic CI perf gate: it routes
+   one circuit (default r3) with incremental ranking off then on and
+   fails unless the trees are identical and the probe counter strictly
+   dropped; "compare" diffs two BENCH_<circuit>.json files and exits
+   non-zero when a watched metric regressed past the threshold (default
+   10%); "fuzz" runs the lib/check property-based fuzzer, prints a JSON
+   summary, and writes the shrunk repro of any failure to FUZZ_REPRO.txt
+   before exiting non-zero. *)
 
 let bound = 10.
 
@@ -157,12 +164,22 @@ let par_bench ?(circuits = default_circuits) () =
 
 (* --- Merge-trial cache comparison + BENCH_*.json ------------------------- *)
 
-(* Routes each circuit with the trial cache off then on, checks the trees
-   agree, prints the speedup, sweeps the engine jobs knob, and writes one
-   BENCH_<circuit>.json per circuit with per-phase timings, cache
-   counters, the jobs sweep and the full Obs snapshot of each run.  These
-   files are the machine-readable trajectory future performance PRs are
-   judged against. *)
+(* Identical-tree check used by the cache/incremental benches and the
+   smoke gate: evaluation metrics are a complete fingerprint for this
+   purpose (the embedding is deterministic in the planned tree, and the
+   check oracles additionally compare trees node-for-node). *)
+let same_result (a : Astskew.Router.result) (b : Astskew.Router.result) =
+  a.evaluation.wirelength = b.evaluation.wirelength
+  && a.evaluation.global_skew = b.evaluation.global_skew
+  && a.evaluation.max_group_skew = b.evaluation.max_group_skew
+
+(* Routes each circuit with the trial cache off then on, then with
+   incremental ranking ablated (cache on), checks the trees agree, prints
+   the speedups, sweeps the engine jobs knob, and writes one
+   BENCH_<circuit>.json per circuit with per-phase timings, cache and
+   probe counters, the jobs sweep and the full Obs snapshot of each run.
+   These files are the machine-readable trajectory future performance PRs
+   are judged against (see the `compare` subcommand). *)
 let cache_bench ?(circuits = default_circuits) () =
   header "Merge-trial cache (AST-DME, cache off vs on)";
   Format.printf "%-8s %9s %9s %8s %11s %11s %7s@." "circuit" "off (s)"
@@ -185,11 +202,7 @@ let cache_bench ?(circuits = default_circuits) () =
         in
         let r_off, t_off, snap_off = timed off_config in
         let r_on, t_on, snap_on = timed Astskew.Router.ast_default_config in
-        let identical =
-          r_off.evaluation.wirelength = r_on.evaluation.wirelength
-          && r_off.evaluation.global_skew = r_on.evaluation.global_skew
-          && r_off.evaluation.max_group_skew = r_on.evaluation.max_group_skew
-        in
+        let identical = same_result r_off r_on in
         let trials_off = r_off.engine.trial.trial_merges in
         let trials_on = r_on.engine.trial.trial_merges in
         let drop =
@@ -201,6 +214,24 @@ let cache_bench ?(circuits = default_circuits) () =
         if not identical then
           Format.printf "  WARNING: %s cache-on tree differs from cache-off!@."
             spec.name;
+        (* Incremental ranking ablation, both runs with the cache on so
+           the only delta is the cross-round proposal reuse. *)
+        let noinc_config =
+          { Astskew.Router.ast_default_config with Dme.Engine.incremental = false }
+        in
+        let r_noinc, t_noinc, snap_noinc = timed noinc_config in
+        let probes_full = r_noinc.engine.nn_reprobes in
+        let probes_inc = r_on.engine.nn_reprobes in
+        let probe_drop =
+          100.
+          *. (1. -. (float_of_int probes_inc /. float_of_int (Int.max 1 probes_full)))
+        in
+        let inc_identical = same_result r_noinc r_on in
+        let inc_speedup = t_noinc /. Float.max 1e-9 t_on in
+        Format.printf
+          "  incremental: probes %d -> %d (%.1f%% drop), %.2fx engine wall, trees %s@."
+          probes_full probes_inc probe_drop inc_speedup
+          (if inc_identical then "ok" else "DIFFER!");
         let par = par_sweep inst in
         let run_json result elapsed snap =
           Obs.Json.Obj
@@ -223,6 +254,18 @@ let cache_bench ?(circuits = default_circuits) () =
               ("trial_merges_off", Obs.Json.Int trials_off);
               ("trial_merges_on", Obs.Json.Int trials_on);
               ("trial_drop_pct", Obs.Json.Float drop);
+              ( "incremental",
+                Obs.Json.Obj
+                  [
+                    ("identical_trees", Obs.Json.Bool inc_identical);
+                    ("nn_probes_full", Obs.Json.Int probes_full);
+                    ("nn_probes_incremental", Obs.Json.Int probes_inc);
+                    ( "nn_probes_saved",
+                      Obs.Json.Int r_on.engine.nn_probes_saved );
+                    ("probe_drop_pct", Obs.Json.Float probe_drop);
+                    ("speedup", Obs.Json.Float inc_speedup);
+                    ("off", run_json r_noinc t_noinc snap_noinc);
+                  ] );
               ("par", par_json par);
               ("cache_off", run_json r_off t_off snap_off);
               ("cache_on", run_json r_on t_on snap_on);
@@ -232,6 +275,171 @@ let cache_bench ?(circuits = default_circuits) () =
         Obs.Json.write_file file json;
         Format.printf "  wrote %s@." file)
     circuits
+
+(* --- CI perf smoke: incremental ranking must actually save probes ---------- *)
+
+(* Deterministic probe-counter gate, stable on shared runners where
+   wall-clock is not: routes one circuit with incremental ranking off
+   then on (trial cache on for both) and fails unless the routed trees
+   are identical, the executed probe count strictly dropped, the trial
+   workload did not grow, and the executed + saved probes of the
+   incremental run add up exactly to the from-scratch count. *)
+let smoke args =
+  let name = match args with [] -> "r3" | [ c ] -> c | _ ->
+    Format.eprintf "usage: smoke [CIRCUIT]@.";
+    exit 2
+  in
+  match Workload.Circuits.find name with
+  | None ->
+    Format.eprintf "smoke: unknown circuit %S@." name;
+    exit 2
+  | Some spec ->
+    header (Printf.sprintf "Perf smoke: incremental ranking on %s" spec.name);
+    let inst = bench_instance spec in
+    let run incremental =
+      Obs.Report.reset ();
+      Astskew.Router.ast_dme ~incremental inst
+    in
+    let off = run false in
+    let on = run true in
+    let full = off.engine.nn_reprobes in
+    let inc = on.engine.nn_reprobes in
+    let saved = on.engine.nn_probes_saved in
+    let drop =
+      100. *. (1. -. (float_of_int inc /. float_of_int (Int.max 1 full)))
+    in
+    Format.printf "probes: full=%d incremental=%d saved=%d (%.1f%% drop)@."
+      full inc saved drop;
+    let fail msg =
+      Format.printf "FAIL: %s@." msg;
+      exit 1
+    in
+    if not (same_result off on) then
+      fail "incremental tree differs from from-scratch tree";
+    if on.engine.trial.trial_merges > off.engine.trial.trial_merges then
+      fail "incremental run executed more trial merges than from-scratch";
+    if inc >= full then fail "incremental ranking saved no probes";
+    if inc + saved <> full then
+      fail "executed + saved probes do not add up to the full count";
+    Format.printf "OK@."
+
+(* --- BENCH_*.json comparison ---------------------------------------------- *)
+
+(* Flattens a BENCH json tree to dotted-path -> number (list elements get
+   bracketed indices, e.g. "par.runs[2].wall_s"). *)
+let flatten json =
+  let tbl = Hashtbl.create 128 in
+  let rec go path = function
+    | Obs.Json.Int i -> Hashtbl.replace tbl path (float_of_int i)
+    | Obs.Json.Float f -> Hashtbl.replace tbl path f
+    | Obs.Json.Obj fields ->
+      List.iter
+        (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
+        fields
+    | Obs.Json.List l ->
+      List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) l
+    | Obs.Json.Null | Obs.Json.Bool _ | Obs.Json.String _ -> ()
+  in
+  go "" json;
+  tbl
+
+(* Watched cost metrics: for all of these, an increase is a regression.
+   Quality metrics (wirelength, skews) are included so a perf win that
+   silently trades routing quality still fails the gate; counters are
+   deterministic, wall times are why the threshold exists. *)
+let cost_metrics =
+  [
+    "wall_s"; "engine_s"; "repair_s"; "evaluate_s"; "total_s"; "cpu_seconds";
+    "trial_merges"; "trial_cache_misses"; "nn_reprobes"; "nn_probes_full";
+    "nn_probes_incremental"; "trial_merges_off"; "trial_merges_on";
+    "wirelength"; "global_skew_ps"; "max_group_skew_ps";
+  ]
+
+let watched_leaf path =
+  let seg =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  List.mem seg cost_metrics
+
+(* Diffs two BENCH_<circuit>.json files (typically: committed trajectory
+   vs freshly regenerated) and exits 1 when any watched metric grew by
+   more than the threshold, 2 on usage or unreadable input.  Keeps perf
+   trajectory checks scriptable instead of eyeball-only. *)
+let compare_bench args =
+  let usage () =
+    Format.eprintf "usage: compare OLD.json NEW.json [--threshold PCT]@.";
+    exit 2
+  in
+  let threshold = ref 10. in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: t :: rest ->
+      (match float_of_string_opt t with
+       | Some t when t >= 0. -> threshold := t
+       | _ -> usage ());
+      parse rest
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse args;
+  let old_file, new_file =
+    match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
+  in
+  let read path =
+    match Obs.Json.read_file path with
+    | v -> v
+    | exception Sys_error msg ->
+      Format.eprintf "compare: %s@." msg;
+      exit 2
+    | exception Obs.Json.Parse_error { pos; msg } ->
+      Format.eprintf "compare: %s: parse error at byte %d: %s@." path pos msg;
+      exit 2
+  in
+  let old_t = flatten (read old_file) and new_t = flatten (read new_file) in
+  let paths =
+    Hashtbl.fold (fun k _ acc -> k :: acc) old_t []
+    |> List.filter watched_leaf
+    |> List.sort compare
+  in
+  header
+    (Printf.sprintf "BENCH compare: %s -> %s (threshold %.1f%%)" old_file
+       new_file !threshold);
+  Format.printf "%-52s %14s %14s %9s@." "metric" "old" "new" "change";
+  let regressions = ref 0 in
+  List.iter
+    (fun path ->
+      let ov = Hashtbl.find old_t path in
+      match Hashtbl.find_opt new_t path with
+      | None -> Format.printf "%-52s %14.6g %14s@." path ov "(missing)"
+      | Some nv ->
+        let delta = nv -. ov in
+        let rel = 100. *. delta /. Float.max (Float.abs ov) 1e-9 in
+        (* The absolute floor keeps float dust (e.g. a 1e-12 ps skew
+           wiggle) from tripping the relative test on near-zero bases. *)
+        let flag = rel > !threshold && delta > 1e-6 in
+        if flag then incr regressions;
+        Format.printf "%-52s %14.6g %14.6g %+8.1f%%%s@." path ov nv rel
+          (if flag then "  REGRESSION" else ""))
+    paths;
+  let new_only =
+    Hashtbl.fold
+      (fun k _ acc ->
+        if watched_leaf k && not (Hashtbl.mem old_t k) then k :: acc else acc)
+      new_t []
+  in
+  List.iter
+    (fun p -> Format.printf "%-52s %14s %14s (new metric)@." p "-" "-")
+    (List.sort compare new_only);
+  if !regressions > 0 then begin
+    Format.printf "@.%d metric(s) regressed past %.1f%%@." !regressions
+      !threshold;
+    exit 1
+  end
+  else Format.printf "@.no regressions past %.1f%%@." !threshold
 
 (* --- Bechamel micro-benchmarks ------------------------------------------- *)
 
@@ -453,6 +661,8 @@ let () =
   | "micro" -> micro ()
   | "cache" -> cache_bench ?circuits:(circuits_of rest) ()
   | "par" -> par_bench ?circuits:(circuits_of rest) ()
+  | "smoke" -> smoke rest
+  | "compare" -> compare_bench rest
   | "quick" ->
     run_tables true;
     header "Figures 1-5";
@@ -468,6 +678,6 @@ let () =
     micro ()
   | other ->
     Format.eprintf
-      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|quick|all)@."
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|smoke|compare|quick|all)@."
       other;
     exit 1

@@ -40,6 +40,12 @@ let jobs_arg =
     & opt int (Par.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let no_incremental_arg =
+  let doc =
+    "Disable the engine's cross-round nearest-neighbour proposal cache      and re-probe every active subtree each round (ablation / paranoia      switch).  Routed trees are bit-identical either way; only probe and      trial-merge counts, and hence wall time, change."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let algo_arg =
   let doc =
     "Algorithm: ast (AST-DME), ext (EXT-BST), zst (greedy-DME) or mmm      (fixed MMM topology)."
@@ -100,18 +106,24 @@ let print_result name (r : Astskew.Router.result) =
   Format.printf "%-11s %a@." name Astskew.Router.pp_result r
 
 let route_cmd =
-  let run circuit groups scheme bound seed algo file svg stats_json jobs =
+  let run circuit groups scheme bound seed algo file svg stats_json jobs
+      no_incremental =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
       1
     | Ok inst ->
+      let incremental = not no_incremental in
       let result =
         match algo with
-        | "ast" -> Some ("AST-DME", Astskew.Router.ast_dme ~jobs inst)
-        | "ext" -> Some ("EXT-BST", Astskew.Router.ext_bst ~jobs inst)
-        | "zst" -> Some ("greedy-DME", Astskew.Router.greedy_dme ~jobs inst)
-        | "mmm" -> Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs inst)
+        | "ast" ->
+          Some ("AST-DME", Astskew.Router.ast_dme ~jobs ~incremental inst)
+        | "ext" ->
+          Some ("EXT-BST", Astskew.Router.ext_bst ~jobs ~incremental inst)
+        | "zst" ->
+          Some ("greedy-DME", Astskew.Router.greedy_dme ~jobs ~incremental inst)
+        | "mmm" ->
+          Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs ~incremental inst)
         | _ -> None
       in
       (match result with
@@ -133,7 +145,8 @@ let route_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg)
+      $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg
+      $ no_incremental_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 
@@ -159,17 +172,19 @@ let gen_cmd =
       $ out)
 
 let compare_cmd =
-  let run circuit groups scheme bound seed file stats_json jobs =
+  let run circuit groups scheme bound seed file stats_json jobs no_incremental
+      =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
       1
     | Ok inst ->
       Format.printf "%a@." Clocktree.Instance.pp inst;
-      let zst = Astskew.Router.greedy_dme ~jobs inst in
-      let ext = Astskew.Router.ext_bst ~jobs inst in
-      let mmm = Astskew.Router.mmm_dme ~jobs inst in
-      let ast = Astskew.Router.ast_dme ~jobs inst in
+      let incremental = not no_incremental in
+      let zst = Astskew.Router.greedy_dme ~jobs ~incremental inst in
+      let ext = Astskew.Router.ext_bst ~jobs ~incremental inst in
+      let mmm = Astskew.Router.mmm_dme ~jobs ~incremental inst in
+      let ast = Astskew.Router.ast_dme ~jobs ~incremental inst in
       print_result "greedy-DME" zst;
       print_result "EXT-BST" ext;
       print_result "MMM-DME" mmm;
@@ -190,7 +205,7 @@ let compare_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ file_arg $ stats_json_arg $ jobs_arg)
+      $ file_arg $ stats_json_arg $ jobs_arg $ no_incremental_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all routers on one instance.") term
 

@@ -167,6 +167,53 @@ let par_identity ?(jobs = [ 2; 4 ]) inst =
       in
       List.concat_map check jobs)
 
+(* --- incremental ranking bit-identity -------------------------------------- *)
+
+let incremental_identity ?(jobs = [ 1; 2 ]) inst =
+  guard "incremental-identity" (fun () ->
+      let off = Router.ast_dme ~jobs:1 ~incremental:false inst in
+      let check j =
+        let on = Router.ast_dme ~jobs:j ~incremental:true inst in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff :=
+                { Audit.invariant = "incremental-identity"; detail } :: !diff)
+            fmt
+        in
+        if not (Audit.tree_equal off.routed on.routed) then
+          add "jobs=%d incremental tree differs structurally from from-scratch"
+            j;
+        Array.iteri
+          (fun i d ->
+            if d <> on.evaluation.delays.(i) then
+              add "jobs=%d sink %d delay: from-scratch %.17g, incremental %.17g"
+                j i d on.evaluation.delays.(i))
+          off.evaluation.delays;
+        if off.evaluation.wirelength <> on.evaluation.wirelength then
+          add "jobs=%d wirelength: from-scratch %.17g, incremental %.17g" j
+            off.evaluation.wirelength on.evaluation.wirelength;
+        (* Probe accounting: the cache must only ever skip work — never
+           add probes — and every rank slot is either re-probed or served
+           from the cache, summing to the from-scratch probe count.
+           Trial-merge stats are deliberately NOT compared: skipped
+           probes legitimately skip their candidates' trial merges (see
+           DESIGN.md section 10). *)
+        if on.engine.nn_reprobes > off.engine.nn_reprobes then
+          add "jobs=%d incremental ran MORE probes than from-scratch: %d > %d"
+            j on.engine.nn_reprobes off.engine.nn_reprobes;
+        if
+          on.engine.nn_reprobes + on.engine.nn_probes_saved
+          <> off.engine.nn_reprobes
+        then
+          add "jobs=%d probe accounting: %d reprobed + %d saved <> %d total" j
+            on.engine.nn_reprobes on.engine.nn_probes_saved
+            off.engine.nn_reprobes;
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
 (* --- Elmore vs transient ------------------------------------------------- *)
 
 let delay_models ?(resolution = 300) inst =
@@ -253,7 +300,7 @@ let delay_models ?(resolution = 300) inst =
 
 let all ?(inject = false) inst =
   routers ~inject inst @ cache_identity inst @ par_identity inst
-  @ delay_models inst
+  @ incremental_identity inst @ delay_models inst
 
 let reproduces ?inject ~of_run inst =
   let names = List.map (fun f -> f.oracle) of_run in

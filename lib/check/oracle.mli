@@ -13,6 +13,10 @@
     - {!par_identity}: parallel cost ranking is deterministic — AST-DME
       with [jobs] > 1 produces the exact tree, sink delays, wirelength
       {e and} trial-cache statistics of the serial [jobs = 1] run.
+    - {!incremental_identity}: the cross-round proposal cache is
+      semantically inert — AST-DME with [incremental] on produces the
+      exact tree, delays and wirelength of the from-scratch run while
+      never probing more, and its probe accounting balances.
     - {!delay_models}: Elmore and backward-Euler transient 50%-crossing
       delays agree on the routed RC tree wherever an exact relation
       exists: every sink crosses, no crossing exceeds its Elmore delay
@@ -43,6 +47,16 @@ val cache_identity : Clocktree.Instance.t -> finding list
     [[2; 4]]) and report any difference in tree structure, per-sink
     delays, wirelength or trial-merge statistics. *)
 val par_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Route from scratch ([incremental = false], [jobs = 1]) then
+    incrementally with each entry of [jobs] (default [[1; 2]]) and report
+    any difference in tree structure, per-sink delays or wirelength, any
+    probe-count increase, and any violation of the accounting identity
+    [nn_reprobes + nn_probes_saved = from-scratch probes].  Trial-merge
+    stats are deliberately not compared: skipped probes skip their
+    candidates' trial merges (see DESIGN.md section 10). *)
+val incremental_identity :
+  ?jobs:int list -> Clocktree.Instance.t -> finding list
 
 val delay_models : ?resolution:int -> Clocktree.Instance.t -> finding list
 

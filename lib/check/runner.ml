@@ -26,16 +26,22 @@ let check ?inject (case : Gen.case) =
     let shrunk_findings = Oracle.all ?inject shrunk in
     Some { case; findings; shrunk; shrunk_findings }
 
-(* Huge cases run (and shrink against) the parallel-identity oracle
-   alone: the full battery would take minutes per 1500-sink instance,
-   and scale only stresses the parallel ranking path anyway. *)
+(* Huge cases run (and shrink against) the parallel- and
+   incremental-identity oracles alone: the full battery would take
+   minutes per 1500-sink instance, and scale only stresses the ranking
+   path anyway — which is exactly what those two oracles audit.  The
+   incremental oracle runs at jobs = 2 so cache reuse and parallel
+   probing are exercised together. *)
+let huge_oracles inst =
+  Oracle.par_identity inst @ Oracle.incremental_identity ~jobs:[ 2 ] inst
+
 let check_huge (case : Gen.case) =
-  match Oracle.par_identity case.instance with
+  match huge_oracles case.instance with
   | [] -> None
   | findings ->
-    let fails inst = Oracle.par_identity inst <> [] in
+    let fails inst = huge_oracles inst <> [] in
     let shrunk = Shrink.run ~fails case.instance in
-    let shrunk_findings = Oracle.par_identity shrunk in
+    let shrunk_findings = huge_oracles shrunk in
     Some { case; findings; shrunk; shrunk_findings }
 
 let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
@@ -72,7 +78,7 @@ let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
 let replay ?inject ?regime ~seed ~case () =
   let c = Gen.case ?regime ~seed ~index:case () in
   match c.regime with
-  | Gen.Huge -> Oracle.par_identity c.instance
+  | Gen.Huge -> huge_oracles c.instance
   | _ -> Oracle.all ?inject c.instance
 
 let ok s = s.failures = []

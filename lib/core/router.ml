@@ -57,13 +57,19 @@ let solve ?config ~route_inst ~eval_inst () =
   solve_with ~plan:(Dme.Engine.run ?config) ~route_inst ~eval_inst ()
 
 (* [jobs] overrides the engine parallelism of [config] (or of [default]
-   when no config was given); routed trees are jobs-invariant, so this
-   only affects wall time. *)
-let with_jobs ?jobs ~default config =
+   when no config was given) and [incremental] the cross-round proposal
+   caching; routed trees are invariant under both, so these only affect
+   wall time. *)
+let with_jobs ?jobs ?incremental ~default config =
   let config = Option.value config ~default in
-  match jobs with
+  let config =
+    match jobs with
+    | None -> config
+    | Some j -> { config with Dme.Engine.jobs = j }
+  in
+  match incremental with
   | None -> config
-  | Some j -> { config with Dme.Engine.jobs = j }
+  | Some i -> { config with Dme.Engine.incremental = i }
 
 (* AST-DME ships with the §V.F delay-target merge order on (it prevents
    late deep-vs-shallow shared-group merges that would need heavy
@@ -72,8 +78,8 @@ let with_jobs ?jobs ~default config =
 let ast_default_config =
   { Dme.Engine.default with delay_order_weight = 400. }
 
-let ast_dme ?config ?jobs inst =
-  let config = with_jobs ?jobs ~default:ast_default_config config in
+let ast_dme ?config ?jobs ?incremental inst =
+  let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   solve ~config ~route_inst:inst ~eval_inst:inst ()
 
 (* Fuse all groups into one: intra-group bound becomes a global bound;
@@ -91,16 +97,16 @@ let fused ?bound (inst : Instance.t) =
     ~bound:(Option.value bound ~default)
     ~source:inst.source ~n_groups:1 sinks
 
-let ext_bst ?config ?jobs inst =
-  let config = with_jobs ?jobs ~default:Dme.Engine.default config in
+let ext_bst ?config ?jobs ?incremental inst =
+  let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
   solve ~config ~route_inst:(fused inst) ~eval_inst:inst ()
 
-let greedy_dme ?config ?jobs inst =
-  let config = with_jobs ?jobs ~default:Dme.Engine.default config in
+let greedy_dme ?config ?jobs ?incremental inst =
+  let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
   solve ~config ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
 
-let mmm_dme ?config ?jobs inst =
-  let config = with_jobs ?jobs ~default:ast_default_config config in
+let mmm_dme ?config ?jobs ?incremental inst =
+  let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   solve_with ~plan:(Dme.Mmm.run ~config) ~route_inst:inst ~eval_inst:inst ()
 
 let reduction ~baseline result =
@@ -123,6 +129,8 @@ let json_of_result (r : result) : Obs.Json.t =
         ("shared_multi", Int s.shared_multi);
         ("planned_snake", Float s.planned_snake);
         ("infeasible_merges", Int s.infeasible_merges);
+        ("nn_reprobes", Int s.nn_reprobes);
+        ("nn_probes_saved", Int s.nn_probes_saved);
         ("trial_merges", Int s.trial.trial_merges);
         ("trial_cache_hits", Int s.trial.cache_hits);
         ("trial_cache_misses", Int s.trial.cache_misses);

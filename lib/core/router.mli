@@ -35,27 +35,45 @@ type result = {
 val ast_default_config : Dme.Engine.config
 
 (** Each router takes an optional [jobs] override for the engine's
-    ranking parallelism (see {!Dme.Engine.config}); it wins over both
-    [config.jobs] and the [ASTSKEW_JOBS] environment default.  Routed
-    trees are bit-identical for any [jobs], so the knob only affects
-    wall time. *)
+    ranking parallelism and an optional [incremental] override for its
+    cross-round proposal caching (see {!Dme.Engine.config}); both win
+    over the corresponding [config] field (and, for [jobs], over the
+    [ASTSKEW_JOBS] environment default).  Routed trees are bit-identical
+    for any [jobs] and for [incremental] on or off, so the knobs only
+    affect wall time. *)
 
 val ast_dme :
-  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
+  ?config:Dme.Engine.config ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  Clocktree.Instance.t ->
+  result
 
 val ext_bst :
-  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
+  ?config:Dme.Engine.config ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  Clocktree.Instance.t ->
+  result
 
 val greedy_dme :
-  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
+  ?config:Dme.Engine.config ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  Clocktree.Instance.t ->
+  result
 
 (** Associative-skew routing on a fixed Method-of-Means-and-Medians
     topology instead of the greedy merge order; a second baseline that
     isolates how much the merge order contributes.  The MMM engine never
-    trial-merges, so [jobs] is accepted for interface uniformity but has
-    no effect. *)
+    trial-merges or probes, so [jobs] and [incremental] are accepted for
+    interface uniformity but have no effect. *)
 val mmm_dme :
-  ?config:Dme.Engine.config -> ?jobs:int -> Clocktree.Instance.t -> result
+  ?config:Dme.Engine.config ->
+  ?jobs:int ->
+  ?incremental:bool ->
+  Clocktree.Instance.t ->
+  result
 
 (** Wirelength reduction of [vs] relative to [baseline], as a fraction
     (the "Reduction" column of Tables I and II).  [0.] when the baseline

@@ -10,6 +10,7 @@ type config = {
   cost_by_planned_wire : bool;
   avoid_infeasible : bool;
   trial_cache : bool;
+  incremental : bool;
   jobs : int;
 }
 
@@ -26,6 +27,7 @@ let default =
     cost_by_planned_wire = false;
     avoid_infeasible = true;
     trial_cache = true;
+    incremental = true;
     jobs = Par.Pool.default_jobs ();
   }
 
@@ -54,6 +56,8 @@ type stats = {
   shared_multi : int;
   planned_snake : float;
   infeasible_merges : int;
+  nn_reprobes : int;
+  nn_probes_saved : int;
   trial : trial_stats;
 }
 
@@ -245,11 +249,12 @@ let run ?(config = default) inst =
         merge_fraction = config.merge_fraction;
         knn = config.knn;
         delay_order_weight = config.delay_order_weight;
+        incremental = config.incremental;
       }
   in
   let jobs = Int.max 1 config.jobs in
   let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
-  let root, rounds =
+  let root, (ostats : Order.stats) =
     Fun.protect
       ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
       (fun () ->
@@ -260,7 +265,9 @@ let run ?(config = default) inst =
   let routed = Embed.run inst root in
   ( routed,
     {
-      rounds;
+      rounds = ostats.rounds;
+      nn_reprobes = ostats.nn_probes;
+      nn_probes_saved = ostats.nn_probes_saved;
       same_group = !same_group;
       cross_group = !cross_group;
       shared_one = !shared_one;

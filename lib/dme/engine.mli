@@ -37,6 +37,14 @@ type config = {
           rounds, and the winning pair's committed merge reuses its own
           trial.  Routed trees are bit-identical with the cache on or
           off; off exists for benchmarking and as a paranoia switch *)
+  incremental : bool;
+      (** cache each subtree's nearest-neighbour proposal across merge
+          rounds and re-probe only the dirty set (subtrees whose
+          proposal a committed merge could have changed — see {!Order}).
+          Routed trees, per-sink delays and wirelength are bit-identical
+          on or off; skipped probes also skip their candidates' trial
+          merges, so trial {e counters} drop together with
+          [nn_reprobes].  Off exists for ablation benchmarks *)
   jobs : int;
       (** domains used for the per-round candidate ranking (nearest
           neighbour probes and their trial merges); 1 = fully serial.
@@ -76,6 +84,14 @@ type stats = {
   infeasible_merges : int;
       (** merges whose constraints were mutually inconsistent; their
           residual skew is fixed by {!Clocktree.Repair} *)
+  nn_reprobes : int;
+      (** nearest-neighbour probes actually executed by the ranking
+          loop; with [incremental] off this is one per active subtree
+          per round *)
+  nn_probes_saved : int;
+      (** rank slots served from the cross-round proposal cache instead
+          of probing; [nn_reprobes + nn_probes_saved] is the probe count
+          a from-scratch ([incremental = false]) run executes *)
   trial : trial_stats;
 }
 

@@ -66,5 +66,7 @@ let run ?(config = Engine.default) (inst : Clocktree.Instance.t) =
         shared_multi = !shared_multi;
         planned_snake = !planned_snake;
         infeasible_merges = !infeasible;
+        nn_reprobes = 0;
+        nn_probes_saved = 0;
         trial = Engine.no_trials;
       } )

@@ -7,10 +7,17 @@ type config = {
   merge_fraction : float;
   knn : int;
   delay_order_weight : float;
+  incremental : bool;
 }
 
 let default =
-  { multi_merge = true; merge_fraction = 0.5; knn = 16; delay_order_weight = 0. }
+  {
+    multi_merge = true;
+    merge_fraction = 0.5;
+    knn = 16;
+    delay_order_weight = 0.;
+    incremental = true;
+  }
 
 type 'note coster = {
   session : unit -> (Subtree.t -> Subtree.t -> float) * (unit -> 'note);
@@ -19,9 +26,63 @@ type 'note coster = {
 
 let of_cost cost = { session = (fun () -> (cost, fun () -> ())); absorb = ignore }
 
+type stats = { rounds : int; nn_probes : int; nn_probes_saved : int }
+
 let c_probes = Obs.Counter.make "dme.order.nn_probes"
+let c_saved = Obs.Counter.make "dme.order.nn_probes_saved"
+let c_invalidated = Obs.Counter.make "dme.order.nn_invalidated"
+let c_inv_partner = Obs.Counter.make "dme.order.nn_inv_partner_died"
+let c_inv_rank = Obs.Counter.make "dme.order.nn_inv_rank_churn"
+let c_inv_undercut = Obs.Counter.make "dme.order.nn_inv_undercut"
+let c_uncached = Obs.Counter.make "dme.order.nn_uncacheable"
 let c_pairs = Obs.Counter.make "dme.order.pairs_ranked"
 let c_rounds = Obs.Counter.make "dme.order.rounds"
+
+(* The same unordered pair can be proposed by both endpoints with
+   slightly different costs (trial orientation asymmetry); keep only
+   the cheapest proposal per pair.  Input: sorted by (i, j, cost).
+   Accumulator form: the ranked-pair count of a round equals the active
+   subtree count, so Gen.Huge-scale instances would blow the stack under
+   the former non-tail recursion. *)
+let dedupe_pairs pairs =
+  let rec go acc = function
+    | ((_, i1, j1) as p) :: (_, i2, j2) :: rest when i1 = i2 && j1 = j2 ->
+      go acc (p :: rest)
+    | p :: rest -> go (p :: acc) rest
+    | [] -> List.rev acc
+  in
+  go [] pairs
+
+(* A best cost above this is an avoid-infeasible penalty (see Engine):
+   a proposal that expensive is invalidated by practically any nearby
+   insertion, so it is cheaper to just re-probe its owner every round
+   than to cache and churn it. *)
+let reach_cap = 1e8
+
+(* What the k-NN scan that produced a proposal promised about entries it
+   did not evaluate: [Exhaustive] — there were none (the scan returned
+   every eligible entry); [Kth d] — they all lie at center distance >= d
+   (the k-th candidate's distance, from {!Grid_index.k_nearest_probe});
+   [Opaque] — no bound (the endgame [Grid_index.nearest] fallback), so
+   the proposal is never cached. *)
+type scan = Exhaustive | Kth of float | Opaque
+
+(* One cached nearest-neighbour proposal: the owner's cheapest partner
+   and raw (unbiased) cost, plus the probe-time facts the invalidation
+   sweep tests against — the owner's region radius bound [rad] (its L1
+   diameter; [Octagon.center] lies inside the region, so no region point
+   is farther than that from the center), the partner's center distance
+   [pdist] and 1-based rank in the candidate list, and a running count
+   of nodes inserted closer than the partner since the probe
+   ([rank - 1 + closer] bounds the partner's current grid rank). *)
+type proposal = {
+  partner : Subtree.t;
+  cost : float;
+  rad : float;
+  pdist : float;
+  rank : int;
+  mutable closer : int;
+}
 
 let run_ranked ?pool (inst : Clocktree.Instance.t) config
     ~(coster : 'note coster) ~merge =
@@ -29,6 +90,7 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
   (* A non-positive knn would make every k-NN query return [] and stall
      the pairing loop below; clamp rather than crash. *)
   let knn = Int.max 1 config.knn in
+  let incremental = config.incremental in
   let cell =
     let bbox = Clocktree.Instance.bbox inst in
     Float.max 1. (Octagon.diameter bbox /. Float.max 1. (Float.sqrt (float_of_int n)))
@@ -36,6 +98,13 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
   let active : (int, Subtree.t) Hashtbl.t = Hashtbl.create (2 * n) in
   let grid : Subtree.t Grid_index.t = Grid_index.create ~cell in
   let centers : (int, Pt.t) Hashtbl.t = Hashtbl.create (2 * n) in
+  (* Proposal cache: a subtree id is "dirty" exactly when it has no
+     entry here.  Invalidation removes entries; merged subtrees drop
+     theirs in [delete]; fresh nodes start without one. *)
+  let proposals : (int, proposal) Hashtbl.t = Hashtbl.create (2 * n) in
+  (* Subtrees inserted by the current round's commits, swept against the
+     surviving proposals at the start of the next round. *)
+  let inserted : Subtree.t list ref = ref [] in
   let insert (s : Subtree.t) =
     let c = Octagon.center s.region in
     Hashtbl.replace active s.id s;
@@ -47,7 +116,8 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
      | Some c -> Grid_index.remove grid ~id c
      | None -> ());
     Hashtbl.remove active id;
-    Hashtbl.remove centers id
+    Hashtbl.remove centers id;
+    Hashtbl.remove proposals id
   in
   Array.iter (fun s -> insert (Subtree.leaf s)) inst.sinks;
   let next_id = ref n in
@@ -60,34 +130,38 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
      ranking is by representative point, so probe several candidates and
      refine with the true merging cost).  Runs on worker domains during
      a parallel round: [active], [centers] and [grid] are only read, and
-     the candidate order plus the explicit lowest-id tie-break make the
-     winner independent of evaluation order. *)
+     the (cost, lowest-id) argmin makes the winner independent of
+     candidate evaluation order.  Also returns the scan's exclusion
+     bound for the proposal cache. *)
   let nearest_neighbor ~cost (s : Subtree.t) =
     Obs.Counter.incr c_probes;
     let c = Hashtbl.find centers s.id in
     let skip id = id = s.id in
-    let candidates = Grid_index.k_nearest grid ~skip c knn in
-    let candidates =
-      (* Endgame guard: with two or more active subtrees a probe must
-         yield a partner.  The k-NN query can only come back empty for
-         degenerate indices; fall back to the exhaustive nearest scan so
-         the 2-subtree endgame can never report "no partner". *)
-      match candidates with
-      | [] ->
+    let candidates, scan =
+      match Grid_index.k_nearest_probe grid ~skip c knn with
+      | [], _ ->
+        (* Endgame guard: with two or more active subtrees a probe must
+           yield a partner.  The k-NN query can only come back empty for
+           degenerate indices; fall back to the exhaustive nearest scan
+           so the 2-subtree endgame can never report "no partner". *)
         (match Grid_index.nearest grid ~skip c with
-         | Some e -> [ e ]
-         | None -> [])
-      | cs -> cs
+         | Some e -> ([ e ], Opaque)
+         | None -> ([], Opaque))
+      | cs, Some kth -> (cs, Kth kth)
+      | cs, None -> (cs, Exhaustive)
     in
-    List.fold_left
-      (fun best (_, _, (t : Subtree.t)) ->
-        let d = cost s t in
-        match best with
-        | Some ((bt : Subtree.t), bd)
-          when bd < d || (bd = d && bt.id < t.id) ->
-          best
-        | _ -> Some (t, d))
-      None candidates
+    let best =
+      List.fold_left
+        (fun best (_, _, (t : Subtree.t)) ->
+          let d = cost s t in
+          match best with
+          | Some ((bt : Subtree.t), bd)
+            when bd < d || (bd = d && bt.id < t.id) ->
+            best
+          | _ -> Some (t, d))
+        None candidates
+    in
+    (best, scan, candidates)
   in
   (* Deep subtrees have small delay targets; merging shallow pairs first
      (Chaturvedi-Hu) keeps depths homogeneous and avoids late merges that
@@ -118,16 +192,128 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
       arr;
     arr
   in
-  (* The same unordered pair can be proposed by both endpoints with
-     slightly different costs (trial orientation asymmetry); keep only
-     the cheapest proposal per pair.  Input: sorted by (i, j, cost). *)
-  let rec dedupe = function
-    | ((_, i1, j1) as p) :: (_, i2, j2) :: rest when i1 = i2 && j1 = j2 ->
-      dedupe (p :: rest)
-    | p :: rest -> p :: dedupe rest
-    | [] -> []
+  let invalidate id =
+    if Hashtbl.mem proposals id then begin
+      Obs.Counter.incr c_invalidated;
+      Hashtbl.remove proposals id
+    end
+  in
+  (* Dirty-set invalidation, run at the start of each round against the
+     exact population a from-scratch probe would see.  A cached proposal
+     (p, B) of owner [s] is reused only if it is provably what a fresh
+     probe would return, i.e. the argmin by (cost, lowest id) over the
+     current k-NN candidate set is still (p, B).  The argument splits
+     over where a fresh probe's candidate could come from:
+
+     - A candidate the original probe evaluated: its cost is a pure
+       function of the immutable subtree pair, so it still loses to
+       (B, p.id).
+
+     - A node inserted since (a committed merge's node [m]): handled by
+       the per-insertion sweep below.  [m] undercuts [B] only if
+       [Octagon.dist s.region m.region < B] — the coster contract
+       [cost >= region distance] plus [m.id > p.id] losing equal-cost
+       ties makes the strict test exact — and [m] can evict [p] from the
+       k-NN set only by outranking it.  Grid candidate order is (center
+       distance, bucket arrival): an [m] strictly farther than [pdist]
+       ranks after [p]; an exact center-distance tie is invalidated
+       outright; and an insertion reshuffling bucket arrival inside
+       [p]'s cell is harmless because caching refused any proposal whose
+       partner had a same-cell distance tie (arrival across different
+       cells is fixed by ring-scan geometry).  Insertions closer than
+       [pdist] shift [p]'s rank by one each; [rank - 1 + closer < knn]
+       keeps [p] inside the k-NN set, so the proposal dies only when
+       that headroom runs out, not at the first nearby insertion.  All
+       tests are against immutable quantities, so one sweep the round
+       after the insertion covers the proposal's whole lifetime.
+
+     - A pre-existing node the probe never evaluated, promoted into the
+       k-NN set as deletions push the k-th boundary outward: it lies at
+       center distance >= the probe's exclusion bound
+       ({!Grid_index.k_nearest_probe}), which caching requires to exceed
+       [pdist] strictly — so it ranks after [p] and can never evict it —
+       and the cache-time undercut scan proved its region distance
+       exceeds [B], so its cost loses even as a k-NN member.  Regions
+       are immutable and deletions only shrink the pre-existing
+       population, so that cache-time proof needs no per-round
+       re-checking; only insertions (swept above) can create new
+       undercut risks.
+
+     - [p] itself must still be alive: the partner-death rule.
+
+     The surviving proposal is therefore exactly the fresh probe's
+     answer — the routed tree, delays and wirelength are bit-identical
+     with incremental ranking on or off.  What is NOT replayed is the
+     skipped probes' side work: their coster sessions never run, so
+     engine-side trial counters drop below the from-scratch run's.  That
+     saving is the point; see DESIGN.md section 10.  The classic
+     candidate-list-exact rule (dirty when any candidate of the list
+     died) is also sound but measurably useless under multi-merge — each
+     round consumes half the active set, so some candidate of nearly
+     every survivor dies (measured: 0 of 1083 probes saved on r1). *)
+  let invalidate_stale ~alive_max_rad =
+    let dead_partner =
+      Hashtbl.fold
+        (fun oid pr acc ->
+          if Hashtbl.mem active pr.partner.id then acc else oid :: acc)
+        proposals []
+    in
+    List.iter
+      (fun oid ->
+        Obs.Counter.incr c_inv_partner;
+        invalidate oid)
+      dead_partner;
+    (* Collection radius: an owner failing any exact test below has its
+       center within [B + rad + rad_m] (undercut, via the triangle
+       inequality through both region radii) or [pdist
+       <= B + rad + rad_p] (rank churn) of [m]'s center.  [reach] bounds
+       every surviving cached [B + rad] — recomputed per round from the
+       live table, so late-game giants whose proposals already died do
+       not inflate earlier sweeps — while [alive_max_rad] bounds the
+       radius of [m] and of any live partner.  Over-collection costs
+       scan time only — the per-owner tests are exact. *)
+    let reach =
+      Hashtbl.fold
+        (fun _ pr acc -> Float.max acc (pr.cost +. pr.rad))
+        proposals 0.
+    in
+    List.iter
+      (fun (m : Subtree.t) ->
+        let cm = Hashtbl.find centers m.id in
+        let collect = reach +. alive_max_rad +. cell in
+        Grid_index.within grid cm collect
+        |> List.iter (fun (oid, oc, (owner : Subtree.t)) ->
+               match Hashtbl.find_opt proposals oid with
+               | None -> ()
+               | Some pr ->
+                 if oid <> m.id then begin
+                   if Octagon.dist owner.region m.region < pr.cost then begin
+                     Obs.Counter.incr c_inv_undercut;
+                     invalidate oid
+                   end
+                   else
+                     let dm = Pt.dist oc cm in
+                     if dm = pr.pdist then begin
+                       (* [m] ties the partner's center distance; which
+                          of the two a fresh scan ranks first hangs on
+                          arrival order, so be conservative. *)
+                       Obs.Counter.incr c_inv_rank;
+                       invalidate oid
+                     end
+                     else if dm < pr.pdist then begin
+                       pr.closer <- pr.closer + 1;
+                       if pr.rank - 1 + pr.closer >= knn then begin
+                         Obs.Counter.incr c_inv_rank;
+                         invalidate oid
+                       end
+                     end
+                 end))
+      !inserted;
+    inserted := []
   in
   let rounds = ref 0 in
+  let reprobed = ref 0 in
+  let saved = ref 0 in
   let rec loop () =
     let count = Hashtbl.length active in
     if count = 1 then
@@ -138,28 +324,128 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
       incr rounds;
       Obs.Counter.incr c_rounds;
       (* Rank in three strictly separated phases so the routed tree is
-         bit-identical for any jobs count: (1) probe every active
-         subtree against the frozen grid/cache state — in parallel
-         chunks when a pool is given; (2) absorb the probes' side
-         results on this domain in snapshot (ascending-id) order;
-         (3) sort, dedupe and commit merges serially. *)
+         bit-identical for any jobs count: (1) probe every stale active
+         subtree against the frozen grid state — in parallel chunks when
+         a pool is given — while clean subtrees reuse their cached
+         proposal; (2) absorb the probes' side results on this domain in
+         snapshot (ascending-id) order; (3) sort, dedupe and commit
+         merges serially.  With [incremental] off every subtree counts
+         as stale and the round degenerates to the from-scratch scan. *)
       let snap = snapshot () in
+      (* Largest region radius among this round's population: bounds the
+         unknown region radius of any node a triangle-inequality ball
+         must cover, both in the invalidation sweep and in the
+         cache-time undercut scan. *)
+      let alive_max_rad =
+        if not incremental then 0.
+        else
+          Array.fold_left
+            (fun m (s : Subtree.t) -> Float.max m (Octagon.diameter s.region))
+            0. snap
+      in
+      if incremental then invalidate_stale ~alive_max_rad;
+      let stale (s : Subtree.t) =
+        (not incremental) || not (Hashtbl.mem proposals s.id)
+      in
+      let todo =
+        if incremental then
+          Array.of_seq (Seq.filter stale (Array.to_seq snap))
+        else snap
+      in
       let probes =
         match pool with
-        | Some pool -> Par.Pool.map_chunked pool probe snap
-        | None -> Array.map probe snap
+        | Some pool -> Par.Pool.map_chunked pool probe todo
+        | None -> Array.map probe todo
       in
+      reprobed := !reprobed + Array.length todo;
       let pairs = ref [] in
-      Array.iteri
-        (fun idx (best, note) ->
-          coster.absorb note;
+      let ti = ref 0 in
+      Array.iter
+        (fun (s : Subtree.t) ->
+          let best =
+            if stale s then begin
+              let (best, scan, cands), note = probes.(!ti) in
+              incr ti;
+              coster.absorb note;
+              if incremental then
+                (match best with
+                 | Some (t, d) when d < reach_cap ->
+                   let c_s = Hashtbl.find centers s.id in
+                   let c_t = Hashtbl.find centers t.id in
+                   let pdist = Pt.dist c_s c_t in
+                   let rad = Octagon.diameter s.region in
+                   (* Cache-time undercut scan: the proposal is cached
+                      only if every alive node the probe did not
+                      evaluate has region distance > B from the owner,
+                      so no later promotion into the k-NN set can beat
+                      or tie the cached best (ties are excluded because
+                      a pre-existing node may hold a lower id than the
+                      partner and would win one).  Any such node's
+                      center lies within [B + rad + alive_max_rad] of
+                      the owner's; regions are immutable, so this holds
+                      for the proposal's whole life and only insertions
+                      (swept each round) can break it. *)
+                   let cacheable =
+                     (match scan with
+                      | Exhaustive -> true
+                      | Kth dk -> pdist < dk
+                      | Opaque -> false)
+                     (* Same-cell tie guard: a candidate in the
+                        partner's grid cell at exactly the partner's
+                        distance ranks against it by bucket arrival
+                        order, which any later insertion into that cell
+                        may reshuffle (Hashtbl resize).  Cross-cell
+                        ties rank by ring-scan geometry and entries the
+                        scan excluded lie at distance >= dk > pdist, so
+                        only candidates in the partner's own cell can
+                        flip. *)
+                     && (let pcell = Grid_index.cell_of grid c_t in
+                         not
+                           (List.exists
+                              (fun (cid, cpt, _) ->
+                                cid <> t.id
+                                && Pt.dist c_s cpt = pdist
+                                && Grid_index.cell_of grid cpt = pcell)
+                              cands))
+                     &&
+                     let ball = d +. rad +. alive_max_rad +. cell in
+                     Grid_index.within grid c_s ball
+                     |> List.for_all (fun (qid, _, (q : Subtree.t)) ->
+                            qid = s.id
+                            || List.exists
+                                 (fun (cid, _, _) -> cid = qid)
+                                 cands
+                            || Octagon.dist s.region q.region > d)
+                   in
+                   if cacheable then begin
+                     let rank =
+                       let rec go i = function
+                         | (cid, _, _) :: rest ->
+                           if cid = t.id then i else go (i + 1) rest
+                         | [] -> assert false
+                       in
+                       go 1 cands
+                     in
+                     Hashtbl.replace proposals s.id
+                       { partner = t; cost = d; rad; pdist; rank; closer = 0 }
+                   end
+                   else Obs.Counter.incr c_uncached
+                 | _ -> Obs.Counter.incr c_uncached);
+              best
+            end
+            else begin
+              let prop = Hashtbl.find proposals s.id in
+              incr saved;
+              Obs.Counter.incr c_saved;
+              Some (prop.partner, prop.cost)
+            end
+          in
           match best with
           | None -> ()
           | Some ((t : Subtree.t), d) ->
-            let s = snap.(idx) in
             let i = Int.min s.Subtree.id t.id and j = Int.max s.Subtree.id t.id in
             pairs := (biased s t d, i, j) :: !pairs)
-        probes;
+        snap;
       let pairs =
         List.sort
           (fun (c1, i1, j1) (c2, i2, j2) ->
@@ -170,7 +456,7 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
                | c -> c)
             | c -> c)
           !pairs
-        |> dedupe
+        |> dedupe_pairs
         |> List.sort (fun (c1, i1, j1) (c2, i2, j2) ->
                match Float.compare c1 c2 with
                | 0 ->
@@ -186,6 +472,13 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
       in
       let used = Hashtbl.create 64 in
       let merged = ref 0 in
+      let commit i j a b =
+        let s = merge ~id:(fresh_id ()) a b in
+        delete i;
+        delete j;
+        insert s;
+        if incremental then inserted := s :: !inserted
+      in
       List.iter
         (fun (_, i, j) ->
           if
@@ -197,10 +490,7 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
             | Some a, Some b ->
               Hashtbl.replace used i ();
               Hashtbl.replace used j ();
-              let s = merge ~id:(fresh_id ()) a b in
-              delete i;
-              delete j;
-              insert s;
+              commit i j a b;
               incr merged
             | _ -> ()
           end)
@@ -214,17 +504,14 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
         match List.sort Int.compare ids with
         | i :: j :: _ ->
           let a = Hashtbl.find active i and b = Hashtbl.find active j in
-          let s = merge ~id:(fresh_id ()) a b in
-          delete i;
-          delete j;
-          insert s
+          commit i j a b
         | _ -> assert false
       end;
       loop ()
     end
   in
   let root = loop () in
-  (root, !rounds)
+  (root, { rounds = !rounds; nn_probes = !reprobed; nn_probes_saved = !saved })
 
 let run inst config ~cost ~merge =
   run_ranked inst config ~coster:(of_cost cost) ~merge

@@ -10,7 +10,33 @@
     disjoint prefix.  Probing is read-only with respect to every shared
     structure and the partner choice tie-breaks on the lowest subtree id,
     so the selected merges — and hence the routed tree — are bit-identical
-    for any jobs count. *)
+    for any jobs count.
+
+    With [incremental] ranking (the default) each subtree's (partner,
+    cost) proposal is cached across rounds and invalidated by exact
+    per-proposal tests (the dirty set): the partner died in a committed
+    merge; a newly inserted node's region distance undercuts the cached
+    cost (so it could win the argmin); or insertions erode the partner's
+    candidate rank past the [knn] horizon (tracked with a per-proposal
+    counter; exact center-distance ties invalidate conservatively).  A
+    proposal is cached in the first place only when the probe's k-NN
+    exclusion bound and a one-time undercut scan prove that every node
+    the probe never evaluated both ranks after the partner and costs
+    more than the cached best — the full soundness argument lives next
+    to [invalidate_stale] in the implementation and in DESIGN.md
+    section 10.  Clean subtrees reuse their cached best pair, which is
+    provably the pair a from-scratch probe would select, so the routed
+    tree, per-sink delays and wirelength stay bit-identical with
+    [incremental] on or off, for every jobs count.  Trial-merge
+    {e counters} may drop below the from-scratch run's (skipped probes
+    never evaluate candidates that could not win); that saving is the
+    point.
+
+    Incremental ranking relies on the coster lower bound
+    [cost a b >= Octagon.dist a.region b.region] (every in-tree cost —
+    region distance, planned wire, distance + infeasibility penalty —
+    satisfies it).  Costers that violate the bound must route with
+    [incremental = false]. *)
 
 type config = {
   multi_merge : bool;
@@ -21,6 +47,9 @@ type config = {
   delay_order_weight : float;
       (** layout units per ps: sorts deeper (slower) subtrees earlier;
           0 disables the delay-target enhancement *)
+  incremental : bool;
+      (** cache proposals across rounds with dirty-set invalidation;
+          default on.  Off = re-probe every active subtree each round. *)
 }
 
 val default : config
@@ -31,8 +60,10 @@ val default : config
     ['note] carries any side results the probe produced (for the DME
     engine: freshly executed trial merges and cache-counter deltas).
     The cost function must not mutate shared state; [absorb] is called
-    for every probe's note on the calling domain, in ascending subtree-id
-    order, before any merge of the round is committed. *)
+    for every executed probe's note on the calling domain, in ascending
+    subtree-id order, before any merge of the round is committed.
+    Subtrees whose cached proposal is reused run no session and absorb
+    nothing. *)
 type 'note coster = {
   session : unit -> (Subtree.t -> Subtree.t -> float) * (unit -> 'note);
   absorb : 'note -> unit;
@@ -41,18 +72,31 @@ type 'note coster = {
 (** Wrap a pure, self-contained cost function (no side results). *)
 val of_cost : (Subtree.t -> Subtree.t -> float) -> unit coster
 
+(** Ranking-loop statistics.  [nn_probes] counts executed
+    nearest-neighbour probes (each runs one coster session over up to
+    [knn] candidates); [nn_probes_saved] counts the rank slots served
+    from the cross-round proposal cache instead.  Their sum is the probe
+    count a from-scratch run would have executed. *)
+type stats = { rounds : int; nn_probes : int; nn_probes_saved : int }
+
+(** [dedupe_pairs pairs] collapses adjacent entries with equal subtree-id
+    pairs to the first (cheapest, given the (i, j, cost) pre-sort) one.
+    Tail-recursive: safe for rounds ranking hundreds of thousands of
+    pairs.  Exposed for testing. *)
+val dedupe_pairs : (float * int * int) list -> (float * int * int) list
+
 (** [run_ranked ?pool inst config ~coster ~merge] reduces the sink set to
     one subtree, calling [merge ~id a b] on the calling domain for every
     selected pair.  With [pool], candidate probing runs on the pool's
     domains; results are deterministic and identical to the serial run.
-    Returns the final subtree and the number of rounds executed. *)
+    Returns the final subtree and the ranking statistics. *)
 val run_ranked :
   ?pool:Par.Pool.t ->
   Clocktree.Instance.t ->
   config ->
   coster:'note coster ->
   merge:(id:int -> Subtree.t -> Subtree.t -> Subtree.t) ->
-  Subtree.t * int
+  Subtree.t * stats
 
 (** [run inst config ~cost ~merge] is {!run_ranked} without a pool over
     {!of_cost}[ cost]: the serial interface used by tests and simple
@@ -65,4 +109,4 @@ val run :
   config ->
   cost:(Subtree.t -> Subtree.t -> float) ->
   merge:(id:int -> Subtree.t -> Subtree.t -> Subtree.t) ->
-  Subtree.t * int
+  Subtree.t * stats

@@ -21,6 +21,8 @@ let key t (p : Pt.t) =
   ( int_of_float (Float.floor (p.x /. t.cell)),
     int_of_float (Float.floor (p.y /. t.cell)) )
 
+let cell_of = key
+
 let add t ~id p v =
   let k = key t p in
   let bucket =
@@ -52,6 +54,10 @@ let size t = t.count
    [ceil (best / cell) + 1], which bounds the scan; the bounding box of
    occupied cells bounds it even when the caller's stop condition never
    fires (e.g. fewer entries than requested). *)
+(* Returns the first ring NOT visited, so callers can tell whether the
+   scan ended because [stop] fired (the ring-distance bound subsumed the
+   remaining cells) or because the occupied bounding box ran out — the
+   distinction drives the probe invalidation radius below. *)
 let fold_rings t (p : Pt.t) ~stop f =
   let cx, cy = key t p in
   let max_ring =
@@ -72,7 +78,7 @@ let fold_rings t (p : Pt.t) ~stop f =
     | None -> ()
   in
   let rec ring r =
-    if r > max_ring || stop r then ()
+    if r > max_ring || stop r then r
     else begin
       Obs.Counter.incr c_rings;
       if r = 0 then visit cx cy
@@ -104,20 +110,21 @@ let nearest t ?(skip = fun _ -> false) p =
       | None -> false
       | Some _ -> float_of_int (r - 1) *. t.cell > !best_dist
     in
-    fold_rings t p ~stop (fun id e ->
-        if not (skip id) then begin
-          let d = Pt.dist p e.pt in
-          if d < !best_dist then begin
-            best_dist := d;
-            best := Some (id, e.pt, e.value)
-          end
-        end);
+    ignore
+      (fold_rings t p ~stop (fun id e ->
+           if not (skip id) then begin
+             let d = Pt.dist p e.pt in
+             if d < !best_dist then begin
+               best_dist := d;
+               best := Some (id, e.pt, e.value)
+             end
+           end));
     !best
   end
 
-let k_nearest t ?(skip = fun _ -> false) p k =
+let k_nearest_probe t ?(skip = fun _ -> false) p k =
   Obs.Counter.incr c_queries;
-  if t.count = 0 || k <= 0 then []
+  if t.count = 0 || k <= 0 then ([], None)
   else begin
     (* Bounded selection: a binary max-heap keeps the k best candidates
        seen so far, ordered by (distance, arrival) — O(log k) per
@@ -181,29 +188,58 @@ let k_nearest t ?(skip = fun _ -> false) p k =
       let kth, _ = key 0 in
       float_of_int (r - 1) *. t.cell > kth
     in
-    fold_rings t p ~stop (fun id e ->
-        if not (skip id) then offer (Pt.dist p e.pt) (id, e.pt, e.value));
+    let ended =
+      fold_rings t p ~stop (fun id e ->
+          if not (skip id) then offer (Pt.dist p e.pt) (id, e.pt, e.value))
+    in
+    (* Exclusion bound.  When the heap filled ([size = k]) every eligible
+       entry left out of the result was either rejected by the heap —
+       only possible at distance >= the running k-th distance, which
+       never grows — or never offered because the ring scan stopped, i.e.
+       its ring satisfied (r - 1) * cell > kth.  Either way it lies at L1
+       distance >= the final k-th distance from [p].  A heap that never
+       filled accepted every eligible offer, and [fold_rings] visits the
+       whole occupied bounding box unless [stop] fires, so the result is
+       exhaustive and no entry was excluded at all. *)
+    ignore ended;
+    let radius =
+      if !size = k then
+        let kth, _ = key 0 in
+        Some kth
+      else None
+    in
     let kept = ref [] in
     for i = 0 to !size - 1 do
       match heap.(i) with
       | Some c -> kept := c :: !kept
       | None -> assert false
     done;
-    !kept
-    |> List.sort (fun (d1, s1, _) (d2, s2, _) ->
-           match Float.compare d1 d2 with
-           | 0 -> Int.compare s2 s1
-           | c -> c)
-    |> List.map (fun (_, _, entry) -> entry)
+    let entries =
+      !kept
+      |> List.sort (fun (d1, s1, _) (d2, s2, _) ->
+             match Float.compare d1 d2 with
+             | 0 -> Int.compare s2 s1
+             | c -> c)
+      |> List.map (fun (_, _, entry) -> entry)
+    in
+    (entries, radius)
   end
+
+let k_nearest t ?skip p k = fst (k_nearest_probe t ?skip p k)
 
 let within t p r =
   Obs.Counter.incr c_queries;
-  let acc = ref [] in
-  let stop ring = float_of_int (ring - 1) *. t.cell > r in
-  fold_rings t p ~stop (fun id e ->
-      if Pt.dist p e.pt <= r then acc := (id, e.pt, e.value) :: !acc);
-  !acc
+  (* A negative radius can match nothing and an empty index has nothing
+     to scan; bail out before fold_rings walks rings for free. *)
+  if t.count = 0 || r < 0. then []
+  else begin
+    let acc = ref [] in
+    let stop ring = float_of_int (ring - 1) *. t.cell > r in
+    ignore
+      (fold_rings t p ~stop (fun id e ->
+           if Pt.dist p e.pt <= r then acc := (id, e.pt, e.value) :: !acc));
+    !acc
+  end
 
 let iter t f =
   Hashtbl.iter (fun _ b -> Hashtbl.iter (fun id e -> f id e.pt e.value) b)

@@ -31,7 +31,24 @@ val nearest : 'a t -> ?skip:(int -> bool) -> Pt.t -> (int * Pt.t * 'a) option
 val k_nearest :
   'a t -> ?skip:(int -> bool) -> Pt.t -> int -> (int * Pt.t * 'a) list
 
-(** All entries within L1 distance [r] of [p]. *)
+(** [k_nearest_probe t ?skip p k] is {!k_nearest} plus the query's
+    {e exclusion bound}: [Some d] promises that every eligible entry
+    {e not} in the returned list lies at L1 distance >= [d] (the k-th
+    candidate's distance) from [p] — the lower bound the DME incremental
+    ranking needs to prove that entries it never evaluated cannot beat a
+    cached proposal.  [None] means the scan was exhaustive: the list
+    contains {e every} eligible entry, so nothing was excluded. *)
+val k_nearest_probe :
+  'a t -> ?skip:(int -> bool) -> Pt.t -> int -> (int * Pt.t * 'a) list * float option
+
+(** [cell_of t p] is the grid-cell key of point [p] — exposed so callers
+    tracking cached query results can detect mutations landing in a
+    specific entry's cell (same-cell bucket churn may reorder distance
+    ties, see {!k_nearest_probe}). *)
+val cell_of : 'a t -> Pt.t -> int * int
+
+(** All entries within L1 distance [r] of [p].  A negative [r] or an
+    empty index returns [[]] without scanning. *)
 val within : 'a t -> Pt.t -> float -> (int * Pt.t * 'a) list
 
 val iter : 'a t -> (int -> Pt.t -> 'a -> unit) -> unit

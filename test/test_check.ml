@@ -197,6 +197,18 @@ let test_fuzz_smoke () =
   Alcotest.(check int) "all cases pass" 24 s.passed;
   Alcotest.(check bool) "ok" true (Check.Runner.ok s)
 
+let test_incremental_oracle_huge () =
+  (* The incremental-identity oracle at benchmark scale, serial and
+     parallel: many merge rounds of cache reuse and invalidation on a
+     generated (not hand-picked) instance. *)
+  let c = Check.Gen.case ~regime:Check.Gen.Huge ~seed:5L ~index:0 () in
+  match Check.Oracle.incremental_identity ~jobs:[ 1; 2 ] c.instance with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "incremental identity violated:@ %a"
+      (Format.pp_print_list Check.Oracle.pp_finding)
+      findings
+
 let test_replay_matches_run () =
   let findings = Check.replay ~seed:7L ~case:3 () in
   Alcotest.(check int) "clean case replays clean" 0 (List.length findings);
@@ -424,6 +436,8 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "fuzz smoke" `Slow test_fuzz_smoke;
+          Alcotest.test_case "incremental oracle at scale" `Slow
+            test_incremental_oracle_huge;
           Alcotest.test_case "replay + determinism" `Slow
             test_replay_matches_run;
           Alcotest.test_case "injected violation caught + shrunk" `Slow

@@ -112,6 +112,28 @@ let test_pp_result_smoke () =
   let s = Format.asprintf "%a" Astskew.Router.pp_result r in
   Alcotest.(check bool) "non-empty" true (String.length s > 10)
 
+let test_json_of_result_probe_counters () =
+  (* The probe counters the bench harness and astroute --stats-json key
+     on must be present in the engine object and consistent with the
+     stats record — parse the emitted JSON back rather than substring
+     matching. *)
+  let inst = mk_instance 60 ~n_groups:2 ~bound:10. in
+  let r = Astskew.Router.ast_dme inst in
+  let json = Obs.Json.of_string (Obs.Json.to_string (Astskew.Router.json_of_result r)) in
+  let field name = function
+    | Obs.Json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  match field "engine" json with
+  | None -> Alcotest.fail "missing engine object"
+  | Some engine ->
+    (match (field "nn_reprobes" engine, field "nn_probes_saved" engine) with
+     | Some (Obs.Json.Int reprobes), Some (Obs.Json.Int saved) ->
+       Alcotest.(check int) "nn_reprobes" r.engine.nn_reprobes reprobes;
+       Alcotest.(check int) "nn_probes_saved" r.engine.nn_probes_saved saved;
+       Alcotest.(check bool) "probes were executed" true (reprobes > 0)
+     | _ -> Alcotest.fail "missing or non-int probe counters")
+
 let () =
   Alcotest.run "core"
     [
@@ -133,5 +155,7 @@ let () =
           Alcotest.test_case "phase timings" `Quick test_timings_recorded;
           Alcotest.test_case "cpu time" `Quick test_cpu_time_recorded;
           Alcotest.test_case "pp_result" `Quick test_pp_result_smoke;
+          Alcotest.test_case "json probe counters" `Quick
+            test_json_of_result_probe_counters;
         ] );
     ]

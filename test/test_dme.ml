@@ -196,14 +196,14 @@ let test_order_reduces_to_one () =
   let cost (a : Dme.Subtree.t) (b : Dme.Subtree.t) =
     Octagon.dist a.region b.region
   in
-  let root, rounds = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
+  let root, stats = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
   Alcotest.(check int) "all sinks" 33 root.n_sinks;
-  Alcotest.(check bool) "several rounds" true (rounds >= 2);
+  Alcotest.(check bool) "several rounds" true (stats.rounds >= 2);
   (* single-pair mode produces one merge per round *)
   let config = { Dme.Order.default with multi_merge = false } in
-  let root1, rounds1 = Dme.Order.run inst config ~cost ~merge:merge_cb in
+  let root1, stats1 = Dme.Order.run inst config ~cost ~merge:merge_cb in
   Alcotest.(check int) "all sinks single" 33 root1.n_sinks;
-  Alcotest.(check int) "n-1 rounds" 32 rounds1
+  Alcotest.(check int) "n-1 rounds" 32 stats1.rounds
 
 (* Endgame audit: the smallest instances exercise the final 2- and
    3-subtree rounds of the nearest-neighbour loop, where a grid query
@@ -214,9 +214,9 @@ let test_order_two_sink_endgame () =
   let cost (a : Dme.Subtree.t) (b : Dme.Subtree.t) =
     Octagon.dist a.region b.region
   in
-  let root, rounds = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
+  let root, stats = Dme.Order.run inst Dme.Order.default ~cost ~merge:merge_cb in
   Alcotest.(check int) "both sinks merged" 2 root.n_sinks;
-  Alcotest.(check int) "one round" 1 rounds
+  Alcotest.(check int) "one round" 1 stats.Dme.Order.rounds
 
 let test_order_three_sink_endgame () =
   let inst =
@@ -371,6 +371,72 @@ let test_parallel_bit_identical () =
         && serial.engine.trial.trial_merges > 0))
     [ "r1"; "r2" ]
 
+let test_incremental_bit_identical () =
+  (* The cross-round proposal cache must be a pure probe saver: routing
+     with it on and off must produce bit-identical trees, delays and
+     wirelength for serial AND parallel ranking; the cache must actually
+     skip probes; and the probe accounting must balance (every rank slot
+     either re-probed or served from the cache). *)
+  List.iter
+    (fun name ->
+      let spec = Option.get (Workload.Circuits.find name) in
+      let inst =
+        Workload.Circuits.instance spec ~n_groups:6
+          ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+      in
+      let off = Astskew.Router.ast_dme ~jobs:1 ~incremental:false inst in
+      List.iter
+        (fun jobs ->
+          let on = Astskew.Router.ast_dme ~jobs ~incremental:true inst in
+          let tag = Printf.sprintf "%s jobs=%d" name jobs in
+          Alcotest.(check bool)
+            (tag ^ ": identical topology and embedding")
+            true
+            (tree_equal off.routed.tree on.routed.tree
+            && Pt.equal off.routed.source on.routed.source
+            && off.routed.source_len = on.routed.source_len);
+          Alcotest.(check bool)
+            (tag ^ ": identical wirelength/skews")
+            true
+            (off.evaluation.wirelength = on.evaluation.wirelength
+            && off.evaluation.global_skew = on.evaluation.global_skew
+            && off.evaluation.max_group_skew = on.evaluation.max_group_skew);
+          Alcotest.(check bool)
+            (tag ^ ": identical per-sink delays")
+            true
+            (off.evaluation.delays = on.evaluation.delays);
+          Alcotest.(check bool) (tag ^ ": cache active") true
+            (on.engine.nn_probes_saved > 0);
+          Alcotest.(check int)
+            (tag ^ ": probe accounting")
+            off.engine.nn_reprobes
+            (on.engine.nn_reprobes + on.engine.nn_probes_saved))
+        [ 1; 4 ];
+      Alcotest.(check int)
+        (name ^ ": from-scratch run saves nothing")
+        0 off.engine.nn_probes_saved)
+    [ "r1"; "r2" ]
+
+let test_dedupe_pairs () =
+  let open Dme.Order in
+  Alcotest.(check (list (triple (float 0.) int int)))
+    "empty" [] (dedupe_pairs []);
+  (* Pre-sorted by (i, j, cost): the first entry of each (i, j) run —
+     the cheapest — survives. *)
+  Alcotest.(check (list (triple (float 0.) int int)))
+    "collapses runs to the cheapest"
+    [ (1., 0, 1); (5., 0, 2); (2., 1, 3) ]
+    (dedupe_pairs
+       [ (1., 0, 1); (3., 0, 1); (5., 0, 2); (2., 1, 3); (2., 1, 3) ])
+
+let test_dedupe_pairs_large () =
+  (* Regression: the former non-tail recursion overflowed the stack at
+     Gen.Huge-scale pair counts. *)
+  let n = 400_000 in
+  let pairs = List.init n (fun i -> (float_of_int i, i, i + 1)) in
+  Alcotest.(check int) "all distinct pairs survive" n
+    (List.length (Dme.Order.dedupe_pairs pairs))
+
 let prop_engine_respects_bound =
   let gen =
     QCheck.Gen.(
@@ -441,6 +507,9 @@ let () =
           Alcotest.test_case "three-sink endgame" `Quick
             test_order_three_sink_endgame;
           Alcotest.test_case "knn=0 clamped" `Quick test_order_knn_zero_clamped;
+          Alcotest.test_case "dedupe pairs" `Quick test_dedupe_pairs;
+          Alcotest.test_case "dedupe pairs large (stack safety)" `Quick
+            test_dedupe_pairs_large;
         ] );
       ("embed", [ Alcotest.test_case "valid tree" `Quick test_embed_valid_tree ]);
       ( "engine",
@@ -449,6 +518,8 @@ let () =
           Alcotest.test_case "stats add up" `Quick test_engine_stats_add_up;
           Alcotest.test_case "trial cache bit-identical" `Slow
             test_trial_cache_bit_identical;
+          Alcotest.test_case "incremental ranking bit-identical" `Slow
+            test_incremental_bit_identical;
           Alcotest.test_case "parallel ranking bit-identical" `Slow
             test_parallel_bit_identical;
         ]

@@ -486,6 +486,136 @@ let prop_grid_k_nearest_matches_brute_force =
          = expect_n
       && List.for_all (fun (id, _, _) -> not (skip id)) got)
 
+let test_grid_probe_semantics () =
+  let g = Grid_index.create ~cell:10. in
+  Grid_index.add g ~id:1 (pt 0. 0.) ();
+  Grid_index.add g ~id:2 (pt 5. 0.) ();
+  Grid_index.add g ~id:3 (pt 40. 0.) ();
+  (* k below the population: the heap fills, so the probe must report the
+     k-th distance as its exclusion bound. *)
+  (match Grid_index.k_nearest_probe g (pt 0. 0.) 2 with
+   | [ (a, _, _); (b, _, _) ], Some bound ->
+     Alcotest.(check (list int)) "k=2 order" [ 1; 2 ] [ a; b ];
+     Alcotest.(check (float 1e-9)) "k=2 bound is kth distance" 5. bound
+   | _ -> Alcotest.fail "expected 2 entries with a bound");
+  (* k above the population: the heap can never fill, the scan is
+     exhaustive and no bound is reported.  (At k = population the heap
+     does fill and a — vacuously sound — bound comes back.) *)
+  (match Grid_index.k_nearest_probe g (pt 0. 0.) 4 with
+   | entries, None -> Alcotest.(check int) "k=4 exhaustive" 3 (List.length entries)
+   | _, Some _ -> Alcotest.fail "exhaustive scan must not report a bound");
+  (* Negative radius matches nothing (and must not ring-scan forever). *)
+  Alcotest.(check int) "negative within" 0
+    (List.length (Grid_index.within g (pt 0. 0.) (-1.)));
+  (* cell_of: same cell iff floor-quantized coordinates agree. *)
+  Alcotest.(check bool) "same cell" true
+    (Grid_index.cell_of g (pt 1. 1.) = Grid_index.cell_of g (pt 9. 9.));
+  Alcotest.(check bool) "different cell" false
+    (Grid_index.cell_of g (pt 1. 1.) = Grid_index.cell_of g (pt 11. 1.))
+
+(* Churn property: a random interleaving of adds, removes and queries
+   must agree with a brute-force mirror at every step — the index may
+   never decay under mutation (bucket resize, cell emptying, re-adds).
+   Also checks the k_nearest_probe exclusion-bound contract that the DME
+   incremental ranking depends on: [Some d] means every eligible entry
+   not returned lies at distance >= d; [None] means nothing was left
+   out. *)
+let prop_grid_churn =
+  let gen =
+    QCheck.Gen.(
+      let* n_ops = int_range 5 120 in
+      let* ops =
+        list_repeat n_ops
+          (let* tag = int_range 0 9 in
+           let* p = gen_pt in
+           let* x = int_range 0 30 in
+           return (tag, p, x))
+      in
+      let* cell = oneofl [ 4.; 30.; 200. ] in
+      return (ops, cell))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (ops, cell) ->
+        Printf.sprintf "%d ops, cell=%g" (List.length ops) cell)
+      gen
+  in
+  QCheck.Test.make ~name:"grid survives add/remove churn" ~count:200 arb
+    (fun (ops, cell) ->
+      let g = Grid_index.create ~cell in
+      let mirror : (int, Pt.t) Hashtbl.t = Hashtbl.create 64 in
+      let next = ref 0 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let brute q =
+        Hashtbl.fold (fun id p acc -> (id, Pt.dist q p) :: acc) mirror []
+        |> List.sort (fun (i1, d1) (i2, d2) ->
+               match Float.compare d1 d2 with
+               | 0 -> Int.compare i1 i2
+               | c -> c)
+      in
+      List.iter
+        (fun (tag, p, x) ->
+          match tag with
+          | 0 | 1 | 2 | 3 ->
+            let id = !next in
+            incr next;
+            Grid_index.add g ~id p p;
+            Hashtbl.replace mirror id p
+          | 4 | 5 ->
+            (* remove the x-th live id (mod population), if any *)
+            let ids =
+              Hashtbl.fold (fun id _ acc -> id :: acc) mirror []
+              |> List.sort Int.compare
+            in
+            (match ids with
+             | [] -> ()
+             | _ ->
+               let id = List.nth ids (x mod List.length ids) in
+               let pt_id = Hashtbl.find mirror id in
+               Grid_index.remove g ~id pt_id;
+               Hashtbl.remove mirror id)
+          | 6 ->
+            check (Grid_index.size g = Hashtbl.length mirror);
+            let b = brute p in
+            (match (Grid_index.nearest g p, b) with
+             | Some (_, q, _), (_, d) :: _ ->
+               check (Float.abs (Pt.dist p q -. d) <= 1e-9)
+             | None, [] -> ()
+             | _ -> check false)
+          | 7 | 8 ->
+            let k = 1 + (x mod 8) in
+            let got, bound = Grid_index.k_nearest_probe g p k in
+            let b = brute p in
+            let expect_n = Int.min k (List.length b) in
+            check (List.length got = expect_n);
+            List.iteri
+              (fun i (_, q, _) ->
+                match List.nth_opt b i with
+                | Some (_, d) -> check (Float.abs (Pt.dist p q -. d) <= 1e-9)
+                | None -> check false)
+              got;
+            let returned = List.map (fun (id, _, _) -> id) got in
+            (match bound with
+             | Some d ->
+               (* every eligible entry left out lies at distance >= d *)
+               List.iter
+                 (fun (id, dist) ->
+                   if not (List.mem id returned) then check (dist >= d -. 1e-9))
+                 b
+             | None ->
+               (* exhaustive: nothing was left out *)
+               check (List.length got = List.length b))
+          | _ ->
+            let r = Float.abs p.Pt.x in
+            let got = Grid_index.within g p r in
+            let expect =
+              List.filter (fun (_, d) -> d <= r) (brute p) |> List.length
+            in
+            check (List.length got = expect))
+        ops;
+      !ok)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -542,9 +672,11 @@ let () =
           ] );
       ( "grid-index",
         Alcotest.test_case "basic operations" `Quick test_grid_basic
+        :: Alcotest.test_case "probe semantics" `Quick test_grid_probe_semantics
         :: qsuite
              [
                prop_grid_matches_linear_scan;
                prop_grid_k_nearest_matches_brute_force;
+               prop_grid_churn;
              ] );
     ]

@@ -70,6 +70,64 @@ let test_json_write_file () =
       close_in ic;
       Alcotest.(check string) "file contents" {|{"x":1}|} line)
 
+let test_json_parse_roundtrip () =
+  let open Obs.Json in
+  let cases =
+    [
+      Null;
+      Bool true;
+      Bool false;
+      Int 0;
+      Int (-42);
+      Float 1.5;
+      Float (-0.25);
+      String "";
+      String "a\"b\\c\nd\tе";
+      List [];
+      List [ Int 1; List [ Bool false ]; Null ];
+      Obj [];
+      Obj [ ("a", Int 1); ("b", List [ Float 2.5 ]); ("c", Obj [ ("d", Null) ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = to_string v in
+      Alcotest.(check bool) (s ^ " roundtrips") true (of_string s = v))
+    cases;
+  (* The emitter's lossy cases parse back as documented. *)
+  Alcotest.(check bool) "nan -> null" true
+    (of_string (to_string (Float Float.nan)) = Null);
+  (* Whitespace, exponents and unicode escapes. *)
+  Alcotest.(check bool) "whitespace" true
+    (of_string " { \"a\" : [ 1 , 2 ] } " = Obj [ ("a", List [ Int 1; Int 2 ]) ]);
+  Alcotest.(check bool) "exponent is float" true
+    (of_string "1e3" = Float 1000.);
+  Alcotest.(check bool) "unicode escape" true (of_string {|"A"|} = String "A")
+
+let test_json_parse_errors () =
+  let open Obs.Json in
+  let fails s =
+    match of_string s with
+    | exception Parse_error _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " rejected") true (fails s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "+5" ];
+  Alcotest.(check bool) "of_string_opt on junk" true (of_string_opt "{" = None);
+  Alcotest.(check bool) "of_string_opt on good input" true
+    (of_string_opt "[]" = Some (List []))
+
+let test_json_read_file () =
+  let path = Filename.temp_file "obs_json_read" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let v = Obs.Json.Obj [ ("xs", Obs.Json.List [ Obs.Json.Int 7 ]) ] in
+      Obs.Json.write_file path v;
+      Alcotest.(check bool) "write/read roundtrip" true
+        (Obs.Json.read_file path = v))
+
 let test_report_snapshot () =
   let c = Obs.Counter.make "test.report.counter" in
   let t = Obs.Timer.make "test.report.timer" in
@@ -113,6 +171,9 @@ let () =
         [
           Alcotest.test_case "to_string" `Quick test_json_to_string;
           Alcotest.test_case "write_file" `Quick test_json_write_file;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "read_file" `Quick test_json_read_file;
         ] );
       ("report", [ Alcotest.test_case "snapshot" `Quick test_report_snapshot ]);
     ]
