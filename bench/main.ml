@@ -5,6 +5,7 @@
      [table1|table2|figures|spice|ablation|micro|quick|all]
      | cache [CIRCUIT...]
      | par [CIRCUIT...]
+     | trace [CIRCUIT...]
      | smoke [CIRCUIT]
      | compare OLD.json NEW.json [--threshold PCT]
      | fuzz [--cases N] [--seed S] [--inject] [--replay CASE]
@@ -13,7 +14,11 @@
    and incremental ranking off vs on over r1-r5 (or the listed circuits),
    sweeps the engine's jobs knob, and writes BENCH_<circuit>.json stats
    files; "par" prints just the jobs sweep (speedup vs jobs in
-   {1,2,4,cores}); "smoke" is the deterministic CI perf gate: it routes
+   {1,2,4,cores}); "trace" routes r1-r5 (or the listed circuits) with a
+   live trace, writes TRACE_<circuit>.json (Chrome trace-event) and
+   TRACE_<circuit>.jsonl (metrics journal) and fails when the journal's
+   per-round sums disagree with the engine stats; "smoke" is the
+   deterministic CI perf gate: it routes
    one circuit (default r3) with incremental ranking off then on and
    fails unless the trees are identical and the probe counter strictly
    dropped; "compare" diffs two BENCH_<circuit>.json files and exits
@@ -322,6 +327,89 @@ let smoke args =
     if inc + saved <> full then
       fail "executed + saved probes do not add up to the full count";
     Format.printf "OK@."
+
+(* --- bench trace: Chrome trace + JSONL journal artifacts ------------------- *)
+
+(* Routes each circuit once (AST-DME) with a live trace and writes
+   TRACE_<circuit>.json (Chrome trace-event format, Perfetto-loadable)
+   and TRACE_<circuit>.jsonl (metrics journal).  Fails — exit 1 — when
+   any journal's per-round sums disagree with the engine's aggregate
+   stats, so CI catches instrumentation drift the moment a counter and
+   its journal field diverge. *)
+let trace_bench ?(circuits = default_circuits) () =
+  header "Trace artifacts (AST-DME, Chrome trace + JSONL journal)";
+  Format.printf "%-8s %7s %8s %8s %9s@." "circuit" "rounds" "events" "journal"
+    "check";
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      match Workload.Circuits.find name with
+      | None ->
+        Format.eprintf "trace bench: unknown circuit %S@." name;
+        incr failures
+      | Some spec ->
+        let inst = bench_instance spec in
+        let trace = Obs.Trace.create () in
+        Obs.Trace.merge_manifest trace
+          [
+            ("circuit", Obs.Json.String spec.name);
+            ("n_sinks", Obs.Json.Int spec.n_sinks);
+            ("n_groups", Obs.Json.Int 8);
+            ("scheme", Obs.Json.String "intermingled");
+            ("bound_ps", Obs.Json.Float bound);
+          ];
+        let r = Astskew.Router.ast_dme ~trace inst in
+        let chrome_file = Printf.sprintf "TRACE_%s.json" spec.name in
+        let journal_file = Printf.sprintf "TRACE_%s.jsonl" spec.name in
+        Obs.Trace.write_chrome chrome_file trace;
+        Obs.Trace.write_journal journal_file trace;
+        let round_records =
+          List.filter_map
+            (function
+              | Obs.Json.Obj fields
+                when List.assoc_opt "type" fields
+                     = Some (Obs.Json.String "round") ->
+                Some fields
+              | _ -> None)
+            (Obs.Trace.journal_records trace)
+        in
+        let sum key =
+          List.fold_left
+            (fun acc fields ->
+              match List.assoc_opt key fields with
+              | Some (Obs.Json.Int i) -> acc + i
+              | _ -> acc)
+            0 round_records
+        in
+        let bad = ref [] in
+        let check what got want =
+          if got <> want then
+            bad := Printf.sprintf "%s: journal %d <> engine %d" what got want
+                   :: !bad
+        in
+        check "rounds" (List.length round_records) r.engine.rounds;
+        check "probes" (sum "probes") r.engine.nn_reprobes;
+        check "nn_probes_saved" (sum "nn_probes_saved")
+          r.engine.nn_probes_saved;
+        check "trial_merges" (sum "trial_merges") r.engine.trial.trial_merges;
+        check "trial_cache_hits" (sum "trial_cache_hits")
+          r.engine.trial.cache_hits;
+        let n_events = List.length (Obs.Trace.events trace) in
+        Format.printf "%-8s %7d %8d %8d %9s@." spec.name r.engine.rounds
+          n_events
+          (List.length round_records)
+          (if !bad = [] then "ok" else "MISMATCH");
+        List.iter
+          (fun m -> Format.printf "  MISMATCH %s@." m)
+          (List.rev !bad);
+        if !bad <> [] then incr failures;
+        Format.printf "  wrote %s, %s@." chrome_file journal_file)
+    circuits;
+  if !failures > 0 then begin
+    Format.printf "@.%d circuit(s) failed the journal consistency check@."
+      !failures;
+    exit 1
+  end
 
 (* --- BENCH_*.json comparison ---------------------------------------------- *)
 
@@ -661,6 +749,7 @@ let () =
   | "micro" -> micro ()
   | "cache" -> cache_bench ?circuits:(circuits_of rest) ()
   | "par" -> par_bench ?circuits:(circuits_of rest) ()
+  | "trace" -> trace_bench ?circuits:(circuits_of rest) ()
   | "smoke" -> smoke rest
   | "compare" -> compare_bench rest
   | "quick" ->
@@ -678,6 +767,6 @@ let () =
     micro ()
   | other ->
     Format.eprintf
-      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|smoke|compare|quick|all)@."
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|trace|smoke|compare|quick|all)@."
       other;
     exit 1

@@ -66,6 +66,66 @@ let stats_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file to FILE: spans and instants from      the routing pipeline (engine rounds, probe/commit phases, repair      cycles), loadable in Perfetto or chrome://tracing.  Tracing does not      change the routed tree."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_journal_arg =
+  let doc =
+    "Write a JSONL metrics journal to FILE: a manifest line (circuit,      seed, full engine config), one record per DME merge round (probe,      cache and trial-merge counts, merge cost, cumulative wire, wall      time) and a final histograms record."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-journal" ] ~docv:"FILE" ~doc)
+
+(* One trace context serves both artifacts; Trace.null when neither was
+   requested, so the untraced run skips every emission. *)
+let make_trace ~trace_file ~journal_file ~circuit ~groups ~scheme ~bound ~seed
+    ~file ~jobs ~incremental =
+  if trace_file = None && journal_file = None then Obs.Trace.null
+  else begin
+    let trace = Obs.Trace.create () in
+    Obs.Trace.merge_manifest trace
+      ([
+         ( "circuit",
+           match file with
+           | Some f -> Obs.Json.String f
+           | None -> Obs.Json.String circuit );
+         ("groups", Obs.Json.Int groups);
+         ("scheme", Obs.Json.String scheme);
+         ("bound_ps", Obs.Json.Float bound);
+         ("jobs", Obs.Json.Int jobs);
+         ("incremental", Obs.Json.Bool incremental);
+       ]
+      @ match seed with
+        | Some s -> [ ("seed", Obs.Json.Int s) ]
+        | None -> []);
+    trace
+  end
+
+let write_trace_files ~trace_file ~journal_file trace =
+  let write what path writer =
+    match writer path trace with
+    | () ->
+      Format.printf "wrote %s@." path;
+      0
+    | exception Sys_error e ->
+      Format.eprintf "astroute: cannot write %s: %s@." what e;
+      1
+  in
+  let c1 =
+    match trace_file with
+    | Some path -> write "trace" path Obs.Trace.write_chrome
+    | None -> 0
+  in
+  let c2 =
+    match journal_file with
+    | Some path -> write "trace journal" path Obs.Trace.write_journal
+    | None -> 0
+  in
+  Int.max c1 c2
+
 (* The ["results"] field maps router names to Router.json_of_result
    objects; ["obs"] is the global Obs.Report snapshot (counters/timers
    accumulated over the whole process).  Returns an exit code. *)
@@ -107,23 +167,29 @@ let print_result name (r : Astskew.Router.result) =
 
 let route_cmd =
   let run circuit groups scheme bound seed algo file svg stats_json jobs
-      no_incremental =
+      no_incremental trace_file journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
       1
     | Ok inst ->
       let incremental = not no_incremental in
+      let trace =
+        make_trace ~trace_file ~journal_file ~circuit ~groups ~scheme ~bound
+          ~seed ~file ~jobs ~incremental
+      in
       let result =
         match algo with
         | "ast" ->
-          Some ("AST-DME", Astskew.Router.ast_dme ~jobs ~incremental inst)
+          Some ("AST-DME", Astskew.Router.ast_dme ~jobs ~incremental ~trace inst)
         | "ext" ->
-          Some ("EXT-BST", Astskew.Router.ext_bst ~jobs ~incremental inst)
+          Some ("EXT-BST", Astskew.Router.ext_bst ~jobs ~incremental ~trace inst)
         | "zst" ->
-          Some ("greedy-DME", Astskew.Router.greedy_dme ~jobs ~incremental inst)
+          Some
+            ( "greedy-DME",
+              Astskew.Router.greedy_dme ~jobs ~incremental ~trace inst )
         | "mmm" ->
-          Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs ~incremental inst)
+          Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs ~incremental ~trace inst)
         | _ -> None
       in
       (match result with
@@ -138,15 +204,19 @@ let route_cmd =
             Clocktree.Svg.write_file path inst r.routed;
             Format.printf "wrote %s@." path
           | None -> ());
-         (match stats_json with
-          | Some path -> write_stats_json path [ (name, r) ]
-          | None -> 0))
+         let trace_code = write_trace_files ~trace_file ~journal_file trace in
+         let stats_code =
+           match stats_json with
+           | Some path -> write_stats_json path [ (name, r) ]
+           | None -> 0
+         in
+         Int.max trace_code stats_code)
   in
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
       $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg
-      $ no_incremental_arg)
+      $ no_incremental_arg $ trace_arg $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 
@@ -173,7 +243,7 @@ let gen_cmd =
 
 let compare_cmd =
   let run circuit groups scheme bound seed file stats_json jobs no_incremental
-      =
+      trace_file journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -181,31 +251,42 @@ let compare_cmd =
     | Ok inst ->
       Format.printf "%a@." Clocktree.Instance.pp inst;
       let incremental = not no_incremental in
-      let zst = Astskew.Router.greedy_dme ~jobs ~incremental inst in
-      let ext = Astskew.Router.ext_bst ~jobs ~incremental inst in
-      let mmm = Astskew.Router.mmm_dme ~jobs ~incremental inst in
-      let ast = Astskew.Router.ast_dme ~jobs ~incremental inst in
+      (* All four routers share one trace: their phases appear as
+         consecutive span groups in the exported timeline. *)
+      let trace =
+        make_trace ~trace_file ~journal_file ~circuit ~groups ~scheme ~bound
+          ~seed ~file ~jobs ~incremental
+      in
+      let zst = Astskew.Router.greedy_dme ~jobs ~incremental ~trace inst in
+      let ext = Astskew.Router.ext_bst ~jobs ~incremental ~trace inst in
+      let mmm = Astskew.Router.mmm_dme ~jobs ~incremental ~trace inst in
+      let ast = Astskew.Router.ast_dme ~jobs ~incremental ~trace inst in
       print_result "greedy-DME" zst;
       print_result "EXT-BST" ext;
       print_result "MMM-DME" mmm;
       print_result "AST-DME" ast;
       Format.printf "AST-DME reduction vs EXT-BST: %.2f%%@."
         (100. *. Astskew.Router.reduction ~baseline:ext ast);
-      (match stats_json with
-       | Some path ->
-         write_stats_json path
-           [
-             ("greedy-DME", zst);
-             ("EXT-BST", ext);
-             ("MMM-DME", mmm);
-             ("AST-DME", ast);
-           ]
-       | None -> 0)
+      let trace_code = write_trace_files ~trace_file ~journal_file trace in
+      let stats_code =
+        match stats_json with
+        | Some path ->
+          write_stats_json path
+            [
+              ("greedy-DME", zst);
+              ("EXT-BST", ext);
+              ("MMM-DME", mmm);
+              ("AST-DME", ast);
+            ]
+        | None -> 0
+      in
+      Int.max trace_code stats_code
   in
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ file_arg $ stats_json_arg $ jobs_arg $ no_incremental_arg)
+      $ file_arg $ stats_json_arg $ jobs_arg $ no_incremental_arg $ trace_arg
+      $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all routers on one instance.") term
 

@@ -214,6 +214,88 @@ let incremental_identity ?(jobs = [ 1; 2 ]) inst =
       in
       List.concat_map check jobs)
 
+(* --- tracing bit-identity -------------------------------------------------- *)
+
+let trace_identity ?(jobs = [ 1; 2 ]) inst =
+  guard "trace-identity" (fun () ->
+      let base = Router.ast_dme ~jobs:1 inst in
+      let check j =
+        let trace = Obs.Trace.create () in
+        let traced = Router.ast_dme ~jobs:j ~trace inst in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff := { Audit.invariant = "trace-identity"; detail } :: !diff)
+            fmt
+        in
+        if not (Audit.tree_equal base.routed traced.routed) then
+          add "jobs=%d traced tree differs structurally from untraced" j;
+        Array.iteri
+          (fun i d ->
+            if d <> traced.evaluation.delays.(i) then
+              add "jobs=%d sink %d delay: untraced %.17g, traced %.17g" j i d
+                traced.evaluation.delays.(i))
+          base.evaluation.delays;
+        if base.evaluation.wirelength <> traced.evaluation.wirelength then
+          add "jobs=%d wirelength: untraced %.17g, traced %.17g" j
+            base.evaluation.wirelength traced.evaluation.wirelength;
+        (* Full stats equality: observation must not perturb the engine's
+           work, and jobs must not either (par-identity, replayed here
+           under tracing). *)
+        if base.engine <> traced.engine then
+          add "jobs=%d traced engine stats differ from untraced jobs=1" j;
+        (* The journal is the trace's accounting ledger: its per-round
+           records must sum exactly to the engine's aggregate stats. *)
+        let rounds =
+          List.filter_map
+            (function
+              | Obs.Json.Obj fields
+                when List.assoc_opt "type" fields
+                     = Some (Obs.Json.String "round") ->
+                Some fields
+              | _ -> None)
+            (Obs.Trace.journal_records trace)
+        in
+        let sum key =
+          List.fold_left
+            (fun acc fields ->
+              match List.assoc_opt key fields with
+              | Some (Obs.Json.Int i) -> acc + i
+              | _ -> acc)
+            0 rounds
+        in
+        if List.length rounds <> traced.engine.rounds then
+          add "jobs=%d journal has %d round records, engine ran %d rounds" j
+            (List.length rounds) traced.engine.rounds;
+        if sum "probes" <> traced.engine.nn_reprobes then
+          add "jobs=%d journal probes %d <> engine nn_reprobes %d" j
+            (sum "probes") traced.engine.nn_reprobes;
+        if sum "nn_probes_saved" <> traced.engine.nn_probes_saved then
+          add "jobs=%d journal nn_probes_saved %d <> engine %d" j
+            (sum "nn_probes_saved") traced.engine.nn_probes_saved;
+        if sum "trial_merges" <> traced.engine.trial.trial_merges then
+          add "jobs=%d journal trial_merges %d <> engine %d" j
+            (sum "trial_merges") traced.engine.trial.trial_merges;
+        if sum "trial_cache_hits" <> traced.engine.trial.cache_hits then
+          add "jobs=%d journal trial_cache_hits %d <> engine %d" j
+            (sum "trial_cache_hits") traced.engine.trial.cache_hits;
+        (* The Chrome export must round-trip through the JSON parser and
+           actually contain events. *)
+        (match Obs.Json.of_string (Obs.Json.to_string (Obs.Trace.to_chrome trace)) with
+         | Obs.Json.Obj fields ->
+           (match List.assoc_opt "traceEvents" fields with
+            | Some (Obs.Json.List []) ->
+              add "jobs=%d chrome export has no events" j
+            | Some (Obs.Json.List _) -> ()
+            | _ -> add "jobs=%d chrome export lacks traceEvents" j)
+         | _ -> add "jobs=%d chrome export is not a JSON object" j
+         | exception Obs.Json.Parse_error _ ->
+           add "jobs=%d chrome export does not re-parse" j);
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
 (* --- Elmore vs transient ------------------------------------------------- *)
 
 let delay_models ?(resolution = 300) inst =
@@ -300,7 +382,7 @@ let delay_models ?(resolution = 300) inst =
 
 let all ?(inject = false) inst =
   routers ~inject inst @ cache_identity inst @ par_identity inst
-  @ incremental_identity inst @ delay_models inst
+  @ incremental_identity inst @ trace_identity inst @ delay_models inst
 
 let reproduces ?inject ~of_run inst =
   let names = List.map (fun f -> f.oracle) of_run in

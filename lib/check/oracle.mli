@@ -17,6 +17,11 @@
       semantically inert — AST-DME with [incremental] on produces the
       exact tree, delays and wirelength of the from-scratch run while
       never probing more, and its probe accounting balances.
+    - {!trace_identity}: structured tracing is semantically inert —
+      AST-DME with a live {!Obs.Trace} produces the exact tree, delays,
+      wirelength and engine stats of the untraced run, the journal's
+      per-round sums match the engine's aggregate stats, and the Chrome
+      export round-trips through {!Obs.Json}.
     - {!delay_models}: Elmore and backward-Euler transient 50%-crossing
       delays agree on the routed RC tree wherever an exact relation
       exists: every sink crosses, no crossing exceeds its Elmore delay
@@ -57,6 +62,16 @@ val par_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
     candidates' trial merges (see DESIGN.md section 10). *)
 val incremental_identity :
   ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Route untraced with [jobs = 1], then traced (fresh {!Obs.Trace})
+    with each entry of [jobs] (default [[1; 2]]) and report any
+    difference in tree structure, per-sink delays, wirelength or engine
+    stats (tracing must be semantically inert), any disagreement
+    between the journal's per-round sums (probes, probes saved, trial
+    merges, trial-cache hits, round count) and the engine's aggregate
+    stats, and any failure of the Chrome export to re-parse via
+    {!Obs.Json.of_string} with a non-empty [traceEvents] list. *)
+val trace_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
 
 val delay_models : ?resolution:int -> Clocktree.Instance.t -> finding list
 

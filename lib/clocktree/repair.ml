@@ -147,7 +147,8 @@ let lift_sweep (inst : Instance.t) (routed : Tree.routed) report ~slack
    spanning groups; with conflicts, alternating lift sweeps (which align
    group offsets through group-pure leaf edges) with balance passes
    (which re-establish exactness everywhere else) converges. *)
-let run (inst : Instance.t) (r : Tree.routed) =
+let run ?(trace = Obs.Trace.null) (inst : Instance.t) (r : Tree.routed) =
+  let tracing = Obs.Trace.enabled trace in
   (* Acceptance slack matches Evaluate.within_bound's default. *)
   let slack = 1e-4 in
   let max_cycles = 300 in
@@ -157,6 +158,10 @@ let run (inst : Instance.t) (r : Tree.routed) =
   let rec cycle routed iter =
     let first_conflicts = if iter = 0 then conflicts else ref 0 in
     Obs.Counter.incr c_balance;
+    if tracing then
+      Obs.Trace.instant trace ~cat:"clocktree.repair"
+        ~args:[ ("cycle", Obs.Json.Int iter) ]
+        "balance_pass";
     let tree =
       balance_pass inst routed.Tree.tree ~added_wire ~adjusted
         ~conflicts:first_conflicts
@@ -174,11 +179,24 @@ let run (inst : Instance.t) (r : Tree.routed) =
     end
     else begin
       Obs.Counter.incr c_lift;
+      if tracing then
+        Obs.Trace.instant trace ~cat:"clocktree.repair"
+          ~args:
+            [
+              ("cycle", Obs.Json.Int iter);
+              ("added_wire", Obs.Json.Float !added_wire);
+            ]
+          "lift_sweep";
       let routed = lift_sweep inst routed report ~slack ~added_wire ~adjusted in
       cycle routed (iter + 1)
     end
   in
-  let routed, lift_iterations, unresolved_groups = cycle r 0 in
+  let routed, lift_iterations, unresolved_groups =
+    if tracing then
+      Obs.Trace.span trace ~cat:"clocktree.repair" "repair" (fun () ->
+          cycle r 0)
+    else cycle r 0
+  in
   Obs.Counter.add c_adjusted !adjusted;
   ( routed,
     {

@@ -30,4 +30,8 @@ type stats = {
           supported configurations *)
 }
 
-val run : Instance.t -> Tree.routed -> Tree.routed * stats
+(** [run ?trace inst routed] repairs the tree.  With [trace] enabled the
+    whole pass is wrapped in a ["repair"] span and each cycle emits
+    ["balance_pass"] / ["lift_sweep"] instants; the default
+    {!Obs.Trace.null} emits nothing. *)
+val run : ?trace:Obs.Trace.t -> Instance.t -> Tree.routed -> Tree.routed * stats

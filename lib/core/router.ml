@@ -27,22 +27,39 @@ let t_evaluate = Obs.Timer.make "router.evaluate"
    whose groups define the reported skews).  [plan] is the engine phase:
    Dme.Engine.run for the greedy merge order, Dme.Mmm.run for the fixed
    topology. *)
-let solve_with ~plan ~route_inst ~eval_inst () =
+let solve_with ?(trace = Obs.Trace.null) ~plan ~route_inst ~eval_inst () =
+  let tracing = Obs.Trace.enabled trace in
+  let phase name f =
+    if tracing then Obs.Trace.span trace ~cat:"router" name f else f ()
+  in
   let t0 = Sys.time () in
   let w0 = Obs.Timer.now () in
-  let routed, engine = Obs.Timer.time t_engine (fun () -> plan route_inst) in
+  let routed, engine =
+    phase "router.engine" (fun () ->
+        Obs.Timer.time t_engine (fun () -> plan route_inst))
+  in
   let w1 = Obs.Timer.now () in
   let routed, repair =
-    Obs.Timer.time t_repair (fun () -> Repair.run route_inst routed)
+    phase "router.repair" (fun () ->
+        Obs.Timer.time t_repair (fun () -> Repair.run ~trace route_inst routed))
   in
   let w2 = Obs.Timer.now () in
   (* cpu_seconds spans planning + repair, as it always has; the wall
      timings additionally cover evaluation. *)
   let cpu_seconds = Sys.time () -. t0 in
   let evaluation =
-    Obs.Timer.time t_evaluate (fun () -> Evaluate.run eval_inst routed)
+    phase "router.evaluate" (fun () ->
+        Obs.Timer.time t_evaluate (fun () -> Evaluate.run eval_inst routed))
   in
   let w3 = Obs.Timer.now () in
+  if tracing then begin
+    (* Final-quality histograms: per-sink source-to-sink delay and
+       per-group skew of the evaluated (post-repair) tree. *)
+    let h_delay = Obs.Trace.histogram trace "router.sink_delay_ps" in
+    Array.iter (Obs.Histogram.observe h_delay) evaluation.Evaluate.delays;
+    let h_skew = Obs.Trace.histogram trace "router.group_skew_ps" in
+    Array.iter (Obs.Histogram.observe h_skew) evaluation.Evaluate.group_skew
+  end;
   let timings =
     {
       engine_s = w1 -. w0;
@@ -53,8 +70,10 @@ let solve_with ~plan ~route_inst ~eval_inst () =
   in
   { routed; evaluation; engine; repair; cpu_seconds; timings }
 
-let solve ?config ~route_inst ~eval_inst () =
-  solve_with ~plan:(Dme.Engine.run ?config) ~route_inst ~eval_inst ()
+let solve ?config ?(trace = Obs.Trace.null) ~route_inst ~eval_inst () =
+  solve_with ~trace
+    ~plan:(Dme.Engine.run ?config ~trace)
+    ~route_inst ~eval_inst ()
 
 (* [jobs] overrides the engine parallelism of [config] (or of [default]
    when no config was given) and [incremental] the cross-round proposal
@@ -78,9 +97,19 @@ let with_jobs ?jobs ?incremental ~default config =
 let ast_default_config =
   { Dme.Engine.default with delay_order_weight = 400. }
 
-let ast_dme ?config ?jobs ?incremental inst =
+let router_manifest trace name (config : Dme.Engine.config) =
+  if Obs.Trace.enabled trace then
+    Obs.Trace.merge_manifest trace
+      [
+        ("router", Obs.Json.String name);
+        ("jobs", Obs.Json.Int config.jobs);
+        ("incremental", Obs.Json.Bool config.incremental);
+      ]
+
+let ast_dme ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
-  solve ~config ~route_inst:inst ~eval_inst:inst ()
+  router_manifest trace "ast_dme" config;
+  solve ~config ~trace ~route_inst:inst ~eval_inst:inst ()
 
 (* Fuse all groups into one: intra-group bound becomes a global bound;
    with per-group bounds the tightest one applies, so the fused router
@@ -97,17 +126,22 @@ let fused ?bound (inst : Instance.t) =
     ~bound:(Option.value bound ~default)
     ~source:inst.source ~n_groups:1 sinks
 
-let ext_bst ?config ?jobs ?incremental inst =
+let ext_bst ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
-  solve ~config ~route_inst:(fused inst) ~eval_inst:inst ()
+  router_manifest trace "ext_bst" config;
+  solve ~config ~trace ~route_inst:(fused inst) ~eval_inst:inst ()
 
-let greedy_dme ?config ?jobs ?incremental inst =
+let greedy_dme ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
-  solve ~config ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
+  router_manifest trace "greedy_dme" config;
+  solve ~config ~trace ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
 
-let mmm_dme ?config ?jobs ?incremental inst =
+let mmm_dme ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
-  solve_with ~plan:(Dme.Mmm.run ~config) ~route_inst:inst ~eval_inst:inst ()
+  router_manifest trace "mmm_dme" config;
+  solve_with ~trace
+    ~plan:(Dme.Mmm.run ~config ~trace)
+    ~route_inst:inst ~eval_inst:inst ()
 
 let reduction ~baseline result =
   let base = baseline.evaluation.wirelength in

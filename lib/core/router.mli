@@ -40,12 +40,24 @@ val ast_default_config : Dme.Engine.config
     over the corresponding [config] field (and, for [jobs], over the
     [ASTSKEW_JOBS] environment default).  Routed trees are bit-identical
     for any [jobs] and for [incremental] on or off, so the knobs only
-    affect wall time. *)
+    affect wall time.
+
+    Each router also takes an optional [trace] (see {!Obs.Trace}): when
+    enabled, the run merges router name, jobs, incremental and the full
+    engine config into the trace manifest, wraps the three phases in
+    ["router.engine"] / ["router.repair"] / ["router.evaluate"] spans,
+    threads the trace through the engine, repair and embedding (spans,
+    per-round journal records, histograms) and feeds the evaluated
+    per-sink delays and per-group skews into the
+    ["router.sink_delay_ps"] / ["router.group_skew_ps"] histograms.
+    The default {!Obs.Trace.null} emits nothing; the routed tree,
+    evaluation and stats are identical with tracing on or off. *)
 
 val ast_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
 
@@ -53,6 +65,7 @@ val ext_bst :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
 
@@ -60,6 +73,7 @@ val greedy_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
 
@@ -72,6 +86,7 @@ val mmm_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
 

@@ -3,7 +3,8 @@ module Pt = Geometry.Pt
 module Eps = Geometry.Eps
 module Tree = Clocktree.Tree
 
-let run (inst : Clocktree.Instance.t) (root : Subtree.t) =
+let run ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
+    (root : Subtree.t) =
   let rec go (sub : Subtree.t) (p : Pt.t) =
     match sub.build with
     | Subtree.Leaf s -> Tree.Leaf s
@@ -21,4 +22,7 @@ let run (inst : Clocktree.Instance.t) (root : Subtree.t) =
       Tree.node p (go left pl) (go right pr) ~llen ~rlen
   in
   let root_pt = Octagon.nearest_point root.region inst.source in
-  Tree.route inst.source (go root root_pt)
+  let body () = Tree.route inst.source (go root root_pt) in
+  if Obs.Trace.enabled trace then
+    Obs.Trace.span trace ~cat:"dme.embed" "embed" body
+  else body ()

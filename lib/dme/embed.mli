@@ -5,6 +5,11 @@
     the clock source; every child lands on the point of its region
     nearest to its parent's placement.  Committed wire lengths are
     honoured exactly (shortfall is snaked), shortest-path merges consume
-    exactly the planned total. *)
+    exactly the planned total.
 
-val run : Clocktree.Instance.t -> Subtree.t -> Clocktree.Tree.routed
+    With [trace] enabled the whole embedding is wrapped in one
+    ["embed"] span; the default {!Obs.Trace.null} emits nothing. *)
+
+val run :
+  ?trace:Obs.Trace.t -> Clocktree.Instance.t -> Subtree.t ->
+  Clocktree.Tree.routed

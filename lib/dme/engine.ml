@@ -61,6 +61,24 @@ type stats = {
   trial : trial_stats;
 }
 
+let json_of_config (c : config) =
+  Obs.Json.Obj
+    [
+      ("multi_merge", Obs.Json.Bool c.multi_merge);
+      ("merge_fraction", Obs.Json.Float c.merge_fraction);
+      ("knn", Obs.Json.Int c.knn);
+      ("delay_order_weight", Obs.Json.Float c.delay_order_weight);
+      ("split_slack", Obs.Json.Float c.split_slack);
+      ("slack_usage", Obs.Json.Float c.slack_usage);
+      ("width_cap", Obs.Json.Float c.width_cap);
+      ("sdr_samples", Obs.Json.Int c.sdr_samples);
+      ("cost_by_planned_wire", Obs.Json.Bool c.cost_by_planned_wire);
+      ("avoid_infeasible", Obs.Json.Bool c.avoid_infeasible);
+      ("trial_cache", Obs.Json.Bool c.trial_cache);
+      ("incremental", Obs.Json.Bool c.incremental);
+      ("jobs", Obs.Json.Int c.jobs);
+    ]
+
 let c_trials = Obs.Counter.make "dme.engine.trial_merges"
 let c_hits = Obs.Counter.make "dme.engine.trial_cache_hits"
 let c_misses = Obs.Counter.make "dme.engine.trial_cache_misses"
@@ -93,7 +111,17 @@ type note = {
   n_elided : int;
 }
 
-let run ?(config = default) inst =
+let run ?(config = default) ?(trace = Obs.Trace.null) inst =
+  let tracing = Obs.Trace.enabled trace in
+  if tracing then
+    Obs.Trace.merge_manifest trace [ ("engine_config", json_of_config config) ];
+  (* Journal-only aggregates, touched exclusively under [tracing] so the
+     untraced run's merge path stays allocation-free. *)
+  let cum_wire = ref 0. in
+  let h_extent =
+    if tracing then Some (Obs.Trace.histogram trace "engine.region_extent")
+    else None
+  in
   let same_group = ref 0 in
   let cross_group = ref 0 in
   let shared_one = ref 0 in
@@ -240,6 +268,29 @@ let run ?(config = default) inst =
       evict a.id;
       evict b.id
     end;
+    if tracing then begin
+      cum_wire := !cum_wire +. result.planned_wire;
+      (match h_extent with
+       | Some h ->
+         Obs.Histogram.observe h
+           (Geometry.Octagon.diameter result.subtree.Subtree.region)
+       | None -> ());
+      Obs.Trace.instant trace ~cat:"dme.engine"
+        ~args:
+          [
+            ("id", Obs.Json.Int id);
+            ( "kind",
+              Obs.Json.String
+                (match result.kind with
+                 | Merge.Same_group -> "same_group"
+                 | Merge.Cross_group -> "cross_group"
+                 | Merge.Shared_one -> "shared_one"
+                 | Merge.Shared_multi -> "shared_multi") );
+            ("planned_wire", Obs.Json.Float result.planned_wire);
+            ("feasible", Obs.Json.Bool result.feasible);
+          ]
+        "merge"
+    end;
     result.subtree
   in
   let order_config =
@@ -254,15 +305,55 @@ let run ?(config = default) inst =
   in
   let jobs = Int.max 1 config.jobs in
   let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  (* One journal record per merge round.  Trial-cache counters are
+     engine-side state, so their per-round deltas are computed here and
+     joined with the ranking loop's own round report. *)
+  let on_round =
+    if not tracing then None
+    else begin
+      let last_trials = ref 0 and last_hits = ref 0 and last_elided = ref 0 in
+      Some
+        (fun (r : Order.round_info) ->
+          let d_trials = !trial_merges - !last_trials in
+          let d_hits = !hits - !last_hits in
+          let d_elided = !elided - !last_elided in
+          last_trials := !trial_merges;
+          last_hits := !hits;
+          last_elided := !elided;
+          Obs.Trace.journal trace
+            (Obs.Json.Obj
+               [
+                 ("type", Obs.Json.String "round");
+                 ("round", Obs.Json.Int r.round);
+                 ("active", Obs.Json.Int r.active);
+                 ("probes", Obs.Json.Int r.probes);
+                 ("nn_probes_saved", Obs.Json.Int r.cache_served);
+                 ("merges", Obs.Json.Int r.merges);
+                 ("trial_merges", Obs.Json.Int d_trials);
+                 ("trial_cache_hits", Obs.Json.Int d_hits);
+                 ("trial_elided", Obs.Json.Int d_elided);
+                 ("merge_cost", Obs.Json.Float r.best_cost);
+                 ("cum_planned_wire", Obs.Json.Float !cum_wire);
+                 ("wall_s", Obs.Json.Float r.wall_s);
+               ]))
+    end
+  in
   let root, (ostats : Order.stats) =
     Fun.protect
       ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
       (fun () ->
-        Order.run_ranked ?pool inst order_config
-          ~coster:{ Order.session; absorb }
-          ~merge)
+        let body () =
+          Order.run_ranked ?pool ~trace ?on_round inst order_config
+            ~coster:{ Order.session; absorb }
+            ~merge
+        in
+        if tracing then
+          Obs.Trace.span trace ~cat:"dme.engine"
+            ~args:[ ("jobs", Obs.Json.Int jobs) ]
+            "engine.plan" body
+        else body ())
   in
-  let routed = Embed.run inst root in
+  let routed = Embed.run ~trace inst root in
   ( routed,
     {
       rounds = ostats.rounds;

@@ -95,7 +95,22 @@ type stats = {
   trial : trial_stats;
 }
 
+(** [config] as a JSON object (one field per record field), for run
+    manifests and stats dumps. *)
+val json_of_config : config -> Obs.Json.t
+
 (** Plan and embed a clock tree for the instance.  The result is the
     pre-repair tree: callers normally pass it through
-    {!Clocktree.Repair.run}. *)
-val run : ?config:config -> Clocktree.Instance.t -> Clocktree.Tree.routed * stats
+    {!Clocktree.Repair.run}.
+
+    With [trace] enabled the run merges its config into the trace
+    manifest, wraps planning in an ["engine.plan"] span, emits one
+    ["merge"] instant per committed merge, feeds committed region
+    extents into the ["engine.region_extent"] histogram and appends one
+    journal record per merge round (probe/cache/trial counts, cheapest
+    committed cost, cumulative planned wire, wall time).  The default
+    {!Obs.Trace.null} emits nothing and the routed tree and stats are
+    byte-identical with tracing on or off. *)
+val run :
+  ?config:config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
+  Clocktree.Tree.routed * stats

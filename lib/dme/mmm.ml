@@ -19,7 +19,12 @@ let bisect sinks =
   let mid = Array.length sorted / 2 in
   (Array.sub sorted 0 mid, Array.sub sorted mid (Array.length sorted - mid))
 
-let run ?(config = Engine.default) (inst : Clocktree.Instance.t) =
+let run ?(config = Engine.default) ?(trace = Obs.Trace.null)
+    (inst : Clocktree.Instance.t) =
+  let tracing = Obs.Trace.enabled trace in
+  if tracing then
+    Obs.Trace.merge_manifest trace
+      [ ("engine_config", Engine.json_of_config config) ];
   let same_group = ref 0 in
   let cross_group = ref 0 in
   let shared_one = ref 0 in
@@ -54,8 +59,15 @@ let run ?(config = Engine.default) (inst : Clocktree.Instance.t) =
       let left, right = bisect sinks in
       merge (build left (level + 1)) (build right (level + 1))
   in
-  let root = build inst.sinks 0 in
-  let routed = Embed.run inst root in
+  let root =
+    if tracing then
+      Obs.Trace.span trace ~cat:"dme.mmm"
+        ~args:[ ("sinks", Obs.Json.Int (Clocktree.Instance.n_sinks inst)) ]
+        "mmm.build"
+        (fun () -> build inst.sinks 0)
+    else build inst.sinks 0
+  in
+  let routed = Embed.run ~trace inst root in
   ( routed,
     Engine.
       {

@@ -9,6 +9,9 @@
     AST-DME's wins. *)
 
 (** Plan and embed a clock tree on the MMM topology.  Accepts the same
-    configuration as {!Engine} (ordering fields are ignored). *)
+    configuration as {!Engine} (ordering fields are ignored).  With
+    [trace] enabled, merges the config into the manifest and wraps
+    topology construction in an ["mmm.build"] span. *)
 val run :
-  ?config:Engine.config -> Clocktree.Instance.t -> Clocktree.Tree.routed * Engine.stats
+  ?config:Engine.config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
+  Clocktree.Tree.routed * Engine.stats

@@ -28,6 +28,16 @@ let of_cost cost = { session = (fun () -> (cost, fun () -> ())); absorb = ignore
 
 type stats = { rounds : int; nn_probes : int; nn_probes_saved : int }
 
+type round_info = {
+  round : int;
+  active : int;
+  probes : int;
+  cache_served : int;
+  merges : int;
+  best_cost : float;
+  wall_s : float;
+}
+
 let c_probes = Obs.Counter.make "dme.order.nn_probes"
 let c_saved = Obs.Counter.make "dme.order.nn_probes_saved"
 let c_invalidated = Obs.Counter.make "dme.order.nn_invalidated"
@@ -84,9 +94,16 @@ type proposal = {
   mutable closer : int;
 }
 
-let run_ranked ?pool (inst : Clocktree.Instance.t) config
-    ~(coster : 'note coster) ~merge =
+let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
+    (inst : Clocktree.Instance.t) config ~(coster : 'note coster) ~merge =
   let n = Clocktree.Instance.n_sinks inst in
+  let tracing = Obs.Trace.enabled trace in
+  (* Probe costs observed in the absorb phase (main domain): the chosen
+     best cost of every executed probe. *)
+  let h_cost =
+    if tracing then Some (Obs.Trace.histogram trace "order.probe_cost")
+    else None
+  in
   (* A non-positive knn would make every k-NN query return [] and stall
      the pairing loop below; clamp rather than crash. *)
   let knn = Int.max 1 config.knn in
@@ -179,6 +196,12 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
      side results (e.g. freshly run trial merges) the cost function
      produced, to be absorbed on the main domain in snapshot order. *)
   let probe (s : Subtree.t) =
+    (* Runs on worker domains during parallel rounds: the instant lands
+       in the emitting domain's own trace buffer. *)
+    if tracing then
+      Obs.Trace.instant trace ~cat:"dme.order"
+        ~args:[ ("subtree", Obs.Json.Int s.id) ]
+        "probe";
     let cost, finish = coster.session () in
     let best = nearest_neighbor ~cost s in
     (best, finish ())
@@ -323,6 +346,10 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
     else begin
       incr rounds;
       Obs.Counter.incr c_rounds;
+      (* Wall time is read only when a round observer is installed, so
+         the untraced run does not even touch the clock per round. *)
+      let t0 = if on_round <> None then Obs.Timer.now () else 0. in
+      let saved0 = !saved in
       (* Rank in three strictly separated phases so the routed tree is
          bit-identical for any jobs count: (1) probe every stale active
          subtree against the frozen grid state — in parallel chunks when
@@ -331,182 +358,226 @@ let run_ranked ?pool (inst : Clocktree.Instance.t) config
          snapshot (ascending-id) order; (3) sort, dedupe and commit
          merges serially.  With [incremental] off every subtree counts
          as stale and the round degenerates to the from-scratch scan. *)
-      let snap = snapshot () in
-      (* Largest region radius among this round's population: bounds the
-         unknown region radius of any node a triangle-inequality ball
-         must cover, both in the invalidation sweep and in the
-         cache-time undercut scan. *)
-      let alive_max_rad =
-        if not incremental then 0.
-        else
-          Array.fold_left
-            (fun m (s : Subtree.t) -> Float.max m (Octagon.diameter s.region))
-            0. snap
-      in
-      if incremental then invalidate_stale ~alive_max_rad;
-      let stale (s : Subtree.t) =
-        (not incremental) || not (Hashtbl.mem proposals s.id)
-      in
-      let todo =
-        if incremental then
-          Array.of_seq (Seq.filter stale (Array.to_seq snap))
-        else snap
-      in
-      let probes =
-        match pool with
-        | Some pool -> Par.Pool.map_chunked pool probe todo
-        | None -> Array.map probe todo
-      in
-      reprobed := !reprobed + Array.length todo;
-      let pairs = ref [] in
-      let ti = ref 0 in
-      Array.iter
-        (fun (s : Subtree.t) ->
-          let best =
-            if stale s then begin
-              let (best, scan, cands), note = probes.(!ti) in
-              incr ti;
-              coster.absorb note;
-              if incremental then
-                (match best with
-                 | Some (t, d) when d < reach_cap ->
-                   let c_s = Hashtbl.find centers s.id in
-                   let c_t = Hashtbl.find centers t.id in
-                   let pdist = Pt.dist c_s c_t in
-                   let rad = Octagon.diameter s.region in
-                   (* Cache-time undercut scan: the proposal is cached
-                      only if every alive node the probe did not
-                      evaluate has region distance > B from the owner,
-                      so no later promotion into the k-NN set can beat
-                      or tie the cached best (ties are excluded because
-                      a pre-existing node may hold a lower id than the
-                      partner and would win one).  Any such node's
-                      center lies within [B + rad + alive_max_rad] of
-                      the owner's; regions are immutable, so this holds
-                      for the proposal's whole life and only insertions
-                      (swept each round) can break it. *)
-                   let cacheable =
-                     (match scan with
-                      | Exhaustive -> true
-                      | Kth dk -> pdist < dk
-                      | Opaque -> false)
-                     (* Same-cell tie guard: a candidate in the
-                        partner's grid cell at exactly the partner's
-                        distance ranks against it by bucket arrival
-                        order, which any later insertion into that cell
-                        may reshuffle (Hashtbl resize).  Cross-cell
-                        ties rank by ring-scan geometry and entries the
-                        scan excluded lie at distance >= dk > pdist, so
-                        only candidates in the partner's own cell can
-                        flip. *)
-                     && (let pcell = Grid_index.cell_of grid c_t in
-                         not
-                           (List.exists
-                              (fun (cid, cpt, _) ->
-                                cid <> t.id
-                                && Pt.dist c_s cpt = pdist
-                                && Grid_index.cell_of grid cpt = pcell)
-                              cands))
-                     &&
-                     let ball = d +. rad +. alive_max_rad +. cell in
-                     Grid_index.within grid c_s ball
-                     |> List.for_all (fun (qid, _, (q : Subtree.t)) ->
-                            qid = s.id
-                            || List.exists
-                                 (fun (cid, _, _) -> cid = qid)
-                                 cands
-                            || Octagon.dist s.region q.region > d)
-                   in
-                   if cacheable then begin
-                     let rank =
-                       let rec go i = function
-                         | (cid, _, _) :: rest ->
-                           if cid = t.id then i else go (i + 1) rest
-                         | [] -> assert false
-                       in
-                       go 1 cands
-                     in
-                     Hashtbl.replace proposals s.id
-                       { partner = t; cost = d; rad; pdist; rank; closer = 0 }
-                   end
-                   else Obs.Counter.incr c_uncached
-                 | _ -> Obs.Counter.incr c_uncached);
-              best
-            end
-            else begin
-              let prop = Hashtbl.find proposals s.id in
-              incr saved;
-              Obs.Counter.incr c_saved;
-              Some (prop.partner, prop.cost)
-            end
+      let round_body () =
+        let snap = snapshot () in
+        (* Largest region radius among this round's population: bounds the
+           unknown region radius of any node a triangle-inequality ball
+           must cover, both in the invalidation sweep and in the
+           cache-time undercut scan. *)
+        let alive_max_rad =
+          if not incremental then 0.
+          else
+            Array.fold_left
+              (fun m (s : Subtree.t) -> Float.max m (Octagon.diameter s.region))
+              0. snap
+        in
+        if incremental then invalidate_stale ~alive_max_rad;
+        let stale (s : Subtree.t) =
+          (not incremental) || not (Hashtbl.mem proposals s.id)
+        in
+        let todo =
+          if incremental then
+            Array.of_seq (Seq.filter stale (Array.to_seq snap))
+          else snap
+        in
+        let probes =
+          let run_probes () =
+            match pool with
+            | Some pool -> Par.Pool.map_chunked pool probe todo
+            | None -> Array.map probe todo
           in
-          match best with
-          | None -> ()
-          | Some ((t : Subtree.t), d) ->
-            let i = Int.min s.Subtree.id t.id and j = Int.max s.Subtree.id t.id in
-            pairs := (biased s t d, i, j) :: !pairs)
-        snap;
-      let pairs =
-        List.sort
-          (fun (c1, i1, j1) (c2, i2, j2) ->
-            match Int.compare i1 i2 with
-            | 0 ->
-              (match Int.compare j1 j2 with
-               | 0 -> Float.compare c1 c2
-               | c -> c)
-            | c -> c)
-          !pairs
-        |> dedupe_pairs
-        |> List.sort (fun (c1, i1, j1) (c2, i2, j2) ->
-               match Float.compare c1 c2 with
-               | 0 ->
-                 (match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
-               | c -> c)
-      in
-      Obs.Counter.add c_pairs (List.length pairs);
-      let limit =
-        if config.multi_merge then
-          Int.max 1
-            (int_of_float (config.merge_fraction *. float_of_int count /. 2.))
-        else 1
-      in
-      let used = Hashtbl.create 64 in
-      let merged = ref 0 in
-      let commit i j a b =
-        let s = merge ~id:(fresh_id ()) a b in
-        delete i;
-        delete j;
-        insert s;
-        if incremental then inserted := s :: !inserted
-      in
-      List.iter
-        (fun (_, i, j) ->
-          if
-            !merged < limit
-            && (not (Hashtbl.mem used i))
-            && not (Hashtbl.mem used j)
-          then begin
-            match (Hashtbl.find_opt active i, Hashtbl.find_opt active j) with
-            | Some a, Some b ->
-              Hashtbl.replace used i ();
-              Hashtbl.replace used j ();
+          if tracing then
+            Obs.Trace.span trace ~cat:"dme.order"
+              ~args:[ ("stale", Obs.Json.Int (Array.length todo)) ]
+              "probe_phase" run_probes
+          else run_probes ()
+        in
+        reprobed := !reprobed + Array.length todo;
+        let pairs = ref [] in
+        let ti = ref 0 in
+        Array.iter
+          (fun (s : Subtree.t) ->
+            let best =
+              if stale s then begin
+                let (best, scan, cands), note = probes.(!ti) in
+                incr ti;
+                coster.absorb note;
+                (match (h_cost, best) with
+                 | Some h, Some (_, d) -> Obs.Histogram.observe h d
+                 | _ -> ());
+                if incremental then
+                  (match best with
+                   | Some (t, d) when d < reach_cap ->
+                     let c_s = Hashtbl.find centers s.id in
+                     let c_t = Hashtbl.find centers t.id in
+                     let pdist = Pt.dist c_s c_t in
+                     let rad = Octagon.diameter s.region in
+                     (* Cache-time undercut scan: the proposal is cached
+                        only if every alive node the probe did not
+                        evaluate has region distance > B from the owner,
+                        so no later promotion into the k-NN set can beat
+                        or tie the cached best (ties are excluded because
+                        a pre-existing node may hold a lower id than the
+                        partner and would win one).  Any such node's
+                        center lies within [B + rad + alive_max_rad] of
+                        the owner's; regions are immutable, so this holds
+                        for the proposal's whole life and only insertions
+                        (swept each round) can break it. *)
+                     let cacheable =
+                       (match scan with
+                        | Exhaustive -> true
+                        | Kth dk -> pdist < dk
+                        | Opaque -> false)
+                       (* Same-cell tie guard: a candidate in the
+                          partner's grid cell at exactly the partner's
+                          distance ranks against it by bucket arrival
+                          order, which any later insertion into that cell
+                          may reshuffle (Hashtbl resize).  Cross-cell
+                          ties rank by ring-scan geometry and entries the
+                          scan excluded lie at distance >= dk > pdist, so
+                          only candidates in the partner's own cell can
+                          flip. *)
+                       && (let pcell = Grid_index.cell_of grid c_t in
+                           not
+                             (List.exists
+                                (fun (cid, cpt, _) ->
+                                  cid <> t.id
+                                  && Pt.dist c_s cpt = pdist
+                                  && Grid_index.cell_of grid cpt = pcell)
+                                cands))
+                       &&
+                       let ball = d +. rad +. alive_max_rad +. cell in
+                       Grid_index.within grid c_s ball
+                       |> List.for_all (fun (qid, _, (q : Subtree.t)) ->
+                              qid = s.id
+                              || List.exists
+                                   (fun (cid, _, _) -> cid = qid)
+                                   cands
+                              || Octagon.dist s.region q.region > d)
+                     in
+                     if cacheable then begin
+                       let rank =
+                         let rec go i = function
+                           | (cid, _, _) :: rest ->
+                             if cid = t.id then i else go (i + 1) rest
+                           | [] -> assert false
+                         in
+                         go 1 cands
+                       in
+                       Hashtbl.replace proposals s.id
+                         { partner = t; cost = d; rad; pdist; rank; closer = 0 }
+                     end
+                     else Obs.Counter.incr c_uncached
+                   | _ -> Obs.Counter.incr c_uncached);
+                best
+              end
+              else begin
+                let prop = Hashtbl.find proposals s.id in
+                incr saved;
+                Obs.Counter.incr c_saved;
+                Some (prop.partner, prop.cost)
+              end
+            in
+            match best with
+            | None -> ()
+            | Some ((t : Subtree.t), d) ->
+              let i = Int.min s.Subtree.id t.id and j = Int.max s.Subtree.id t.id in
+              pairs := (biased s t d, i, j) :: !pairs)
+          snap;
+        let pairs =
+          List.sort
+            (fun (c1, i1, j1) (c2, i2, j2) ->
+              match Int.compare i1 i2 with
+              | 0 ->
+                (match Int.compare j1 j2 with
+                 | 0 -> Float.compare c1 c2
+                 | c -> c)
+              | c -> c)
+            !pairs
+          |> dedupe_pairs
+          |> List.sort (fun (c1, i1, j1) (c2, i2, j2) ->
+                 match Float.compare c1 c2 with
+                 | 0 ->
+                   (match Int.compare i1 i2 with 0 -> Int.compare j1 j2 | c -> c)
+                 | c -> c)
+        in
+        Obs.Counter.add c_pairs (List.length pairs);
+        let limit =
+          if config.multi_merge then
+            Int.max 1
+              (int_of_float (config.merge_fraction *. float_of_int count /. 2.))
+          else 1
+        in
+        let used = Hashtbl.create 64 in
+        let merged = ref 0 in
+        let best_cost = ref Float.infinity in
+        let commit i j a b =
+          let s = merge ~id:(fresh_id ()) a b in
+          delete i;
+          delete j;
+          insert s;
+          if incremental then inserted := s :: !inserted
+        in
+        let commit_phase () =
+          List.iter
+            (fun (c, i, j) ->
+              if
+                !merged < limit
+                && (not (Hashtbl.mem used i))
+                && not (Hashtbl.mem used j)
+              then begin
+                match (Hashtbl.find_opt active i, Hashtbl.find_opt active j) with
+                | Some a, Some b ->
+                  Hashtbl.replace used i ();
+                  Hashtbl.replace used j ();
+                  commit i j a b;
+                  best_cost := Float.min !best_cost c;
+                  incr merged
+                | _ -> ()
+              end)
+            pairs;
+          (* Degenerate safeguard: grid candidates always yield at least one
+             pair when two or more subtrees are active.  Should that ever
+             fail, merge the two lowest-id survivors directly rather than
+             spinning forever. *)
+          if !merged = 0 then begin
+            let ids = Hashtbl.fold (fun id _ acc -> id :: acc) active [] in
+            match List.sort Int.compare ids with
+            | i :: j :: _ ->
+              let a = Hashtbl.find active i and b = Hashtbl.find active j in
               commit i j a b;
               incr merged
-            | _ -> ()
-          end)
-        pairs;
-      (* Degenerate safeguard: grid candidates always yield at least one
-         pair when two or more subtrees are active.  Should that ever
-         fail, merge the two lowest-id survivors directly rather than
-         spinning forever. *)
-      if !merged = 0 then begin
-        let ids = Hashtbl.fold (fun id _ acc -> id :: acc) active [] in
-        match List.sort Int.compare ids with
-        | i :: j :: _ ->
-          let a = Hashtbl.find active i and b = Hashtbl.find active j in
-          commit i j a b
-        | _ -> assert false
-      end;
+            | _ -> assert false
+          end
+        in
+        if tracing then
+          Obs.Trace.span trace ~cat:"dme.order"
+            ~args:[ ("candidates", Obs.Json.Int (List.length pairs)) ]
+            "commit_phase" commit_phase
+        else commit_phase ();
+        (Array.length todo, !merged, !best_cost)
+        in
+      let probes_run, merges_done, best_cost =
+        if tracing then
+          Obs.Trace.span trace ~cat:"dme.order"
+            ~args:
+              [ ("round", Obs.Json.Int !rounds); ("active", Obs.Json.Int count) ]
+            "round" round_body
+        else round_body ()
+      in
+      (match on_round with
+       | None -> ()
+       | Some f ->
+         f
+           {
+             round = !rounds;
+             active = count;
+             probes = probes_run;
+             cache_served = !saved - saved0;
+             merges = merges_done;
+             best_cost;
+             wall_s = Float.max 0. (Obs.Timer.now () -. t0);
+           });
       loop ()
     end
   in

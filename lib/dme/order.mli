@@ -79,19 +79,44 @@ val of_cost : (Subtree.t -> Subtree.t -> float) -> unit coster
     count a from-scratch run would have executed. *)
 type stats = { rounds : int; nn_probes : int; nn_probes_saved : int }
 
+(** One completed merge round, as reported to the [?on_round] observer
+    of {!run_ranked}: 1-based [round] index, [active] subtree count at
+    the round's start, executed probe count ([probes]) and rank slots
+    served from the proposal cache ([cache_served]) this round, merges
+    committed, the cheapest committed pair's biased cost ([infinity]
+    when only the degenerate fallback merge ran) and the round's wall
+    time in seconds (clamped non-negative). *)
+type round_info = {
+  round : int;
+  active : int;
+  probes : int;
+  cache_served : int;
+  merges : int;
+  best_cost : float;
+  wall_s : float;
+}
+
 (** [dedupe_pairs pairs] collapses adjacent entries with equal subtree-id
     pairs to the first (cheapest, given the (i, j, cost) pre-sort) one.
     Tail-recursive: safe for rounds ranking hundreds of thousands of
     pairs.  Exposed for testing. *)
 val dedupe_pairs : (float * int * int) list -> (float * int * int) list
 
-(** [run_ranked ?pool inst config ~coster ~merge] reduces the sink set to
-    one subtree, calling [merge ~id a b] on the calling domain for every
-    selected pair.  With [pool], candidate probing runs on the pool's
-    domains; results are deterministic and identical to the serial run.
-    Returns the final subtree and the ranking statistics. *)
+(** [run_ranked ?pool ?trace ?on_round inst config ~coster ~merge]
+    reduces the sink set to one subtree, calling [merge ~id a b] on the
+    calling domain for every selected pair.  With [pool], candidate
+    probing runs on the pool's domains; results are deterministic and
+    identical to the serial run.  With [trace] enabled, each round emits
+    a span (with probe/commit phase sub-spans and per-probe instants)
+    and probe costs feed the ["order.probe_cost"] histogram; the default
+    {!Obs.Trace.null} skips every emission, keeping the untraced run
+    allocation-free on that path.  [on_round] is invoked after each
+    round's commits with that round's {!round_info}.  Returns the final
+    subtree and the ranking statistics. *)
 val run_ranked :
   ?pool:Par.Pool.t ->
+  ?trace:Obs.Trace.t ->
+  ?on_round:(round_info -> unit) ->
   Clocktree.Instance.t ->
   config ->
   coster:'note coster ->

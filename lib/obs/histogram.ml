@@ -1,0 +1,103 @@
+type t = {
+  name : string;
+  per_decade : int;
+  lock : Mutex.t;
+  buckets : (int, int) Hashtbl.t;  (** bucket index -> count *)
+  mutable count : int;
+  mutable sum : float;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create ?(per_decade = 8) name =
+  {
+    name;
+    per_decade = Int.max 1 per_decade;
+    lock = Mutex.create ();
+    buckets = Hashtbl.create 32;
+    count = 0;
+    sum = 0.;
+    underflow = 0;
+    overflow = 0;
+    min = Float.infinity;
+    max = Float.neg_infinity;
+  }
+
+let name t = t.name
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* floor of per_decade * log10 v.  Float.log10 is exact enough for
+   observability bucketing; values landing within one ulp of a bucket
+   boundary may fall either side, which only moves them between two
+   adjacent buckets of a report. *)
+let index t v =
+  int_of_float (Float.floor (float_of_int t.per_decade *. Float.log10 v))
+
+let observe t v =
+  if not (Float.is_nan v) then
+    locked t (fun () ->
+        t.count <- t.count + 1;
+        t.sum <- t.sum +. v;
+        t.min <- Float.min t.min v;
+        t.max <- Float.max t.max v;
+        if v <= 0. then t.underflow <- t.underflow + 1
+        else if v = Float.infinity then t.overflow <- t.overflow + 1
+        else begin
+          let i = index t v in
+          Hashtbl.replace t.buckets i
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.buckets i))
+        end)
+
+let count t = locked t (fun () -> t.count)
+let sum t = locked t (fun () -> t.sum)
+let underflow t = locked t (fun () -> t.underflow)
+let overflow t = locked t (fun () -> t.overflow)
+
+let bound t i = Float.pow 10. (float_of_int i /. float_of_int t.per_decade)
+
+let buckets t =
+  locked t (fun () ->
+      Hashtbl.fold (fun i n acc -> (i, n) :: acc) t.buckets []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map (fun (i, n) -> (bound t i, bound t (i + 1), n)))
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.buckets;
+      t.count <- 0;
+      t.sum <- 0.;
+      t.underflow <- 0;
+      t.overflow <- 0;
+      t.min <- Float.infinity;
+      t.max <- Float.neg_infinity)
+
+let to_json t =
+  let bs = buckets t in
+  locked t (fun () ->
+      let extremum v = if t.count = 0 then Json.Null else Json.Float v in
+      Json.Obj
+        [
+          ("name", Json.String t.name);
+          ("count", Json.Int t.count);
+          ("sum", Json.Float t.sum);
+          ("min", extremum t.min);
+          ("max", extremum t.max);
+          ("underflow", Json.Int t.underflow);
+          ("overflow", Json.Int t.overflow);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (lo, hi, n) ->
+                   Json.Obj
+                     [
+                       ("lo", Json.Float lo);
+                       ("hi", Json.Float hi);
+                       ("count", Json.Int n);
+                     ])
+                 bs) );
+        ])

@@ -1,0 +1,50 @@
+(** Log-bucketed histograms for positively skewed observability metrics
+    (probe costs, merging-region extents, per-sink delays).
+
+    Buckets partition the positive reals into [per_decade] logarithmic
+    slices per power of ten: an observation [v > 0] lands in the bucket
+    whose bounds are [10^(i/k) <= v < 10^((i+1)/k)].  Only touched
+    buckets are stored, so the value range is unbounded in both
+    directions.  Non-positive observations are tallied in a separate
+    underflow cell (log buckets cannot hold them), positive infinities
+    in an overflow cell, and NaNs are ignored entirely.
+
+    Unlike {!Counter} and {!Timer}, histograms do not register in a
+    global registry: they belong to the {!Trace} context that created
+    them (or to the caller, when built directly).  Observation is
+    mutex-guarded, so recording from concurrent domains is safe. *)
+
+type t
+
+(** [create ?per_decade name] makes an empty histogram.  [per_decade]
+    (default 8) is clamped to at least 1. *)
+val create : ?per_decade:int -> string -> t
+
+val name : t -> string
+
+(** Record one observation (see the bucketing rules above). *)
+val observe : t -> float -> unit
+
+(** Observations recorded, NaNs excluded. *)
+val count : t -> int
+
+(** Sum of all counted observations. *)
+val sum : t -> float
+
+val underflow : t -> int
+val overflow : t -> int
+
+(** Touched buckets as [(lo, hi, count)], ascending by bound; [lo] is
+    inclusive, [hi] exclusive. *)
+val buckets : t -> (float * float * int) list
+
+val reset : t -> unit
+
+(** {v
+    { "name": ..., "count": n, "sum": s, "min": ..., "max": ...,
+      "underflow": n, "overflow": n,
+      "buckets": [ { "lo": ..., "hi": ..., "count": n }, ... ] }
+    v}
+
+    [min]/[max] are [null] while the histogram is empty. *)
+val to_json : t -> Json.t

@@ -132,12 +132,18 @@ let of_string s =
          | Some 'u' ->
            if !pos + 4 >= n then parse_error !pos "truncated \\u escape";
            let hex = String.sub s (!pos + 1) 4 in
-           (match int_of_string_opt ("0x" ^ hex) with
-            | Some code ->
-              Buffer.add_char buf
-                (if code < 0x100 then Char.chr code else '?');
-              pos := !pos + 4
-            | None -> parse_error !pos "bad \\u escape")
+           (* Exactly four hex digits: OCaml's own int-literal syntax
+              would also accept signs and underscores ("\u00_1"), which
+              are not JSON. *)
+           let is_hex = function
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+             | _ -> false
+           in
+           if not (String.for_all is_hex hex) then
+             parse_error !pos "bad \\u escape";
+           let code = int_of_string ("0x" ^ hex) in
+           Buffer.add_char buf (if code < 0x100 then Char.chr code else '?');
+           pos := !pos + 4
          | _ -> parse_error !pos "bad escape");
         advance ();
         go ()

@@ -28,10 +28,13 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Negative samples are clamped to zero: [Unix.gettimeofday] is not
+   monotonic, so a wall-clock step during a timed section would
+   otherwise subtract from the accumulated total. *)
 let record t ~wall ~cpu =
   locked t (fun () ->
-      t.wall <- t.wall +. wall;
-      t.cpu <- t.cpu +. cpu;
+      t.wall <- t.wall +. Float.max 0. wall;
+      t.cpu <- t.cpu +. Float.max 0. cpu;
       t.count <- t.count + 1)
 
 let time t f =

@@ -20,7 +20,10 @@ val time : t -> (unit -> 'a) -> 'a
     time phases manually. *)
 val now : unit -> float
 
-(** [record t ~wall ~cpu] adds one externally measured sample. *)
+(** [record t ~wall ~cpu] adds one externally measured sample.  Negative
+    durations (a non-monotonic wall clock stepping backwards during a
+    timed section) are clamped to zero, so accumulated totals never
+    decrease. *)
 val record : t -> wall:float -> cpu:float -> unit
 
 val wall_seconds : t -> float

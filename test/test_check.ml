@@ -209,6 +209,17 @@ let test_incremental_oracle_huge () =
       (Format.pp_print_list Check.Oracle.pp_finding)
       findings
 
+let test_trace_oracle () =
+  (* The trace-identity oracle on a generated instance: tracing is
+     semantically inert and the journal agrees with the engine stats. *)
+  let c = Check.Gen.case ~regime:Check.Gen.Intermingled ~seed:11L ~index:0 () in
+  match Check.Oracle.trace_identity ~jobs:[ 1; 2 ] c.instance with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "trace identity violated:@ %a"
+      (Format.pp_print_list Check.Oracle.pp_finding)
+      findings
+
 let test_replay_matches_run () =
   let findings = Check.replay ~seed:7L ~case:3 () in
   Alcotest.(check int) "clean case replays clean" 0 (List.length findings);
@@ -438,6 +449,7 @@ let () =
           Alcotest.test_case "fuzz smoke" `Slow test_fuzz_smoke;
           Alcotest.test_case "incremental oracle at scale" `Slow
             test_incremental_oracle_huge;
+          Alcotest.test_case "trace oracle" `Slow test_trace_oracle;
           Alcotest.test_case "replay + determinism" `Slow
             test_replay_matches_run;
           Alcotest.test_case "injected violation caught + shrunk" `Slow

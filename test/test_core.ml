@@ -134,6 +134,94 @@ let test_json_of_result_probe_counters () =
        Alcotest.(check bool) "probes were executed" true (reprobes > 0)
      | _ -> Alcotest.fail "missing or non-int probe counters")
 
+(* Tracing must be semantically inert: routing with a live trace
+   produces the exact tree, delays, wirelength and engine stats of the
+   untraced run, while the journal's per-round records sum to the
+   engine's aggregate counters. *)
+let test_trace_identity () =
+  let inst = mk_instance 80 ~n_groups:4 ~bound:10. in
+  let base = Astskew.Router.ast_dme inst in
+  List.iter
+    (fun jobs ->
+      let trace = Obs.Trace.create () in
+      let traced = Astskew.Router.ast_dme ~jobs ~trace inst in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "wirelength identical (jobs=%d)" jobs)
+        base.evaluation.wirelength traced.evaluation.wirelength;
+      Alcotest.(check bool)
+        (Printf.sprintf "per-sink delays identical (jobs=%d)" jobs)
+        true
+        (base.evaluation.delays = traced.evaluation.delays);
+      Alcotest.(check bool)
+        (Printf.sprintf "engine stats identical (jobs=%d)" jobs)
+        true
+        (base.engine = traced.engine);
+      let rounds =
+        List.filter_map
+          (function
+            | Obs.Json.Obj fields
+              when List.assoc_opt "type" fields
+                   = Some (Obs.Json.String "round") ->
+              Some fields
+            | _ -> None)
+          (Obs.Trace.journal_records trace)
+      in
+      let sum key =
+        List.fold_left
+          (fun acc fields ->
+            match List.assoc_opt key fields with
+            | Some (Obs.Json.Int n) -> acc + n
+            | _ -> acc)
+          0 rounds
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "journal round count (jobs=%d)" jobs)
+        traced.engine.rounds (List.length rounds);
+      Alcotest.(check int)
+        (Printf.sprintf "journal probes sum (jobs=%d)" jobs)
+        traced.engine.nn_reprobes (sum "probes");
+      Alcotest.(check int)
+        (Printf.sprintf "journal trial merges sum (jobs=%d)" jobs)
+        traced.engine.trial.trial_merges (sum "trial_merges");
+      Alcotest.(check int)
+        (Printf.sprintf "journal cache hits sum (jobs=%d)" jobs)
+        traced.engine.trial.cache_hits (sum "trial_cache_hits");
+      Alcotest.(check bool)
+        (Printf.sprintf "trace captured spans (jobs=%d)" jobs)
+        true
+        (Obs.Trace.events trace <> []))
+    [ 1; 2 ]
+
+(* Every router entry point stamps the run manifest and produces a
+   Chrome export that re-parses with a non-empty traceEvents list. *)
+let test_trace_router_manifest () =
+  let inst = mk_instance 40 ~n_groups:2 ~bound:10. in
+  List.iter
+    (fun (name, route) ->
+      let trace = Obs.Trace.create () in
+      let (_ : Astskew.Router.result) = route ~trace inst in
+      (match Obs.Trace.manifest trace with
+       | Obs.Json.Obj fields ->
+         Alcotest.(check bool) (name ^ " manifest names the router") true
+           (List.assoc_opt "router" fields = Some (Obs.Json.String name));
+         Alcotest.(check bool) (name ^ " manifest has engine_config") true
+           (name = "ext_bst" || List.mem_assoc "engine_config" fields)
+       | _ -> Alcotest.fail (name ^ ": manifest should be an object"));
+      match
+        Obs.Json.of_string (Obs.Json.to_string (Obs.Trace.to_chrome trace))
+      with
+      | Obs.Json.Obj fields ->
+        (match List.assoc_opt "traceEvents" fields with
+         | Some (Obs.Json.List (_ :: _)) -> ()
+         | _ -> Alcotest.fail (name ^ ": traceEvents empty or missing"))
+      | _ -> Alcotest.fail (name ^ ": chrome export should be an object"))
+    [
+      ("ast_dme", fun ~trace inst -> Astskew.Router.ast_dme ~trace inst);
+      ("ext_bst", fun ~trace inst -> Astskew.Router.ext_bst ~trace inst);
+      ("greedy_dme", fun ~trace inst -> Astskew.Router.greedy_dme ~trace inst);
+      ("mmm_dme", fun ~trace inst -> Astskew.Router.mmm_dme ~trace inst);
+    ]
+
 let () =
   Alcotest.run "core"
     [
@@ -157,5 +245,12 @@ let () =
           Alcotest.test_case "pp_result" `Quick test_pp_result_smoke;
           Alcotest.test_case "json probe counters" `Quick
             test_json_of_result_probe_counters;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "semantically inert + journal sums" `Quick
+            test_trace_identity;
+          Alcotest.test_case "router manifests + chrome export" `Quick
+            test_trace_router_manifest;
         ] );
     ]

@@ -1,5 +1,13 @@
-(* Tests for the lib/obs instrumentation library: counters, timers, the
-   JSON emitter and the report snapshot. *)
+(* Tests for the lib/obs instrumentation library: counters, timers,
+   histograms, the trace context, the JSON emitter and the report
+   snapshot. *)
+
+(* Must run before anything registers a counter or timer: the
+   registries are global to the process, so this is the only moment the
+   empty-registry rendering is observable. *)
+let test_report_empty () =
+  Alcotest.(check string) "empty registries" {|{"counters":{},"timers":{}}|}
+    (Obs.Json.to_string (Obs.Report.snapshot ()))
 
 let test_counter_basics () =
   let c = Obs.Counter.make "test.counter.basics" in
@@ -44,6 +52,72 @@ let test_timer_times_on_exception () =
   let t = Obs.Timer.make "test.timer.exn" in
   (try Obs.Timer.time t (fun () -> failwith "boom") with Failure _ -> ());
   Alcotest.(check int) "sample recorded despite exception" 1 (Obs.Timer.calls t)
+
+(* Unix.gettimeofday is not monotonic: a clock step during a timed
+   section can produce a negative sample.  record must clamp it to zero
+   so accumulated totals never decrease. *)
+let test_timer_negative_clamp () =
+  let t = Obs.Timer.make "test.timer.clamp" in
+  Obs.Timer.record t ~wall:(-1.) ~cpu:(-0.5);
+  Alcotest.(check int) "negative sample still counted" 1 (Obs.Timer.calls t);
+  Alcotest.(check (float 0.)) "wall clamped to zero" 0.
+    (Obs.Timer.wall_seconds t);
+  Alcotest.(check (float 0.)) "cpu clamped to zero" 0.
+    (Obs.Timer.cpu_seconds t);
+  Obs.Timer.record t ~wall:0.25 ~cpu:0.125;
+  Obs.Timer.record t ~wall:(-5.) ~cpu:(-5.);
+  Alcotest.(check (float 0.)) "wall total never decreases" 0.25
+    (Obs.Timer.wall_seconds t);
+  Alcotest.(check (float 0.)) "cpu total never decreases" 0.125
+    (Obs.Timer.cpu_seconds t)
+
+(* Every code point U+0000..U+001F must survive emit -> parse: the
+   emitter escapes the ones without a short form as \uXXXX and the
+   parser must map them back byte-for-byte. *)
+let test_json_control_chars () =
+  let open Obs.Json in
+  for code = 0 to 0x1f do
+    let v = String (Printf.sprintf "a%cb" (Char.chr code)) in
+    let s = to_string v in
+    Alcotest.(check bool)
+      (Printf.sprintf "U+%04X roundtrips via %s" code s)
+      true
+      (of_string s = v)
+  done;
+  Alcotest.(check string) "U+0001 escapes as \\u0001" {|"\u0001"|}
+    (to_string (String "\001"));
+  Alcotest.(check string) "U+001F escapes as \\u001f" {|"\u001f"|}
+    (to_string (String "\031"))
+
+(* The \u parser must take exactly four hex digits; underscores, signs
+   and truncated escapes are malformed input, not zero digits. *)
+let test_json_unicode_escape_audit () =
+  let open Obs.Json in
+  Alcotest.(check bool) "\\u0041 parses" true
+    (of_string {|"\u0041"|} = String "A");
+  Alcotest.(check bool) "\\u000A is newline" true
+    (of_string {|"\u000A"|} = String "\n");
+  Alcotest.(check bool) "mixed-case hex accepted" true
+    (of_string {|"\u001F"|} = String "\031"
+    && of_string {|"\u001f"|} = String "\031");
+  Alcotest.(check bool) "non-latin1 degrades to ?" true
+    (of_string {|"\u2603"|} = String "?");
+  let fails s =
+    match of_string s with
+    | exception Parse_error _ -> true
+    | _ -> false
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " rejected") true (fails s))
+    [
+      {|"\u00_1"|};
+      {|"\u00+1"|};
+      {|"\u-041"|};
+      {|"\u12g4"|};
+      {|"\u123"|};
+      {|"\u12|};
+      {|"\u"|};
+    ]
 
 let test_json_to_string () =
   let open Obs.Json in
@@ -153,9 +227,323 @@ let test_report_snapshot () =
   Alcotest.(check int) "counter zeroed" 0 (Obs.Report.counter "test.report.counter");
   Alcotest.(check int) "timer zeroed" 0 (Obs.Timer.calls t)
 
+let test_report_ordering () =
+  let _c1 = Obs.Counter.make "test.report.order_z" in
+  let _c2 = Obs.Counter.make "test.report.order_a" in
+  let s = Obs.Json.to_string (Obs.Report.snapshot ()) in
+  let index_of sub =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (match (index_of {|"test.report.order_z"|}, index_of {|"test.report.order_a"|}) with
+   | Some iz, Some ia ->
+     Alcotest.(check bool) "registration order, not name order" true (iz < ia)
+   | _ -> Alcotest.fail "snapshot missing a registered counter");
+  (* Two consecutive snapshots render identically: ordering is stable. *)
+  Alcotest.(check string) "stable across snapshots" s
+    (Obs.Json.to_string (Obs.Report.snapshot ()))
+
+let test_histogram_buckets () =
+  let h = Obs.Histogram.create ~per_decade:1 "test.hist.buckets" in
+  Alcotest.(check string) "name" "test.hist.buckets" (Obs.Histogram.name h);
+  Alcotest.(check int) "starts empty" 0 (Obs.Histogram.count h);
+  List.iter (Obs.Histogram.observe h) [ 0.5; 5.; 50.; 55. ];
+  Alcotest.(check int) "four samples" 4 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 110.5 (Obs.Histogram.sum h);
+  (match Obs.Histogram.buckets h with
+   | [ (lo0, hi0, n0); (lo1, hi1, n1); (lo2, hi2, n2) ] ->
+     Alcotest.(check (float 1e-9)) "bucket 0 lo" 0.1 lo0;
+     Alcotest.(check (float 1e-9)) "bucket 0 hi" 1. hi0;
+     Alcotest.(check int) "bucket 0 count" 1 n0;
+     Alcotest.(check (float 1e-9)) "bucket 1 lo" 1. lo1;
+     Alcotest.(check (float 1e-9)) "bucket 1 hi" 10. hi1;
+     Alcotest.(check int) "bucket 1 count" 1 n1;
+     Alcotest.(check (float 1e-9)) "bucket 2 lo" 10. lo2;
+     Alcotest.(check (float 1e-9)) "bucket 2 hi" 100. hi2;
+     Alcotest.(check int) "bucket 2 count" 2 n2
+   | bs ->
+     Alcotest.fail
+       (Printf.sprintf "expected 3 ascending buckets, got %d" (List.length bs)));
+  (* Non-positive values underflow, +inf overflows, NaN is ignored. *)
+  Obs.Histogram.observe h 0.;
+  Obs.Histogram.observe h (-3.);
+  Obs.Histogram.observe h Float.infinity;
+  Obs.Histogram.observe h Float.nan;
+  Alcotest.(check int) "underflow" 2 (Obs.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Obs.Histogram.overflow h);
+  Alcotest.(check int) "count includes under/overflow, not NaN" 7
+    (Obs.Histogram.count h);
+  Alcotest.(check int) "buckets unchanged by outliers" 3
+    (List.length (Obs.Histogram.buckets h))
+
+let test_histogram_json () =
+  let h = Obs.Histogram.create "test.hist.json" in
+  (match Obs.Histogram.to_json h with
+   | Obs.Json.Obj fields ->
+     Alcotest.(check bool) "empty min is null" true
+       (List.assoc "min" fields = Obs.Json.Null);
+     Alcotest.(check bool) "empty max is null" true
+       (List.assoc "max" fields = Obs.Json.Null)
+   | _ -> Alcotest.fail "to_json should produce an object");
+  Obs.Histogram.observe h 2.;
+  Obs.Histogram.observe h 30.;
+  let v = Obs.Histogram.to_json h in
+  (* The export re-parses; integral floats come back as Int (documented
+     emitter lossiness), so compare numerically rather than by shape. *)
+  let number = function
+    | Obs.Json.Int i -> float_of_int i
+    | Obs.Json.Float f -> f
+    | _ -> Float.nan
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string v) with
+   | Obs.Json.Obj fields ->
+     Alcotest.(check (float 0.)) "count survives" 2.
+       (number (List.assoc "count" fields));
+     Alcotest.(check (float 1e-9)) "min survives" 2.
+       (number (List.assoc "min" fields));
+     Alcotest.(check (float 1e-9)) "max survives" 30.
+       (number (List.assoc "max" fields))
+   | _ -> Alcotest.fail "export should re-parse as an object");
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "reset clears count" 0 (Obs.Histogram.count h);
+  Alcotest.(check int) "reset clears buckets" 0
+    (List.length (Obs.Histogram.buckets h));
+  (* per_decade is clamped to at least 1. *)
+  let h1 = Obs.Histogram.create ~per_decade:0 "test.hist.clamp" in
+  Obs.Histogram.observe h1 5.;
+  (match Obs.Histogram.buckets h1 with
+   | [ (lo, hi, 1) ] ->
+     Alcotest.(check (float 1e-9)) "clamped lo" 1. lo;
+     Alcotest.(check (float 1e-9)) "clamped hi" 10. hi
+   | _ -> Alcotest.fail "per_decade:0 should behave as 1")
+
+let test_trace_null () =
+  let t = Obs.Trace.null in
+  Alcotest.(check bool) "disabled" false (Obs.Trace.enabled t);
+  Obs.Trace.instant t "nothing";
+  Obs.Trace.instant t ~cat:"c" ~args:[ ("k", Obs.Json.Int 1) ] "nothing";
+  let r = Obs.Trace.span t "nothing" (fun () -> 7) in
+  Alcotest.(check int) "span passes result through" 7 r;
+  Obs.Trace.journal t (Obs.Json.Obj [ ("x", Obs.Json.Int 1) ]);
+  Obs.Trace.merge_manifest t [ ("k", Obs.Json.Int 1) ];
+  ignore (Obs.Trace.histogram t "test.trace.null_hist");
+  Alcotest.(check int) "no events buffered" 0
+    (List.length (Obs.Trace.events t));
+  Alcotest.(check int) "no journal records" 0
+    (List.length (Obs.Trace.journal_records t));
+  Alcotest.(check bool) "manifest stays empty" true
+    (Obs.Trace.manifest t = Obs.Json.Obj []);
+  Alcotest.(check int) "no histograms" 0
+    (List.length (Obs.Trace.histograms t))
+
+let test_trace_span_order () =
+  let t = Obs.Trace.create () in
+  Alcotest.(check bool) "enabled" true (Obs.Trace.enabled t);
+  let result =
+    Obs.Trace.span t ~cat:"test" "outer" (fun () ->
+        Obs.Trace.instant t "first";
+        Obs.Trace.span t "inner" (fun () -> Obs.Trace.instant t "second");
+        42)
+  in
+  Alcotest.(check int) "result passed through" 42 result;
+  let evs = Obs.Trace.events t in
+  Alcotest.(check (list string)) "parents order before children"
+    [ "outer"; "first"; "inner"; "second" ]
+    (List.map (fun (e : Obs.Trace.event) -> e.name) evs);
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (strictly_increasing (List.map (fun (e : Obs.Trace.event) -> e.seq) evs));
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      Alcotest.(check bool) (e.name ^ " ts non-negative") true (e.ts >= 0.))
+    evs;
+  (match evs with
+   | { phase = Obs.Trace.Complete dur; cat = "test"; _ } :: _ ->
+     Alcotest.(check bool) "span duration non-negative" true (dur >= 0.)
+   | _ -> Alcotest.fail "outer event should be a Complete span with its cat")
+
+let test_trace_span_exception () =
+  let t = Obs.Trace.create () in
+  (try Obs.Trace.span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  (match Obs.Trace.events t with
+   | [ { name = "boom"; phase = Obs.Trace.Complete _; _ } ] -> ()
+   | _ -> Alcotest.fail "span must emit its event even when the body raises")
+
+let test_trace_manifest_journal () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.merge_manifest t [ ("a", Obs.Json.Int 1); ("b", Obs.Json.Bool false) ];
+  Obs.Trace.merge_manifest t [ ("a", Obs.Json.Int 2) ];
+  Alcotest.(check bool) "later merge replaces, first-set order kept" true
+    (Obs.Trace.manifest t
+     = Obs.Json.Obj [ ("a", Obs.Json.Int 2); ("b", Obs.Json.Bool false) ]);
+  Obs.Trace.journal t (Obs.Json.Obj [ ("round", Obs.Json.Int 0) ]);
+  Obs.Trace.journal t (Obs.Json.Obj [ ("round", Obs.Json.Int 1) ]);
+  Alcotest.(check bool) "journal keeps emission order" true
+    (Obs.Trace.journal_records t
+     = [
+         Obs.Json.Obj [ ("round", Obs.Json.Int 0) ];
+         Obs.Json.Obj [ ("round", Obs.Json.Int 1) ];
+       ]);
+  (* Repeated histogram names return the same cell. *)
+  let h1 = Obs.Trace.histogram t "test.trace.hist" in
+  let h2 = Obs.Trace.histogram t "test.trace.hist" in
+  Obs.Histogram.observe h1 3.;
+  Alcotest.(check int) "same histogram cell" 1 (Obs.Histogram.count h2);
+  Alcotest.(check int) "one histogram registered" 1
+    (List.length (Obs.Trace.histograms t))
+
+let test_trace_custom_sink () =
+  let seen = ref [] in
+  let t =
+    Obs.Trace.create
+      ~sink:(fun (e : Obs.Trace.event) -> seen := e.name :: !seen)
+      ()
+  in
+  Obs.Trace.instant t "a";
+  Obs.Trace.span t "b" (fun () -> ());
+  Alcotest.(check (list string)) "sink saw every event" [ "a"; "b" ]
+    (List.rev !seen);
+  Alcotest.(check int) "sinked events are not buffered" 0
+    (List.length (Obs.Trace.events t))
+
+let test_trace_multi_domain () =
+  let t = Obs.Trace.create () in
+  let per_domain = 10 in
+  let workers =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            for j = 0 to per_domain - 1 do
+              Obs.Trace.instant t
+                ~args:[ ("d", Obs.Json.Int i); ("j", Obs.Json.Int j) ]
+                "tick"
+            done))
+  in
+  Array.iter Domain.join workers;
+  Obs.Trace.instant t "main";
+  let evs = Obs.Trace.events t in
+  Alcotest.(check int) "every domain's events merged" 31 (List.length evs);
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merged order is total (seq)" true
+    (strictly_increasing (List.map (fun (e : Obs.Trace.event) -> e.seq) evs))
+
+let test_trace_chrome_export () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.merge_manifest t [ ("circuit", Obs.Json.String "r1") ];
+  Obs.Trace.span t ~cat:"c" "s" (fun () -> Obs.Trace.instant t "i");
+  Obs.Histogram.observe (Obs.Trace.histogram t "test.trace.chrome_hist") 3.;
+  let v = Obs.Json.of_string (Obs.Json.to_string (Obs.Trace.to_chrome t)) in
+  let fields =
+    match v with
+    | Obs.Json.Obj fields -> fields
+    | _ -> Alcotest.fail "chrome export should be an object"
+  in
+  let evs =
+    match List.assoc "traceEvents" fields with
+    | Obs.Json.List evs -> evs
+    | _ -> Alcotest.fail "traceEvents should be a list"
+  in
+  Alcotest.(check int) "two events exported" 2 (List.length evs);
+  let field ev k =
+    match ev with
+    | Obs.Json.Obj f -> List.assoc_opt k f
+    | _ -> None
+  in
+  let ts_of ev =
+    match field ev "ts" with
+    | Some (Obs.Json.Float x) -> x
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> Alcotest.fail "event missing ts"
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone non-decreasing" true
+    (monotone (List.map ts_of evs));
+  (match evs with
+   | [ span; inst ] ->
+     Alcotest.(check bool) "span is ph X" true
+       (field span "ph" = Some (Obs.Json.String "X"));
+     Alcotest.(check bool) "span has dur" true (field span "dur" <> None);
+     Alcotest.(check bool) "span keeps its cat" true
+       (field span "cat" = Some (Obs.Json.String "c"));
+     Alcotest.(check bool) "instant is ph i" true
+       (field inst "ph" = Some (Obs.Json.String "i"));
+     Alcotest.(check bool) "instant scope t" true
+       (field inst "s" = Some (Obs.Json.String "t"))
+   | _ -> Alcotest.fail "expected exactly two events");
+  (match List.assoc_opt "otherData" fields with
+   | Some (Obs.Json.Obj m) ->
+     Alcotest.(check bool) "manifest exported" true
+       (List.assoc_opt "circuit" m = Some (Obs.Json.String "r1"))
+   | _ -> Alcotest.fail "otherData should carry the manifest");
+  match List.assoc_opt "histograms" fields with
+  | Some (Obs.Json.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "histograms should be exported"
+
+let test_trace_journal_write () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.merge_manifest t [ ("a", Obs.Json.Int 1) ];
+  Obs.Trace.merge_manifest t [ ("a", Obs.Json.Int 2); ("b", Obs.Json.Bool true) ];
+  Obs.Trace.journal t
+    (Obs.Json.Obj [ ("type", Obs.Json.String "round"); ("round", Obs.Json.Int 0) ]);
+  Obs.Trace.journal t
+    (Obs.Json.Obj [ ("type", Obs.Json.String "round"); ("round", Obs.Json.Int 1) ]);
+  Obs.Histogram.observe (Obs.Trace.histogram t "test.trace.journal_hist") 4.;
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Trace.write_journal path t;
+      let ic = open_in path in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = read [] in
+      close_in ic;
+      Alcotest.(check int) "manifest + 2 rounds + histograms" 4
+        (List.length lines);
+      let parsed = List.map Obs.Json.of_string lines in
+      let type_of = function
+        | Obs.Json.Obj fields -> List.assoc_opt "type" fields
+        | _ -> None
+      in
+      Alcotest.(check bool) "line 1 is the manifest" true
+        (type_of (List.nth parsed 0) = Some (Obs.Json.String "manifest"));
+      (match List.nth parsed 0 with
+       | Obs.Json.Obj fields ->
+         Alcotest.(check bool) "manifest keeps replaced value" true
+           (List.assoc_opt "a" fields = Some (Obs.Json.Int 2));
+         Alcotest.(check bool) "manifest keeps merged key" true
+           (List.assoc_opt "b" fields = Some (Obs.Json.Bool true))
+       | _ -> Alcotest.fail "manifest line should be an object");
+      Alcotest.(check bool) "round records in order" true
+        (type_of (List.nth parsed 1) = Some (Obs.Json.String "round")
+        && type_of (List.nth parsed 2) = Some (Obs.Json.String "round"));
+      Alcotest.(check bool) "final line carries histograms" true
+        (type_of (List.nth parsed 3) = Some (Obs.Json.String "histograms")))
+
 let () =
   Alcotest.run "obs"
     [
+      (* Must stay first: Alcotest runs suites in declared order and the
+         empty-registry rendering is only observable before any other
+         test registers a counter or timer. *)
+      ( "report-empty",
+        [ Alcotest.test_case "empty registries" `Quick test_report_empty ] );
       ( "counter",
         [
           Alcotest.test_case "basics" `Quick test_counter_basics;
@@ -166,14 +554,42 @@ let () =
           Alcotest.test_case "accumulates" `Quick test_timer_accumulates;
           Alcotest.test_case "times on exception" `Quick
             test_timer_times_on_exception;
+          Alcotest.test_case "negative samples clamp" `Quick
+            test_timer_negative_clamp;
         ] );
       ( "json",
         [
           Alcotest.test_case "to_string" `Quick test_json_to_string;
+          Alcotest.test_case "control chars" `Quick test_json_control_chars;
+          Alcotest.test_case "unicode escapes" `Quick
+            test_json_unicode_escape_audit;
           Alcotest.test_case "write_file" `Quick test_json_write_file;
           Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "read_file" `Quick test_json_read_file;
         ] );
-      ("report", [ Alcotest.test_case "snapshot" `Quick test_report_snapshot ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "log buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "json export" `Quick test_histogram_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "null trace is inert" `Quick test_trace_null;
+          Alcotest.test_case "span ordering" `Quick test_trace_span_order;
+          Alcotest.test_case "span on exception" `Quick
+            test_trace_span_exception;
+          Alcotest.test_case "manifest and journal" `Quick
+            test_trace_manifest_journal;
+          Alcotest.test_case "custom sink" `Quick test_trace_custom_sink;
+          Alcotest.test_case "multi-domain merge" `Quick
+            test_trace_multi_domain;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+          Alcotest.test_case "journal write" `Quick test_trace_journal_write;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "snapshot" `Quick test_report_snapshot;
+          Alcotest.test_case "stable ordering" `Quick test_report_ordering;
+        ] );
     ]
