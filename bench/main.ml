@@ -315,6 +315,20 @@ let smoke args =
     in
     Format.printf "probes: full=%d incremental=%d saved=%d (%.1f%% drop)@."
       full inc saved drop;
+    (* Allocation gate: the arena/SoA merge loop allocates a bounded
+       number of minor words per executed ranking probe.  Before the
+       slab rewrite the figure sat around 7500 words/probe on r5;
+       after it, well under 2000 on every circuit.  The budget leaves
+       ~2x headroom for honest churn while still catching a boxed
+       octagon or closure sneaking back onto the hot path (a 5-6x
+       jump).  Allocation counts are deterministic per domain, so
+       like the probe counters this cannot flake on slow runners. *)
+    let words_per_probe_budget = 3500. in
+    let words_per_probe =
+      on.engine.gc.Obs.Gcstat.minor_words /. float_of_int (Int.max 1 inc)
+    in
+    Format.printf "alloc: minor words=%.3e (%.1f per executed probe)@."
+      on.engine.gc.Obs.Gcstat.minor_words words_per_probe;
     let fail msg =
       Format.printf "FAIL: %s@." msg;
       exit 1
@@ -326,6 +340,11 @@ let smoke args =
     if inc >= full then fail "incremental ranking saved no probes";
     if inc + saved <> full then
       fail "executed + saved probes do not add up to the full count";
+    if words_per_probe > words_per_probe_budget then
+      fail
+        (Printf.sprintf
+           "allocation per probe %.1f exceeds the %.0f minor-word budget"
+           words_per_probe words_per_probe_budget);
     Format.printf "OK@."
 
 (* --- bench trace: Chrome trace + JSONL journal artifacts ------------------- *)
@@ -441,6 +460,9 @@ let cost_metrics =
     "trial_merges"; "trial_cache_misses"; "nn_reprobes"; "nn_probes_full";
     "nn_probes_incremental"; "trial_merges_off"; "trial_merges_on";
     "wirelength"; "global_skew_ps"; "max_group_skew_ps";
+    (* engine-phase GC counters (see Obs.Gcstat): allocation growth is a
+       perf regression just like wall time, but deterministic *)
+    "minor_words"; "promoted_words"; "major_words";
   ]
 
 let watched_leaf path =

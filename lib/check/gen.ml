@@ -12,6 +12,7 @@ type regime =
   | Tiny_groups
   | Extreme_rc
   | Zero_bound
+  | Normalized
   | Huge
 
 (* [Huge] is deliberately absent: instances of hundreds to ~1500 sinks
@@ -27,6 +28,7 @@ let all_regimes =
     Tiny_groups;
     Extreme_rc;
     Zero_bound;
+    Normalized;
   |]
 
 let regime_to_string = function
@@ -38,6 +40,7 @@ let regime_to_string = function
   | Tiny_groups -> "tiny-groups"
   | Extreme_rc -> "extreme-rc"
   | Zero_bound -> "zero-bound"
+  | Normalized -> "normalized"
   | Huge -> "huge"
 
 let regime_of_string s =
@@ -186,6 +189,27 @@ let zero_bound rng =
   finish rng ?group_bounds ~die ~bound:0. ~n_groups locs (default_caps rng n)
     groups
 
+(* Unit-square die: the whole instance lives in [0, 1] x [0, 1].  The
+   coordinate magnitudes sit three to five orders below the other
+   regimes', so anything that hard-codes an absolute layout unit (the
+   grid index's old 1.0-unit cell floor, say) degenerates here.  Enough
+   sinks that a correctly extent-relative grid spans several cells, and
+   the tie-provoking snap is relative to the die like everything else. *)
+let normalized rng =
+  let die = 1.0 in
+  let n = 16 + Rng.int rng 25 in
+  let n_groups = 1 + Rng.int rng (Int.min 6 n) in
+  let coord () =
+    let x = Rng.float_range rng 0. die in
+    if Rng.bool rng then Float.round (x *. 256.) /. 256. else x
+  in
+  let locs = Array.init n (fun _ -> Pt.make (coord ()) (coord ())) in
+  let groups = gen_groups rng ~n_groups n in
+  let bound = gen_bound rng in
+  let group_bounds = gen_group_bounds rng ~n_groups ~bound in
+  finish rng ?group_bounds ~die ~bound ~n_groups locs (default_caps rng n)
+    groups
+
 (* Benchmark-scale instances (hundreds to ~1500 sinks, r4/r5 territory):
    wide enough to exercise many-round multi-merge scheduling and the
    parallel ranking path on realistically deep merge trees.  Bounds stay
@@ -213,6 +237,7 @@ let instance rng regime =
   | Tiny_groups -> tiny_groups rng
   | Extreme_rc -> extreme_rc rng
   | Zero_bound -> zero_bound rng
+  | Normalized -> normalized rng
   | Huge -> huge rng
 
 let case ?regime ~seed ~index () =

@@ -15,6 +15,12 @@ type regime =
   | Tiny_groups  (** many degenerate groups of 1-3 sinks *)
   | Extreme_rc  (** extreme unit RC, driver resistance and load caps *)
   | Zero_bound  (** zero or mixed per-group skew bounds *)
+  | Normalized
+      (** unit-square die: every coordinate in [0, 1].  Stresses
+          coordinate-scale assumptions — most directly the grid index's
+          cell sizing, which must stay relative to the instance's extent
+          (an absolute floor collapses the whole die into one cell and
+          k-NN into full scans) *)
   | Huge
       (** benchmark-scale instances (200 to ~1500 sinks).  Too slow for
           the full oracle battery, so it is excluded from

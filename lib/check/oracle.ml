@@ -242,8 +242,11 @@ let trace_identity ?(jobs = [ 1; 2 ]) inst =
             base.evaluation.wirelength traced.evaluation.wirelength;
         (* Full stats equality: observation must not perturb the engine's
            work, and jobs must not either (par-identity, replayed here
-           under tracing). *)
-        if base.engine <> traced.engine then
+           under tracing).  GC counters are the one legitimately
+           run-dependent field (tracing itself allocates), so they are
+           zeroed out of the comparison. *)
+        let degc (s : Dme.Engine.stats) = { s with gc = Obs.Gcstat.zero } in
+        if degc base.engine <> degc traced.engine then
           add "jobs=%d traced engine stats differ from untraced jobs=1" j;
         (* The journal is the trace's accounting ledger: its per-round
            records must sum exactly to the engine's aggregate stats. *)

@@ -49,15 +49,27 @@ let balance_pass (inst : Instance.t) tree ~added_wire ~adjusted ~conflicts =
         else Interval.clamp wanted 0.
       in
       let delta_l = Float.max 0. x and delta_r = Float.max 0. (-.x) in
+      (* The skip floor is relative to the edge delay: at extreme RC
+         corners delays reach ~1e9 ps, where an absolute 1e-9 ps floor
+         sits far below one ulp and a repeated pass would chase its own
+         recomputation noise, adjusting edges forever.  64 ulps stays
+         well under Evaluate.within_bound's acceptance slack for any
+         delay magnitude the acceptance check can resolve.  An
+         adjustment whose resulting length is bit-identical is dropped
+         as the no-op it is. *)
       let extend len cap w delta =
-        if delta <= 1e-9 then (len, w)
+        if delta <= Float.max 1e-9 (64. *. epsilon_float *. Float.abs w) then
+          (len, w)
         else begin
           let len' =
             Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. delta)
           in
-          added_wire := !added_wire +. (len' -. len);
-          incr adjusted;
-          (len', w +. delta)
+          if len' = len then (len, w)
+          else begin
+            added_wire := !added_wire +. (len' -. len);
+            incr adjusted;
+            (len', w +. delta)
+          end
         end
       in
       let llen, wl = extend n.llen cap_l wl delta_l in
@@ -127,9 +139,12 @@ let lift_sweep (inst : Instance.t) (routed : Tree.routed) report ~slack
             let len' =
               Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. amount)
             in
-            added_wire := !added_wire +. (len' -. len);
-            incr adjusted;
-            len'
+            if len' = len then len
+            else begin
+              added_wire := !added_wire +. (len' -. len);
+              incr adjusted;
+              len'
+            end
           end
           else len
         in

@@ -3,7 +3,21 @@ module Pt = Geometry.Pt
 module Eps = Geometry.Eps
 module Tree = Clocktree.Tree
 
-let run ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
+(* Expanded prefix of the embedding: the top few levels are walked on
+   the calling domain, leaving an index per pending subtree so worker
+   results can be grafted back in input order. *)
+type prefix =
+  | Done of Tree.t
+  | Pending of int
+  | Split of {
+      p : Pt.t;
+      llen : float;
+      rlen : float;
+      left : prefix;
+      right : prefix;
+    }
+
+let run ?pool ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
     (root : Subtree.t) =
   let rec go (sub : Subtree.t) (p : Pt.t) =
     match sub.build with
@@ -21,8 +35,70 @@ let run ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
       in
       Tree.node p (go left pl) (go right pr) ~llen ~rlen
   in
+  (* Parallel frontier: expand the top of the plan with the exact
+     expressions of [go] until enough independent subtrees exist to feed
+     the pool, embed each on a worker ([go] is pure: it only reads the
+     frozen merge plan), then graft the results back.  Chunk results are
+     gathered in input-index order, so the assembled tree is
+     bit-identical to the serial recursion for any jobs count. *)
+  let embed_parallel pool sub p =
+    let depth =
+      let target = 4 * Par.Pool.jobs pool in
+      let d = ref 0 in
+      while 1 lsl !d < target do
+        incr d
+      done;
+      !d
+    in
+    let tasks = ref [] in
+    let n_tasks = ref 0 in
+    let rec expand depth (sub : Subtree.t) (p : Pt.t) =
+      match sub.build with
+      | Subtree.Leaf s -> Done (Tree.Leaf s)
+      | Subtree.Merge _ when depth = 0 ->
+        let i = !n_tasks in
+        incr n_tasks;
+        tasks := (sub, p) :: !tasks;
+        Pending i
+      | Subtree.Merge { left; right; lengths } ->
+        let pl = Octagon.nearest_point left.region p in
+        let pr = Octagon.nearest_point right.region p in
+        let llen, rlen =
+          match lengths with
+          | Subtree.Committed { ea; eb } ->
+            (Float.max ea (Pt.dist p pl), Float.max eb (Pt.dist p pr))
+          | Subtree.Split { total; split_lo; split_hi } ->
+            let la = Eps.clamp split_lo split_hi (Pt.dist p pl) in
+            ( Float.max la (Pt.dist p pl),
+              Float.max (total -. la) (Pt.dist p pr) )
+        in
+        let l = expand (depth - 1) left pl in
+        let r = expand (depth - 1) right pr in
+        Split { p; llen; rlen; left = l; right = r }
+    in
+    let top = expand depth sub p in
+    let arr = Array.make (Int.max 1 !n_tasks) (sub, p) in
+    List.iteri (fun k t -> arr.(!n_tasks - 1 - k) <- t) !tasks;
+    let arr = if !n_tasks = 0 then [||] else arr in
+    let results = Par.Pool.map_chunked pool (fun (sub, p) -> go sub p) arr in
+    let rec graft = function
+      | Done t -> t
+      | Pending i -> results.(i)
+      | Split { p; llen; rlen; left; right } ->
+        Tree.node p (graft left) (graft right) ~llen ~rlen
+    in
+    graft top
+  in
   let root_pt = Octagon.nearest_point root.region inst.source in
-  let body () = Tree.route inst.source (go root root_pt) in
+  let body () =
+    let tree =
+      match pool with
+      | Some pool when Par.Pool.jobs pool > 1 ->
+        embed_parallel pool root root_pt
+      | _ -> go root root_pt
+    in
+    Tree.route inst.source tree
+  in
   if Obs.Trace.enabled trace then
     Obs.Trace.span trace ~cat:"dme.embed" "embed" body
   else body ()

@@ -7,9 +7,19 @@
     honoured exactly (shortfall is snaked), shortest-path merges consume
     exactly the planned total.
 
+    With [pool] (and more than one job) the top of the plan is expanded
+    on the calling domain until roughly [4 * jobs] independent subtrees
+    exist, each subtree is embedded on a pool domain, and the pieces are
+    grafted back in input order.  Embedding a subtree is a pure function
+    of the frozen merge plan and its placement point, so the routed tree
+    is bit-identical to the serial walk for any jobs count.
+
     With [trace] enabled the whole embedding is wrapped in one
     ["embed"] span; the default {!Obs.Trace.null} emits nothing. *)
 
 val run :
-  ?trace:Obs.Trace.t -> Clocktree.Instance.t -> Subtree.t ->
+  ?pool:Par.Pool.t ->
+  ?trace:Obs.Trace.t ->
+  Clocktree.Instance.t ->
+  Subtree.t ->
   Clocktree.Tree.routed

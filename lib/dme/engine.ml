@@ -59,6 +59,7 @@ type stats = {
   nn_reprobes : int;
   nn_probes_saved : int;
   trial : trial_stats;
+  gc : Obs.Gcstat.t;
 }
 
 let json_of_config (c : config) =
@@ -112,6 +113,7 @@ type note = {
 }
 
 let run ?(config = default) ?(trace = Obs.Trace.null) inst =
+  let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
   if tracing then
     Obs.Trace.merge_manifest trace [ ("engine_config", json_of_config config) ];
@@ -137,6 +139,18 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
     Merge.run inst ~slack_usage:config.slack_usage
       ~split_slack:config.split_slack ~width_cap:config.width_cap
       ~sdr_samples:config.sdr_samples ~id a b
+  in
+  (* Penalty added to an infeasible candidate's cost: big enough to
+     dominate every honest cost, and proportional to the instance extent
+     so a rescaled layout ranks bit-identically — adding an absolute
+     constant would float-absorb small cost differences at one
+     coordinate scale and preserve them at another.  [Order]'s caching
+     threshold (reach_cap, 1e8 x extent) relies on penalised costs
+     exceeding it.  A zero-extent instance has every honest cost 0, so
+     any positive penalty separates. *)
+  let infeasible_penalty =
+    let d = Geometry.Octagon.diameter (Clocktree.Instance.bbox inst) in
+    if d > 0. then 1e9 *. d else 1.
   in
   let cache : (int * int, trial_cell) Hashtbl.t = Hashtbl.create 1024 in
   (* Keys each live subtree participates in, for eviction.  Subtree ids
@@ -198,9 +212,10 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
         if config.trial_cache then fresh := (a, b, r) :: !fresh;
         r
     in
-    let cost (a : Subtree.t) (b : Subtree.t) =
-      let dist = Geometry.Octagon.dist a.region b.region in
-      if config.cost_by_planned_wire || config.avoid_infeasible then begin
+    (* [dist] arrives from the ranking loop's region slab
+       (Octslab.dist, bit-identical to Octagon.dist on these regions). *)
+    let cost ~dist (a : Subtree.t) (b : Subtree.t) =
+      if config.cost_by_planned_wire then begin
         if config.trial_cache && Subtree.shared_groups a b = [] then begin
           (* Cross-group fast path: an unconstrained merge is always
              feasible and its planned wire is exactly the region distance
@@ -211,15 +226,26 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
         end
         else begin
           let t = trial a b in
-          let base =
-            if config.cost_by_planned_wire then t.planned_wire else dist
-          in
           (* An infeasible pair (mutually inconsistent shared-group
              offsets, the thesis' Instance 2) is merged only as a last
              resort. *)
-          if config.avoid_infeasible && not t.feasible then base +. 1e9
-          else base
+          if config.avoid_infeasible && not t.feasible then
+            t.planned_wire +. infeasible_penalty
+          else t.planned_wire
         end
+      end
+      else if config.avoid_infeasible then begin
+        (* Distance-cost ranking needs only feasibility from a trial, and
+           Merge.committed_feasible answers that bit-identically without
+           building the merged subtree — so no probe ever runs a trial
+           merge.  Counted as elided trials under the same gate as the
+           cross-group elision above, so cache-off runs keep reporting
+           zero elisions. *)
+        if config.trial_cache then incr n_elided;
+        if Merge.committed_feasible inst ~slack_usage:config.slack_usage
+             ~dist a b
+        then dist
+        else dist +. infeasible_penalty
       end
       else dist
     in
@@ -245,17 +271,31 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
       List.iter (fun (a, b, r) -> store a b r) note.fresh
     end
   in
-  let merge ~id (a : Subtree.t) (b : Subtree.t) =
-    let result =
-      match if config.trial_cache then lookup a b else None with
-      | Some r ->
-        (* The winning pair was already trial-merged during ranking; the
-           committed merge differs only in the subtree id. *)
-        incr reused;
-        Obs.Counter.incr c_reused;
-        { r with Merge.subtree = { r.Merge.subtree with Subtree.id } }
-      | None -> run_merge ~id a b
-    in
+  (* Committed-merge execution, split so the ranking loop can run the
+     selected merges of a round on worker domains: [compute] is pure
+     with respect to shared state — the trial cache is only read, and it
+     is frozen while the round's computes run because evictions happen
+     in [install], after the whole compute batch — while [install]
+     applies the stats, cache eviction and tracing on the main domain in
+     selection order.  The result tuple carries the child ids for
+     eviction and whether the cache supplied the result (the counter
+     increment must not race on a worker). *)
+  let compute ~id (a : Subtree.t) (b : Subtree.t) =
+    match if config.trial_cache then lookup a b else None with
+    | Some r ->
+      (* The winning pair was already trial-merged during ranking; the
+         committed merge differs only in the subtree id. *)
+      (a.Subtree.id, b.Subtree.id,
+       { r with Merge.subtree = { r.Merge.subtree with Subtree.id = id } },
+       true)
+    | None -> (a.Subtree.id, b.Subtree.id, run_merge ~id a b, false)
+  in
+  let install (aid, bid, (result : Merge.result), reused_hit) =
+    let id = result.subtree.Subtree.id in
+    if reused_hit then begin
+      incr reused;
+      Obs.Counter.incr c_reused
+    end;
     Obs.Counter.incr c_committed;
     (match result.kind with
      | Merge.Same_group -> incr same_group
@@ -265,8 +305,8 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
     planned_snake := !planned_snake +. result.snake;
     if not result.feasible then incr infeasible;
     if config.trial_cache then begin
-      evict a.id;
-      evict b.id
+      evict aid;
+      evict bid
     end;
     if tracing then begin
       cum_wire := !cum_wire +. result.planned_wire;
@@ -293,13 +333,34 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
     end;
     result.subtree
   in
+  (* [Order]'s §V.F-2 bias adds [weight × delay-hull (ps)] to candidate
+     distances (layout units), so its weight is in layout units per ps.
+     Exposing that unit in the config would tie the merge order to the
+     instance's absolute coordinate scale — the same layout expressed in
+     different units would route differently.  The config knob is
+     therefore dimensionless (hull as a fraction of an unloaded
+     die-diameter wire's delay, bias as a fraction of the diameter) and
+     the conversion factor [diameter / die_delay] comes from the
+     instance itself.  Both factors rescale exactly under a
+     power-of-two change of layout unit (coordinates ×k, unit RC ÷k),
+     keeping ranked costs bit-identically ordered across scales. *)
+  let delay_order_weight =
+    if config.delay_order_weight = 0. then 0.
+    else begin
+      let d = Geometry.Octagon.diameter (Clocktree.Instance.bbox inst) in
+      let die_delay =
+        Rc.Elmore.wire_delay inst.Clocktree.Instance.params ~len:d ~load:0.
+      in
+      if die_delay > 0. then config.delay_order_weight *. d /. die_delay else 0.
+    end
+  in
   let order_config =
     Order.
       {
         multi_merge = config.multi_merge;
         merge_fraction = config.merge_fraction;
         knn = config.knn;
-        delay_order_weight = config.delay_order_weight;
+        delay_order_weight;
         incremental = config.incremental;
       }
   in
@@ -312,6 +373,7 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
     if not tracing then None
     else begin
       let last_trials = ref 0 and last_hits = ref 0 and last_elided = ref 0 in
+      let last_gc = ref (Obs.Gcstat.sample ()) in
       Some
         (fun (r : Order.round_info) ->
           let d_trials = !trial_merges - !last_trials in
@@ -320,6 +382,9 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
           last_trials := !trial_merges;
           last_hits := !hits;
           last_elided := !elided;
+          let gc_now = Obs.Gcstat.sample () in
+          let d_gc = Obs.Gcstat.diff gc_now !last_gc in
+          last_gc := gc_now;
           Obs.Trace.journal trace
             (Obs.Json.Obj
                [
@@ -335,25 +400,30 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
                  ("merge_cost", Obs.Json.Float r.best_cost);
                  ("cum_planned_wire", Obs.Json.Float !cum_wire);
                  ("wall_s", Obs.Json.Float r.wall_s);
+                 ("gc", Obs.Gcstat.json d_gc);
                ]))
     end
   in
-  let root, (ostats : Order.stats) =
+  (* The pool stays alive through embedding: the top-down phase reuses
+     the ranking loop's worker domains for its subtree fan-out. *)
+  let routed, (ostats : Order.stats) =
     Fun.protect
       ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
       (fun () ->
         let body () =
           Order.run_ranked ?pool ~trace ?on_round inst order_config
             ~coster:{ Order.session; absorb }
-            ~merge
+            ~merger:{ Order.compute; install }
         in
-        if tracing then
-          Obs.Trace.span trace ~cat:"dme.engine"
-            ~args:[ ("jobs", Obs.Json.Int jobs) ]
-            "engine.plan" body
-        else body ())
+        let root, ostats =
+          if tracing then
+            Obs.Trace.span trace ~cat:"dme.engine"
+              ~args:[ ("jobs", Obs.Json.Int jobs) ]
+              "engine.plan" body
+          else body ()
+        in
+        (Embed.run ?pool ~trace inst root, ostats))
   in
-  let routed = Embed.run ~trace inst root in
   ( routed,
     {
       rounds = ostats.rounds;
@@ -373,4 +443,5 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
           elided_trials = !elided;
           reused_trials = !reused;
         };
+      gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0;
     } )

@@ -8,8 +8,13 @@ type config = {
   merge_fraction : float;  (** batch size as a fraction of active subtrees *)
   knn : int;  (** nearest-neighbour candidates per query *)
   delay_order_weight : float;
-      (** §V.F enhancement 2: bias merge order toward slow subtrees,
-          layout units per ps (0 = off) *)
+      (** §V.F enhancement 2: bias merge order toward slow subtrees
+          (0 = off).  Dimensionless: a subtree whose delay hull equals
+          the delay of an unloaded die-diameter wire is biased by
+          [weight × diameter] layout units.  Deriving the units from
+          the instance keeps the merge order invariant under a change
+          of layout unit (an absolute layout-units-per-ps weight would
+          rank the same layout differently at different scales). *)
   split_slack : float;
       (** fraction of the skew bound a cross-group merge may spend on
           split-range delay uncertainty *)
@@ -93,6 +98,12 @@ type stats = {
           of probing; [nn_reprobes + nn_probes_saved] is the probe count
           a from-scratch ([incremental = false]) run executes *)
   trial : trial_stats;
+  gc : Obs.Gcstat.t;
+      (** GC work of the whole run (plan + embed) as seen from the
+          calling domain: {!Obs.Gcstat.sample} at entry diffed against
+          exit.  The allocation budget the bench gate enforces; the only
+          stats field that is {e not} bit-identical across equivalent
+          runs — identity oracles compare with [gc] zeroed *)
 }
 
 (** [config] as a JSON object (one field per record field), for run

@@ -203,6 +203,128 @@ let merge_cross (inst : Clocktree.Instance.t) ~split_slack ~width_cap
   in
   { subtree; kind = Cross_group; planned_wire = dist; snake = 0.; feasible = true }
 
+(* Would [run] report this pair feasible?  Answered without building the
+   merged subtree, region or delay map — the ranking loop asks this for
+   every probed candidate pair, and under distance-cost ranking it is the
+   trial merge's only cost-relevant output.
+
+   Why this is exact, case by case against [merge_committed]:
+   - [Rc.Balance.plan] computes [feasible] from the constraint list
+     alone: the fold of [cons_x_interval] windows is non-empty.  Folding
+     [Interval.inter] is a running [Float.max] of the lows and
+     [Float.min] of the highs — exact and order-insensitive for the
+     finite windows committed merges produce — so one ascending pass
+     over the shared groups reproduces it bit for bit.
+   - The strict plan survives (its [feasible] becomes the result) iff it
+     is feasible {e and} snake-free.  Snake is zero iff the chosen [x]
+     lies in the detour-free range [[x_min, x_max]]: inside the range
+     [ea + eb = dist] exactly (the balance split is clamped to
+     [[0, dist]]), outside it the wire stretch is strictly positive.
+     For a feasible plan [x] is clamped into
+     [wanted ∩ [x_min, x_max]] whenever that is non-empty, so
+     snake-freedom is exactly the non-emptiness of that intersection —
+     the preference point never matters.
+   - Otherwise the result is the full-bound plan's [feasible]: the
+     full-window fold.
+
+   The group walk must mirror [shared_groups] (ascending ids) feeding
+   [cons_with]; [IntMap.find] + [Not_found] and manually inlined
+   [Interval.width] keep the walk allocation-free. *)
+(* Per-domain scratch for [committed_feasible]: the window bounds live in
+   a flat float scratch ([Float.Array] stores are unboxed where a
+   [float ref] boxes every update), and the group visitor is built once
+   per domain so [IntMap.iter] is handed a pre-existing closure instead
+   of allocating one per candidate pair.  [slack_usage] rides in the
+   float scratch (slot 4) because a mutable float field of a mixed
+   record would box on every write.  Safe because the visitor never
+   re-enters [committed_feasible]. *)
+type cf_scratch = {
+  cfw : floatarray;
+      (* 0 = strict lo, 1 = strict hi, 2 = full lo, 3 = full hi,
+         4 = slack_usage *)
+  mutable cf_other : Interval.t IntMap.t;
+  mutable cf_inst : Clocktree.Instance.t option;
+  mutable cf_any : bool;
+}
+
+let cf_key =
+  Domain.DLS.new_key (fun () ->
+      let cf =
+        {
+          cfw = Float.Array.create 5;
+          cf_other = IntMap.empty;
+          cf_inst = None;
+          cf_any = false;
+        }
+      in
+      let visit g (ia : Interval.t) =
+        match IntMap.find g cf.cf_other with
+        | exception Not_found -> ()
+        | ib ->
+          cf.cf_any <- true;
+          let inst =
+            match cf.cf_inst with Some i -> i | None -> assert false
+          in
+          let w = cf.cfw in
+          let bound = Clocktree.Instance.bound_for inst g in
+          let slack_usage = Float.Array.unsafe_get w 4 in
+          (* Interval.width, inlined: Float.max 0. (hi -. lo). *)
+          let wa = Float.max 0. (ia.Interval.hi -. ia.Interval.lo) in
+          let wb = Float.max 0. (ib.Interval.hi -. ib.Interval.lo) in
+          let wmax = Float.max wa wb in
+          let strict_bound = wmax +. (slack_usage *. (bound -. wmax)) in
+          (* cons_x_interval, inlined for each bound choice. *)
+          Float.Array.unsafe_set w 0
+            (Float.max (Float.Array.unsafe_get w 0)
+               (ib.Interval.hi -. ia.Interval.lo -. strict_bound));
+          Float.Array.unsafe_set w 1
+            (Float.min (Float.Array.unsafe_get w 1)
+               (strict_bound +. ib.Interval.lo -. ia.Interval.hi));
+          Float.Array.unsafe_set w 2
+            (Float.max (Float.Array.unsafe_get w 2)
+               (ib.Interval.hi -. ia.Interval.lo -. bound));
+          Float.Array.unsafe_set w 3
+            (Float.min (Float.Array.unsafe_get w 3)
+               (bound +. ib.Interval.lo -. ia.Interval.hi))
+      in
+      (cf, visit))
+
+let committed_feasible (inst : Clocktree.Instance.t) ~slack_usage ~dist
+    (a : Subtree.t) (b : Subtree.t) =
+  let cf, visit = Domain.DLS.get cf_key in
+  let w = cf.cfw in
+  Float.Array.unsafe_set w 0 Float.neg_infinity;
+  Float.Array.unsafe_set w 1 Float.infinity;
+  Float.Array.unsafe_set w 2 Float.neg_infinity;
+  Float.Array.unsafe_set w 3 Float.infinity;
+  Float.Array.unsafe_set w 4 slack_usage;
+  cf.cf_other <- b.delay;
+  (match cf.cf_inst with
+  | Some i when i == inst -> ()
+  | _ -> cf.cf_inst <- Some inst);
+  cf.cf_any <- false;
+  IntMap.iter visit a.delay;
+  cf.cf_other <- IntMap.empty;
+  if not cf.cf_any then true (* merge_cross: always feasible *)
+  else begin
+    let slo = Float.Array.unsafe_get w 0
+    and shi = Float.Array.unsafe_get w 1
+    and flo = Float.Array.unsafe_get w 2
+    and fhi = Float.Array.unsafe_get w 3 in
+    if
+      (* strict plan feasible... *)
+      not (slo > shi +. Eps.tol)
+      && begin
+           (* ...and snake-free: wanted ∩ [x_min, x_max] non-empty. *)
+           let params = inst.params in
+           let x_min = -.Rc.Elmore.wire_delay params ~len:dist ~load:b.cap in
+           let x_max = Rc.Elmore.wire_delay params ~len:dist ~load:a.cap in
+           not (Float.max slo x_min > Float.min shi x_max +. Eps.tol)
+         end
+    then true
+    else not (flo > fhi +. Eps.tol)
+  end
+
 let run inst ?(slack_usage = 0.3) ~split_slack ~width_cap ~sdr_samples ~id a b =
   let shared = Subtree.shared_groups a b in
   match classify a b shared with

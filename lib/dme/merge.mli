@@ -42,4 +42,20 @@ val run :
   Subtree.t ->
   result
 
+(** [committed_feasible inst ~slack_usage ~dist a b] is
+    [(run inst ~slack_usage ... a b).feasible], bit for bit, computed
+    without building the merged subtree — no region intersection, no
+    delay-map union, no allocation beyond a few boxed floats.  [dist]
+    must be [Octagon.dist a.region b.region].  This is the trial merge's
+    only cost-relevant output when ranking by region distance with
+    [avoid_infeasible], so the ranking loop can skip trial merges
+    entirely (see {!Engine}). *)
+val committed_feasible :
+  Clocktree.Instance.t ->
+  slack_usage:float ->
+  dist:float ->
+  Subtree.t ->
+  Subtree.t ->
+  bool
+
 val pp_kind : Format.formatter -> kind -> unit

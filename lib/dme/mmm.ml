@@ -21,6 +21,7 @@ let bisect sinks =
 
 let run ?(config = Engine.default) ?(trace = Obs.Trace.null)
     (inst : Clocktree.Instance.t) =
+  let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
   if tracing then
     Obs.Trace.merge_manifest trace
@@ -81,4 +82,5 @@ let run ?(config = Engine.default) ?(trace = Obs.Trace.null)
         nn_reprobes = 0;
         nn_probes_saved = 0;
         trial = Engine.no_trials;
+        gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0;
       } )

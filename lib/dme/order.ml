@@ -1,6 +1,9 @@
 module Octagon = Geometry.Octagon
+module Octslab = Geometry.Octslab
 module Grid_index = Geometry.Grid_index
 module Pt = Geometry.Pt
+module Interval = Geometry.Interval
+module IntMap = Subtree.IntMap
 
 type config = {
   multi_merge : bool;
@@ -20,11 +23,26 @@ let default =
   }
 
 type 'note coster = {
-  session : unit -> (Subtree.t -> Subtree.t -> float) * (unit -> 'note);
+  session : unit -> (dist:float -> Subtree.t -> Subtree.t -> float) * (unit -> 'note);
   absorb : 'note -> unit;
 }
 
-let of_cost cost = { session = (fun () -> (cost, fun () -> ())); absorb = ignore }
+type 'merge merger = {
+  compute : id:int -> Subtree.t -> Subtree.t -> 'merge;
+  install : 'merge -> Subtree.t;
+}
+
+let of_cost cost =
+  {
+    session = (fun () -> ((fun ~dist:_ a b -> cost a b), fun () -> ()));
+    absorb = ignore;
+  }
+
+let of_merge merge =
+  {
+    compute = (fun ~id a b -> (id, a, b));
+    install = (fun (id, a, b) -> merge ~id a b);
+  }
 
 type stats = { rounds : int; nn_probes : int; nn_probes_saved : int }
 
@@ -63,11 +81,15 @@ let dedupe_pairs pairs =
   in
   go [] pairs
 
-(* A best cost above this is an avoid-infeasible penalty (see Engine):
-   a proposal that expensive is invalidated by practically any nearby
-   insertion, so it is cheaper to just re-probe its owner every round
-   than to cache and churn it. *)
-let reach_cap = 1e8
+(* A best cost at or above [reach_cap inst] is an avoid-infeasible
+   penalty (see Engine, 1e9 x the instance extent): a proposal that
+   expensive is invalidated by practically any nearby insertion, so it
+   is cheaper to just re-probe its owner every round than to cache and
+   churn it.  Extent-relative like the penalty itself, so rescaled
+   layouts make identical caching decisions; a zero-extent instance
+   caches nothing (harmless — such instances are degenerate and tiny). *)
+let reach_cap inst =
+  1e8 *. Octagon.diameter (Clocktree.Instance.bbox inst)
 
 (* What the k-NN scan that produced a proposal promised about entries it
    did not evaluate: [Exhaustive] — there were none (the scan returned
@@ -77,25 +99,17 @@ let reach_cap = 1e8
    the proposal is never cached. *)
 type scan = Exhaustive | Kth of float | Opaque
 
-(* One cached nearest-neighbour proposal: the owner's cheapest partner
-   and raw (unbiased) cost, plus the probe-time facts the invalidation
-   sweep tests against — the owner's region radius bound [rad] (its L1
-   diameter; [Octagon.center] lies inside the region, so no region point
-   is farther than that from the center), the partner's center distance
-   [pdist] and 1-based rank in the candidate list, and a running count
-   of nodes inserted closer than the partner since the probe
-   ([rank - 1 + closer] bounds the partner's current grid rank). *)
-type proposal = {
-  partner : Subtree.t;
-  cost : float;
-  rad : float;
-  pdist : float;
-  rank : int;
-  mutable closer : int;
-}
+(* Membership of [qid] in a candidate list, as a top-level function: the
+   undercut ball scan asks this for every entry it visits, and a
+   [List.exists] literal there would allocate a closure per visited
+   entry. *)
+let rec mem_cand qid = function
+  | (cid, _, _) :: rest -> cid = qid || mem_cand qid rest
+  | [] -> false
 
 let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
-    (inst : Clocktree.Instance.t) config ~(coster : 'note coster) ~merge =
+    (inst : Clocktree.Instance.t) config ~(coster : 'note coster)
+    ~(merger : 'merge merger) =
   let n = Clocktree.Instance.n_sinks inst in
   let tracing = Obs.Trace.enabled trace in
   (* Probe costs observed in the absorb phase (main domain): the chosen
@@ -108,33 +122,78 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
      the pairing loop below; clamp rather than crash. *)
   let knn = Int.max 1 config.knn in
   let incremental = config.incremental in
+  let reach_cap = reach_cap inst in
   let cell =
-    let bbox = Clocktree.Instance.bbox inst in
-    Float.max 1. (Octagon.diameter bbox /. Float.max 1. (Float.sqrt (float_of_int n)))
+    let d = Octagon.diameter (Clocktree.Instance.bbox inst) in
+    let raw = d /. Float.sqrt (float_of_int (Int.max 1 n)) in
+    (* The floor must be relative to the instance's extent, not the
+       absolute 1.0 layout unit it used to be: a unit-square (or any
+       sub-unit) instance would collapse into a single grid cell and
+       degrade every k-NN query to a full scan, making ranking cost — and
+       the probe/visit counters — depend on coordinate scale.  [Eps.tol]
+       absolutely and [Eps.tol * d] relatively keep the cell positive for
+       degenerate (single-point) instances without distorting real
+       ones. *)
+    Float.max (Float.max Geometry.Eps.tol (Geometry.Eps.tol *. d)) raw
   in
-  let active : (int, Subtree.t) Hashtbl.t = Hashtbl.create (2 * n) in
+  (* Arena: every structure the ranking loop reads per candidate is a
+     flat array indexed by subtree id.  Ids are dense — [n] leaves plus
+     at most [n - 1] merges — so [2 n] slots cover the whole run and
+     nothing on the probe path chases a hashtable or boxes a float.
+     [slab] mirrors each alive subtree's region bounds (Octslab.dist is
+     bit-identical to Octagon.dist); [cx]/[cy] its center; [hull_hi] the
+     upper end of its delay hull (the only part delay biasing reads).
+     Slots of merged-away ids go stale rather than being cleared — the
+     loop only ever indexes ids of currently alive subtrees. *)
+  let cap_ids = Int.max 2 (2 * n) in
+  let node : Subtree.t option array = Array.make cap_ids None in
+  let n_active = ref 0 in
+  let slab = Octslab.create cap_ids in
+  let cx = Float.Array.make cap_ids Float.nan in
+  let cy = Float.Array.make cap_ids Float.nan in
+  let hull_hi = Float.Array.make cap_ids Float.nan in
+  (* Proposal cache, SoA: a subtree id is "dirty" exactly when its
+     [prop_partner] slot is negative.  Invalidation writes -1; merged
+     subtrees drop theirs in [delete]; fresh nodes start without one.
+     The remaining slots hold the owner's cheapest raw cost, its region
+     radius bound [rad] (L1 diameter; [Octagon.center] lies inside the
+     region, so no region point is farther than that from the center),
+     the partner's center distance [pdist] and 1-based candidate rank,
+     and a running count of nodes inserted closer than the partner since
+     the probe ([rank - 1 + closer] bounds the partner's current grid
+     rank). *)
+  let prop_partner = Array.make cap_ids (-1) in
+  let prop_cost = Float.Array.make cap_ids Float.nan in
+  let prop_rad = Float.Array.make cap_ids Float.nan in
+  let prop_pdist = Float.Array.make cap_ids Float.nan in
+  let prop_rank = Array.make cap_ids 0 in
+  let prop_closer = Array.make cap_ids 0 in
   let grid : Subtree.t Grid_index.t = Grid_index.create ~cell in
-  let centers : (int, Pt.t) Hashtbl.t = Hashtbl.create (2 * n) in
-  (* Proposal cache: a subtree id is "dirty" exactly when it has no
-     entry here.  Invalidation removes entries; merged subtrees drop
-     theirs in [delete]; fresh nodes start without one. *)
-  let proposals : (int, proposal) Hashtbl.t = Hashtbl.create (2 * n) in
-  (* Subtrees inserted by the current round's commits, swept against the
+  (* Ids inserted by the current round's commits, swept against the
      surviving proposals at the start of the next round. *)
-  let inserted : Subtree.t list ref = ref [] in
+  let inserted : int list ref = ref [] in
   let insert (s : Subtree.t) =
     let c = Octagon.center s.region in
-    Hashtbl.replace active s.id s;
-    Hashtbl.replace centers s.id c;
+    node.(s.id) <- Some s;
+    incr n_active;
+    Octslab.set slab s.id s.region;
+    Float.Array.set cx s.id c.Pt.x;
+    Float.Array.set cy s.id c.Pt.y;
+    if config.delay_order_weight <> 0. then
+      Float.Array.set hull_hi s.id
+        (IntMap.fold
+           (fun _ (iv : Interval.t) acc -> Float.max acc iv.hi)
+           s.delay Float.neg_infinity);
     Grid_index.add grid ~id:s.id c s
   in
+  let center_of id = Pt.make (Float.Array.get cx id) (Float.Array.get cy id) in
   let delete id =
-    (match Hashtbl.find_opt centers id with
-     | Some c -> Grid_index.remove grid ~id c
-     | None -> ());
-    Hashtbl.remove active id;
-    Hashtbl.remove centers id;
-    Hashtbl.remove proposals id
+    if node.(id) <> None then begin
+      Grid_index.remove grid ~id (center_of id);
+      node.(id) <- None;
+      decr n_active
+    end;
+    prop_partner.(id) <- -1
   in
   Array.iter (fun s -> insert (Subtree.leaf s)) inst.sinks;
   let next_id = ref n in
@@ -146,13 +205,13 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
   (* Cheapest merge partner of [s] among the grid candidates (grid
      ranking is by representative point, so probe several candidates and
      refine with the true merging cost).  Runs on worker domains during
-     a parallel round: [active], [centers] and [grid] are only read, and
+     a parallel round: the arena, [grid] and [slab] are only read, and
      the (cost, lowest-id) argmin makes the winner independent of
      candidate evaluation order.  Also returns the scan's exclusion
      bound for the proposal cache. *)
   let nearest_neighbor ~cost (s : Subtree.t) =
     Obs.Counter.incr c_probes;
-    let c = Hashtbl.find centers s.id in
+    let c = center_of s.id in
     let skip id = id = s.id in
     let candidates, scan =
       match Grid_index.k_nearest_probe grid ~skip c knn with
@@ -170,7 +229,7 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
     let best =
       List.fold_left
         (fun best (_, _, (t : Subtree.t)) ->
-          let d = cost s t in
+          let d = cost ~dist:(Octslab.dist slab s.id t.id) s t in
           match best with
           | Some ((bt : Subtree.t), bd)
             when bd < d || (bd = d && bt.id < t.id) ->
@@ -182,13 +241,16 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
   in
   (* Deep subtrees have small delay targets; merging shallow pairs first
      (Chaturvedi-Hu) keeps depths homogeneous and avoids late merges that
-     must snake to match a buried group's delay. *)
+     must snake to match a buried group's delay.  [hull_hi] is filled at
+     insertion by the same ascending max fold [Subtree.delay_hull] runs,
+     so the bias is bit-identical to recomputing the hulls here. *)
   let biased (a : Subtree.t) (b : Subtree.t) d =
     let depth_bias =
       if config.delay_order_weight = 0. then 0.
       else
-        let ha = Subtree.delay_hull a and hb = Subtree.delay_hull b in
-        config.delay_order_weight *. ((ha.hi +. hb.hi) /. 2.)
+        config.delay_order_weight
+        *. ((Float.Array.get hull_hi a.id +. Float.Array.get hull_hi b.id)
+            /. 2.)
     in
     d +. depth_bias
   in
@@ -206,19 +268,19 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
     let best = nearest_neighbor ~cost s in
     (best, finish ())
   in
+  (* Alive subtrees in ascending-id order: the id-indexed arena walk
+     needs no sort. *)
   let snapshot () =
-    let arr =
-      Array.of_list (Hashtbl.fold (fun _ s acc -> s :: acc) active [])
-    in
-    Array.sort
-      (fun (a : Subtree.t) (b : Subtree.t) -> Int.compare a.id b.id)
-      arr;
-    arr
+    let acc = ref [] in
+    for id = !next_id - 1 downto 0 do
+      match node.(id) with Some s -> acc := s :: !acc | None -> ()
+    done;
+    Array.of_list !acc
   in
   let invalidate id =
-    if Hashtbl.mem proposals id then begin
+    if prop_partner.(id) >= 0 then begin
       Obs.Counter.incr c_invalidated;
-      Hashtbl.remove proposals id
+      prop_partner.(id) <- -1
     end
   in
   (* Dirty-set invalidation, run at the start of each round against the
@@ -273,64 +335,65 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
      candidate-list-exact rule (dirty when any candidate of the list
      died) is also sound but measurably useless under multi-merge — each
      round consumes half the active set, so some candidate of nearly
-     every survivor dies (measured: 0 of 1083 probes saved on r1). *)
+     every survivor dies (measured: 0 of 1083 probes saved on r1).
+
+     Every per-owner test is independent of every other owner's outcome
+     and [inserted] sweeps touch disjoint mutable slots, so the grid's
+     unspecified [iter_within] visit order cannot change the surviving
+     set. *)
   let invalidate_stale ~alive_max_rad =
-    let dead_partner =
-      Hashtbl.fold
-        (fun oid pr acc ->
-          if Hashtbl.mem active pr.partner.id then acc else oid :: acc)
-        proposals []
-    in
-    List.iter
-      (fun oid ->
+    for oid = 0 to !next_id - 1 do
+      let pid = prop_partner.(oid) in
+      if pid >= 0 && node.(pid) = None then begin
         Obs.Counter.incr c_inv_partner;
-        invalidate oid)
-      dead_partner;
+        invalidate oid
+      end
+    done;
     (* Collection radius: an owner failing any exact test below has its
        center within [B + rad + rad_m] (undercut, via the triangle
        inequality through both region radii) or [pdist
        <= B + rad + rad_p] (rank churn) of [m]'s center.  [reach] bounds
        every surviving cached [B + rad] — recomputed per round from the
-       live table, so late-game giants whose proposals already died do
+       live slots, so late-game giants whose proposals already died do
        not inflate earlier sweeps — while [alive_max_rad] bounds the
        radius of [m] and of any live partner.  Over-collection costs
        scan time only — the per-owner tests are exact. *)
-    let reach =
-      Hashtbl.fold
-        (fun _ pr acc -> Float.max acc (pr.cost +. pr.rad))
-        proposals 0.
-    in
+    let reach = ref 0. in
+    for oid = 0 to !next_id - 1 do
+      if prop_partner.(oid) >= 0 then
+        reach :=
+          Float.max !reach
+            (Float.Array.get prop_cost oid +. Float.Array.get prop_rad oid)
+    done;
     List.iter
-      (fun (m : Subtree.t) ->
-        let cm = Hashtbl.find centers m.id in
-        let collect = reach +. alive_max_rad +. cell in
-        Grid_index.within grid cm collect
-        |> List.iter (fun (oid, oc, (owner : Subtree.t)) ->
-               match Hashtbl.find_opt proposals oid with
-               | None -> ()
-               | Some pr ->
-                 if oid <> m.id then begin
-                   if Octagon.dist owner.region m.region < pr.cost then begin
-                     Obs.Counter.incr c_inv_undercut;
-                     invalidate oid
-                   end
-                   else
-                     let dm = Pt.dist oc cm in
-                     if dm = pr.pdist then begin
-                       (* [m] ties the partner's center distance; which
-                          of the two a fresh scan ranks first hangs on
-                          arrival order, so be conservative. *)
-                       Obs.Counter.incr c_inv_rank;
-                       invalidate oid
-                     end
-                     else if dm < pr.pdist then begin
-                       pr.closer <- pr.closer + 1;
-                       if pr.rank - 1 + pr.closer >= knn then begin
-                         Obs.Counter.incr c_inv_rank;
-                         invalidate oid
-                       end
-                     end
-                 end))
+      (fun mid ->
+        let cm = center_of mid in
+        let collect = !reach +. alive_max_rad +. cell in
+        Grid_index.iter_within grid cm collect (fun oid oc _owner ->
+            if prop_partner.(oid) >= 0 && oid <> mid then begin
+              if Octslab.dist slab oid mid < Float.Array.get prop_cost oid
+              then begin
+                Obs.Counter.incr c_inv_undercut;
+                invalidate oid
+              end
+              else
+                let dm = Pt.dist oc cm in
+                let pdist = Float.Array.get prop_pdist oid in
+                if dm = pdist then begin
+                  (* [m] ties the partner's center distance; which of the
+                     two a fresh scan ranks first hangs on arrival order,
+                     so be conservative. *)
+                  Obs.Counter.incr c_inv_rank;
+                  invalidate oid
+                end
+                else if dm < pdist then begin
+                  prop_closer.(oid) <- prop_closer.(oid) + 1;
+                  if prop_rank.(oid) - 1 + prop_closer.(oid) >= knn then begin
+                    Obs.Counter.incr c_inv_rank;
+                    invalidate oid
+                  end
+                end
+            end))
       !inserted;
     inserted := []
   in
@@ -338,11 +401,14 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
   let reprobed = ref 0 in
   let saved = ref 0 in
   let rec loop () =
-    let count = Hashtbl.length active in
-    if count = 1 then
-      match Hashtbl.fold (fun _ s _ -> Some s) active None with
-      | Some s -> s
-      | None -> assert false
+    let count = !n_active in
+    if count = 1 then begin
+      let survivor = ref None in
+      for id = 0 to !next_id - 1 do
+        if !survivor = None then survivor := node.(id)
+      done;
+      match !survivor with Some s -> s | None -> assert false
+    end
     else begin
       incr rounds;
       Obs.Counter.incr c_rounds;
@@ -355,9 +421,12 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
          subtree against the frozen grid state — in parallel chunks when
          a pool is given — while clean subtrees reuse their cached
          proposal; (2) absorb the probes' side results on this domain in
-         snapshot (ascending-id) order; (3) sort, dedupe and commit
-         merges serially.  With [incremental] off every subtree counts
-         as stale and the round degenerates to the from-scratch scan. *)
+         snapshot (ascending-id) order; (3) sort, dedupe and select a
+         disjoint pair prefix, compute the selected merges — in parallel
+         when a pool is given; [merger.compute] must be pure — and
+         install them serially in selection order.  With [incremental]
+         off every subtree counts as stale and the round degenerates to
+         the from-scratch scan. *)
       let round_body () =
         let snap = snapshot () in
         (* Largest region radius among this round's population: bounds the
@@ -368,12 +437,12 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
           if not incremental then 0.
           else
             Array.fold_left
-              (fun m (s : Subtree.t) -> Float.max m (Octagon.diameter s.region))
+              (fun m (s : Subtree.t) -> Float.max m (Octslab.diameter slab s.id))
               0. snap
         in
         if incremental then invalidate_stale ~alive_max_rad;
         let stale (s : Subtree.t) =
-          (not incremental) || not (Hashtbl.mem proposals s.id)
+          (not incremental) || prop_partner.(s.id) < 0
         in
         let todo =
           if incremental then
@@ -408,10 +477,10 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
                 if incremental then
                   (match best with
                    | Some (t, d) when d < reach_cap ->
-                     let c_s = Hashtbl.find centers s.id in
-                     let c_t = Hashtbl.find centers t.id in
+                     let c_s = center_of s.id in
+                     let c_t = center_of t.id in
                      let pdist = Pt.dist c_s c_t in
-                     let rad = Octagon.diameter s.region in
+                     let rad = Octslab.diameter slab s.id in
                      (* Cache-time undercut scan: the proposal is cached
                         only if every alive node the probe did not
                         evaluate has region distance > B from the owner,
@@ -447,13 +516,10 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
                                 cands))
                        &&
                        let ball = d +. rad +. alive_max_rad +. cell in
-                       Grid_index.within grid c_s ball
-                       |> List.for_all (fun (qid, _, (q : Subtree.t)) ->
-                              qid = s.id
-                              || List.exists
-                                   (fun (cid, _, _) -> cid = qid)
-                                   cands
-                              || Octagon.dist s.region q.region > d)
+                       Grid_index.for_all_within grid c_s ball
+                         (fun qid _ (_ : Subtree.t) ->
+                           qid = s.id || mem_cand qid cands
+                           || Octslab.dist slab s.id qid > d)
                      in
                      if cacheable then begin
                        let rank =
@@ -464,18 +530,26 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
                          in
                          go 1 cands
                        in
-                       Hashtbl.replace proposals s.id
-                         { partner = t; cost = d; rad; pdist; rank; closer = 0 }
+                       prop_partner.(s.id) <- t.Subtree.id;
+                       Float.Array.set prop_cost s.id d;
+                       Float.Array.set prop_rad s.id rad;
+                       Float.Array.set prop_pdist s.id pdist;
+                       prop_rank.(s.id) <- rank;
+                       prop_closer.(s.id) <- 0
                      end
                      else Obs.Counter.incr c_uncached
                    | _ -> Obs.Counter.incr c_uncached);
                 best
               end
               else begin
-                let prop = Hashtbl.find proposals s.id in
+                let t =
+                  match node.(prop_partner.(s.id)) with
+                  | Some t -> t
+                  | None -> assert false (* dead partners were swept *)
+                in
                 incr saved;
                 Obs.Counter.incr c_saved;
-                Some (prop.partner, prop.cost)
+                Some (t, Float.Array.get prop_cost s.id)
               end
             in
             match best with
@@ -511,14 +585,16 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
         let used = Hashtbl.create 64 in
         let merged = ref 0 in
         let best_cost = ref Float.infinity in
-        let commit i j a b =
-          let s = merge ~id:(fresh_id ()) a b in
-          delete i;
-          delete j;
-          insert s;
-          if incremental then inserted := s :: !inserted
-        in
         let commit_phase () =
+          (* Selection first: which pairs merge this round depends only
+             on the sorted pair list and the round-start population —
+             never on any merge's result — so the (potentially parallel)
+             merge computations can all run against the frozen round
+             state, and installing them in selection order is
+             bit-identical to the former compute-one-install-one loop.
+             Ids are drawn at selection time to keep the id sequence
+             independent of compute scheduling. *)
+          let selected = ref [] in
           List.iter
             (fun (c, i, j) ->
               if
@@ -526,11 +602,11 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
                 && (not (Hashtbl.mem used i))
                 && not (Hashtbl.mem used j)
               then begin
-                match (Hashtbl.find_opt active i, Hashtbl.find_opt active j) with
+                match (node.(i), node.(j)) with
                 | Some a, Some b ->
                   Hashtbl.replace used i ();
                   Hashtbl.replace used j ();
-                  commit i j a b;
+                  selected := (i, j, a, b, fresh_id ()) :: !selected;
                   best_cost := Float.min !best_cost c;
                   incr merged
                 | _ -> ()
@@ -541,14 +617,39 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
              fail, merge the two lowest-id survivors directly rather than
              spinning forever. *)
           if !merged = 0 then begin
-            let ids = Hashtbl.fold (fun id _ acc -> id :: acc) active [] in
-            match List.sort Int.compare ids with
-            | i :: j :: _ ->
-              let a = Hashtbl.find active i and b = Hashtbl.find active j in
-              commit i j a b;
+            let i = ref (-1) and j = ref (-1) in
+            (try
+               for id = 0 to !next_id - 1 do
+                 if node.(id) <> None then
+                   if !i < 0 then i := id
+                   else begin
+                     j := id;
+                     raise Exit
+                   end
+               done
+             with Exit -> ());
+            match (node.(!i), node.(!j)) with
+            | Some a, Some b ->
+              selected := (!i, !j, a, b, fresh_id ()) :: !selected;
               incr merged
             | _ -> assert false
-          end
+          end;
+          let sels = Array.of_list (List.rev !selected) in
+          let computed =
+            let compute (_, _, a, b, id) = merger.compute ~id a b in
+            match pool with
+            | Some pool when Array.length sels > 1 ->
+              Par.Pool.map_chunked pool compute sels
+            | _ -> Array.map compute sels
+          in
+          Array.iteri
+            (fun k (i, j, _, _, _) ->
+              let s = merger.install computed.(k) in
+              delete i;
+              delete j;
+              insert s;
+              if incremental then inserted := s.Subtree.id :: !inserted)
+            sels
         in
         if tracing then
           Obs.Trace.span trace ~cat:"dme.order"
@@ -556,7 +657,7 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
             "commit_phase" commit_phase
         else commit_phase ();
         (Array.length todo, !merged, !best_cost)
-        in
+      in
       let probes_run, merges_done, best_cost =
         if tracing then
           Obs.Trace.span trace ~cat:"dme.order"
@@ -585,4 +686,4 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
   (root, { rounds = !rounds; nn_probes = !reprobed; nn_probes_saved = !saved })
 
 let run inst config ~cost ~merge =
-  run_ranked inst config ~coster:(of_cost cost) ~merge
+  run_ranked inst config ~coster:(of_cost cost) ~merger:(of_merge merge)

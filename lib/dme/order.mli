@@ -65,12 +65,33 @@ val default : config
     Subtrees whose cached proposal is reused run no session and absorb
     nothing. *)
 type 'note coster = {
-  session : unit -> (Subtree.t -> Subtree.t -> float) * (unit -> 'note);
+  session :
+    unit -> (dist:float -> Subtree.t -> Subtree.t -> float) * (unit -> 'note);
   absorb : 'note -> unit;
 }
 
-(** Wrap a pure, self-contained cost function (no side results). *)
+(** How selected merges are executed.  [compute ~id a b] builds the
+    merge result; it may run on a worker domain during parallel rounds,
+    so it must not mutate shared state (reading state that is frozen for
+    the duration of the round's commit phase is fine).  [install] runs
+    on the calling domain, in selection order, and returns the merged
+    subtree the ranking loop inserts; side effects (statistics, cache
+    eviction, tracing) belong here. *)
+type 'merge merger = {
+  compute : id:int -> Subtree.t -> Subtree.t -> 'merge;
+  install : 'merge -> Subtree.t;
+}
+
+(** Wrap a pure, self-contained cost function (no side results).  The
+    ranking loop's precomputed region distance is dropped on the
+    floor — [cost] sees only the subtree pair. *)
 val of_cost : (Subtree.t -> Subtree.t -> float) -> unit coster
+
+(** Wrap a plain merge callback: computation is deferred to [install],
+    so the whole merge runs on the calling domain in selection order —
+    the safe default for costers with effectful merges. *)
+val of_merge :
+  (id:int -> Subtree.t -> Subtree.t -> Subtree.t) -> (int * Subtree.t * Subtree.t) merger
 
 (** Ranking-loop statistics.  [nn_probes] counts executed
     nearest-neighbour probes (each runs one coster session over up to
@@ -102,17 +123,19 @@ type round_info = {
     pairs.  Exposed for testing. *)
 val dedupe_pairs : (float * int * int) list -> (float * int * int) list
 
-(** [run_ranked ?pool ?trace ?on_round inst config ~coster ~merge]
-    reduces the sink set to one subtree, calling [merge ~id a b] on the
-    calling domain for every selected pair.  With [pool], candidate
-    probing runs on the pool's domains; results are deterministic and
-    identical to the serial run.  With [trace] enabled, each round emits
-    a span (with probe/commit phase sub-spans and per-probe instants)
-    and probe costs feed the ["order.probe_cost"] histogram; the default
-    {!Obs.Trace.null} skips every emission, keeping the untraced run
-    allocation-free on that path.  [on_round] is invoked after each
-    round's commits with that round's {!round_info}.  Returns the final
-    subtree and the ranking statistics. *)
+(** [run_ranked ?pool ?trace ?on_round inst config ~coster ~merger]
+    reduces the sink set to one subtree, running [merger.compute] for
+    every selected pair and [merger.install] on the calling domain in
+    selection order.  With [pool], candidate probing and the selected
+    merges' computations run on the pool's domains; results are
+    deterministic and identical to the serial run.  With [trace]
+    enabled, each round emits a span (with probe/commit phase sub-spans
+    and per-probe instants) and probe costs feed the
+    ["order.probe_cost"] histogram; the default {!Obs.Trace.null} skips
+    every emission, keeping the untraced run allocation-free on that
+    path.  [on_round] is invoked after each round's commits with that
+    round's {!round_info}.  Returns the final subtree and the ranking
+    statistics. *)
 val run_ranked :
   ?pool:Par.Pool.t ->
   ?trace:Obs.Trace.t ->
@@ -120,7 +143,7 @@ val run_ranked :
   Clocktree.Instance.t ->
   config ->
   coster:'note coster ->
-  merge:(id:int -> Subtree.t -> Subtree.t -> Subtree.t) ->
+  merger:'merge merger ->
   Subtree.t * stats
 
 (** [run inst config ~cost ~merge] is {!run_ranked} without a pool over

@@ -51,4 +51,14 @@ val cell_of : 'a t -> Pt.t -> int * int
     empty index returns [[]] without scanning. *)
 val within : 'a t -> Pt.t -> float -> (int * Pt.t * 'a) list
 
+(** [iter_within t p r f] applies [f] to every entry within L1 distance
+    [r] of [p], without materializing the {!within} list.  Visit order is
+    unspecified; callers must be order-insensitive. *)
+val iter_within : 'a t -> Pt.t -> float -> (int -> Pt.t -> 'a -> unit) -> unit
+
+(** [for_all_within t p r f] is [List.for_all f (within t p r)] without
+    the list.  The scan is {e not} cut short by a failing entry, so the
+    grid visit counters do not depend on which entry fails. *)
+val for_all_within : 'a t -> Pt.t -> float -> (int -> Pt.t -> 'a -> bool) -> bool
+
 val iter : 'a t -> (int -> Pt.t -> 'a -> unit) -> unit

@@ -22,13 +22,23 @@ let bounds = function Empty -> None | O b -> Some b
 
 let bar i = i lxor 1
 
+(* The 4x4 DBM is per-domain scratch reused across calls: [closure] runs
+   inside every [inter] of every trial merge, so allocating the matrix
+   per call would dominate the minor heap.  Domain-local storage keeps
+   concurrent ranking probes from sharing the buffer; [closure] never
+   re-enters itself, so one matrix per domain suffices. *)
+let dbm_key = Domain.DLS.new_key (fun () -> Float.Array.create 16)
+
 let closure b =
   let inf = Float.infinity in
-  let m = Array.make_matrix 4 4 inf in
+  let m = Domain.DLS.get dbm_key in
+  Float.Array.fill m 0 16 inf;
+  let get i j = Float.Array.unsafe_get m ((i * 4) + j) in
+  let set i j v = Float.Array.unsafe_set m ((i * 4) + j) v in
   for i = 0 to 3 do
-    m.(i).(i) <- 0.
+    set i i 0.
   done;
-  let tighten i j v = if v < m.(i).(j) then m.(i).(j) <- v in
+  let tighten i j v = if v < get i j then set i j v in
   tighten 0 1 (2. *. b.xh);
   tighten 1 0 (-2. *. b.xl);
   tighten 2 3 (2. *. b.yh);
@@ -44,39 +54,44 @@ let closure b =
   for k = 0 to 3 do
     for i = 0 to 3 do
       for j = 0 to 3 do
-        let via = m.(i).(k) +. m.(k).(j) in
-        if via < m.(i).(j) then m.(i).(j) <- via
+        let via = get i k +. get k j in
+        if via < get i j then set i j via
       done
     done
   done;
   for i = 0 to 3 do
     for j = 0 to 3 do
-      let v = (m.(i).(bar i) +. m.(bar j).(j)) /. 2. in
-      if v < m.(i).(j) then m.(i).(j) <- v
+      let v = (get i (bar i) +. get (bar j) j) /. 2. in
+      if v < get i j then set i j v
     done
   done;
   let negative_cycle =
-    m.(0).(0) < -.Eps.tol
-    || m.(1).(1) < -.Eps.tol
-    || m.(2).(2) < -.Eps.tol
-    || m.(3).(3) < -.Eps.tol
+    get 0 0 < -.Eps.tol
+    || get 1 1 < -.Eps.tol
+    || get 2 2 < -.Eps.tol
+    || get 3 3 < -.Eps.tol
   in
   if negative_cycle then Empty
   else
     O
       {
-        xl = -.m.(1).(0) /. 2.;
-        xh = m.(0).(1) /. 2.;
-        yl = -.m.(3).(2) /. 2.;
-        yh = m.(2).(3) /. 2.;
-        sl = -.m.(1).(2);
-        sh = m.(0).(3);
-        dl = -.m.(2).(0);
-        dh = m.(0).(2);
+        xl = -.(get 1 0) /. 2.;
+        xh = get 0 1 /. 2.;
+        yl = -.(get 3 2) /. 2.;
+        yh = get 2 3 /. 2.;
+        sl = -.(get 1 2);
+        sh = get 0 3;
+        dl = -.(get 2 0);
+        dh = get 0 2;
       }
 
 let of_bounds ~xl ~xh ~yl ~yh ~sl ~sh ~dl ~dh =
   closure { xl; xh; yl; yh; sl; sh; dl; dh }
+
+(* Trusted constructor for bounds that are already canonical (read back
+   from an octagon slab): skipping the closure keeps the round-trip
+   bit-exact. *)
+let of_canonical_bounds b = O b
 
 let of_point (p : Pt.t) =
   let s = Pt.s p and d = Pt.d p in
@@ -208,7 +223,7 @@ let translate (v : Pt.t) o =
    8 constraint directions.  Each violated half-plane costs exactly its gap
    in L1 motion (all 8 normals have unit dual norm), and canonical
    tightness guarantees the maximum gap is simultaneously achievable. *)
-let dist a b =
+let[@inline] dist a b =
   match (a, b) with
   | Empty, _ | _, Empty -> invalid_arg "Octagon.dist: empty octagon"
   | O a, O b ->
@@ -319,7 +334,7 @@ let y_range = function
 
 (* In rotated coordinates (s, d) the L1 metric is Chebyshev, so the L1
    diameter is the larger of the two rotated extents. *)
-let diameter = function
+let[@inline] diameter = function
   | Empty -> 0.
   | O b -> Float.max (b.sh -. b.sl) (b.dh -. b.dl)
 

@@ -31,6 +31,13 @@ val is_empty : t -> bool
 (** [bounds o] is [None] on the empty octagon. *)
 val bounds : t -> bounds option
 
+(** Rebuild an octagon from bounds that are {e already canonical} (e.g.
+    read back from an {!Octslab} slot).  No closure is run, so the
+    round-trip [bounds] → [of_canonical_bounds] is bit-exact; feeding
+    loose bounds breaks every canonical-form invariant — use
+    {!of_bounds} for those. *)
+val of_canonical_bounds : bounds -> t
+
 (** Build from raw (possibly loose or inconsistent) bounds; the result is
     canonicalized and may be empty.  Use [Float.infinity] /
     [Float.neg_infinity] for absent upper / lower bounds. *)

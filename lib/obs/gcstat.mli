@@ -1,0 +1,28 @@
+(** Allocation counters sampled from [Gc.quick_stat], for attributing
+    garbage-collector work to a phase of the program.
+
+    The intended pattern is differential: [sample] before and after the
+    region of interest, then [diff after before].  Counters are those of
+    the calling domain (plus any domains that terminated before the
+    sample), so a pool-parallel phase under-reports worker allocation —
+    the numbers still gate the calling domain's hot path, which is what
+    the engine's allocation budget is about. *)
+
+type t = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  promoted_words : float;  (** words promoted minor -> major *)
+  major_words : float;  (** words allocated in the major heap, incl. promotions *)
+  minor_collections : int;  (** completed minor collections *)
+  major_collections : int;  (** completed major cycles *)
+}
+
+val zero : t
+
+(** Counters since program start, as seen from the calling domain. *)
+val sample : unit -> t
+
+(** [diff a b] is the per-field difference [a - b]: the GC work between
+    sample [b] (earlier) and sample [a] (later). *)
+val diff : t -> t -> t
+
+val json : t -> Json.t

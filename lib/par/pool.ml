@@ -37,8 +37,23 @@ let rec worker_loop t seen =
     worker_loop t epoch
   end
 
+(* The OCaml runtime aborts the whole process once ~128 domains exist
+   (Domain.spawn raises only up to that hard limit, and other subsystems
+   may already hold domains).  Cap pool sizes well below it, scaled to
+   the machine: oversubscription beyond a few x cores only adds
+   scheduling noise anyway. *)
+let max_jobs () = Int.min (8 * Domain.recommended_domain_count ()) 64
+
+let clamp_warned = Atomic.make false
+
 let create ?(jobs = 1) () =
-  let jobs = Int.max 1 jobs in
+  let requested = jobs in
+  let cap = max_jobs () in
+  let jobs = Int.max 1 (Int.min requested cap) in
+  if requested > cap && not (Atomic.exchange clamp_warned true) then
+    Printf.eprintf
+      "astskew: jobs=%d exceeds the runtime domain ceiling, clamping to %d\n%!"
+      requested jobs;
   let t =
     {
       jobs;
@@ -92,7 +107,30 @@ let map_chunked t ?chunk f arr =
       | None -> Int.max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs))
     in
     let n_chunks = (n + chunk - 1) / chunk in
-    let results = Array.make n None in
+    (* The result array is unboxed ('b array, flat for floats) and filled
+       in place — no ['b option array] double-materialization, which used
+       to box every element and then copy the whole array once more.  It
+       cannot be preallocated before a first value exists (there is no
+       'b to fill with), so the first domain to complete an element seeds
+       it with [Array.make n v]; the CAS makes losers of the seeding race
+       write into the winner's array.  Every slot is overwritten by its
+       own chunk's value exactly once, except slots of failing chunks —
+       and those are never observed because the chunk's exception
+       re-raises first. *)
+    let no_results : 'b array = [||] in
+    let results = Atomic.make no_results in
+    let store i v =
+      let r = Atomic.get results in
+      let r =
+        if r != no_results then r
+        else begin
+          let fresh = Array.make n v in
+          if Atomic.compare_and_set results no_results fresh then fresh
+          else Atomic.get results
+        end
+      in
+      Array.unsafe_set r i v
+    in
     let errors = Array.make n_chunks None in
     let cursor = Atomic.make 0 in
     let batch () =
@@ -103,7 +141,7 @@ let map_chunked t ?chunk f arr =
           let hi = Int.min n (lo + chunk) - 1 in
           (try
              for i = lo to hi do
-               results.(i) <- Some (f arr.(i))
+               store i (f arr.(i))
              done
            with exn -> errors.(c) <- Some exn);
           go ()
@@ -113,7 +151,9 @@ let map_chunked t ?chunk f arr =
     in
     run_batch t batch;
     Array.iter (function Some exn -> raise exn | None -> ()) errors;
-    Array.map (function Some v -> v | None -> assert false) results
+    let r = Atomic.get results in
+    assert (r != no_results);
+    r
   end
 
 let jobs_of_string s =
@@ -122,7 +162,6 @@ let jobs_of_string s =
   | _ -> None
 
 let default_jobs () =
-  let cap = 8 * Domain.recommended_domain_count () in
   match Option.bind (Sys.getenv_opt "ASTSKEW_JOBS") jobs_of_string with
-  | Some j -> Int.min j cap
+  | Some j -> Int.min j (max_jobs ())
   | None -> 1

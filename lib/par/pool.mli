@@ -20,11 +20,20 @@
 
 type t
 
-(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is
-    clamped to at least 1).  Pools are cheap enough to create per
-    engine run but are designed for reuse across many [map_chunked]
-    calls; call {!shutdown} when done to join the workers. *)
+(** [create ~jobs ()] spawns [jobs - 1] worker domains.  [jobs] is
+    clamped to [1 .. max_jobs ()]: the OCaml runtime hard-aborts the
+    process once ~128 domains exist, so an oversized request (say
+    [--jobs 100000]) is clamped with a one-time warning on stderr rather
+    than crashing.  Pools are cheap enough to create per engine run but
+    are designed for reuse across many [map_chunked] calls; call
+    {!shutdown} when done to join the workers. *)
 val create : ?jobs:int -> unit -> t
+
+(** Largest pool size {!create} will grant:
+    [min (8 * Domain.recommended_domain_count ()) 64], comfortably below
+    the runtime's domain limit while still allowing oversubscription for
+    latency-hiding experiments. *)
+val max_jobs : unit -> int
 
 (** Number of domains (including the caller) a batch runs on. *)
 val jobs : t -> int
@@ -45,7 +54,7 @@ val shutdown : t -> unit
 (** [default_jobs ()] is the process-wide default parallelism: the value
     of the [ASTSKEW_JOBS] environment variable when it parses as a
     positive integer, else 1 (fully serial).  Never exceeds
-    [8 * Domain.recommended_domain_count] (a fat-finger guard). *)
+    {!max_jobs}. *)
 val default_jobs : unit -> int
 
 (** Parse a jobs value the way [default_jobs] does: positive integers

@@ -133,8 +133,9 @@ let test_generator_determinism () =
   let b = Check.Gen.case ~seed:42L ~index:5 () in
   Alcotest.(check string) "same instance text" (Io.to_string a.instance)
     (Io.to_string b.instance);
+  let cycle = Array.length Check.Gen.all_regimes in
   Alcotest.(check bool) "regimes cycle" true
-    ((Check.Gen.case ~seed:42L ~index:8 ()).regime
+    ((Check.Gen.case ~seed:42L ~index:cycle ()).regime
     = (Check.Gen.case ~seed:42L ~index:0 ()).regime)
 
 let test_generator_regimes_shapes () =
@@ -167,7 +168,18 @@ let test_generator_regimes_shapes () =
   Alcotest.(check bool) "zero-bound instance has a zero bound" true
     (List.exists
        (fun g -> Instance.bound_for zb g = 0.)
-       (List.init zb.n_groups Fun.id))
+       (List.init zb.n_groups Fun.id));
+  let norm = find Check.Gen.Normalized in
+  Alcotest.(check bool) "normalized sinks inside the unit square" true
+    (Array.for_all
+       (fun (s : Sink.t) ->
+         s.loc.Geometry.Pt.x >= 0.
+         && s.loc.Geometry.Pt.x <= 1.
+         && s.loc.Geometry.Pt.y >= 0.
+         && s.loc.Geometry.Pt.y <= 1.)
+       norm.sinks);
+  Alcotest.(check bool) "normalized instance is multi-sink" true
+    (Instance.n_sinks norm >= 16)
 
 let test_generator_huge () =
   (* Huge is excluded from the index cycle (too slow for the full oracle
@@ -189,6 +201,96 @@ let test_generator_huge () =
     (List.for_all
        (fun g -> Instance.bound_for a.instance g >= 5.)
        (List.init a.instance.n_groups Fun.id))
+
+(* --- scale invariance ------------------------------------------------------ *)
+
+let counter name =
+  match Obs.Counter.find name with
+  | Some c -> c
+  | None -> Alcotest.failf "counter %s not registered" name
+
+(* Routing commutes with rescaling the layout by a power of two: scale
+   every coordinate by k and the unit RC parameters by 1/k and each
+   wire-delay product cancels exactly (power-of-two scalings are exact
+   in binary floating point), so the planner must take the very same
+   decisions — identical topology, probe counts and grid traffic — while
+   every length scales by exactly k.  Run against the unit-square
+   regime, the shape that used to collapse the grid index into a single
+   cell under its old absolute 1.0-unit cell floor and degrade k-NN into
+   full scans. *)
+let test_scale_invariance () =
+  let c = Check.Gen.case ~regime:Check.Gen.Normalized ~seed:23L ~index:0 () in
+  let inst = c.instance in
+  let k = 16384. in
+  let scale_pt (p : Geometry.Pt.t) =
+    Geometry.Pt.make (k *. p.Geometry.Pt.x) (k *. p.Geometry.Pt.y)
+  in
+  let scaled =
+    Instance.make
+      ~params:
+        (Rc.Wire.make
+           ~r:(inst.params.Rc.Wire.r /. k)
+           ~c:(inst.params.Rc.Wire.c /. k))
+      ~rd:inst.rd ~bound:inst.bound ?group_bounds:inst.group_bounds
+      ~source:(scale_pt inst.source) ~n_groups:inst.n_groups
+      (Array.map
+         (fun (s : Sink.t) ->
+           Sink.make ~id:s.id ~loc:(scale_pt s.loc) ~cap:s.cap ~group:s.group)
+         inst.sinks)
+  in
+  let c_q = counter "geometry.grid.queries" in
+  let c_cells = counter "geometry.grid.cells_visited" in
+  let c_entries = counter "geometry.grid.entries_scanned" in
+  let route i =
+    let q0 = Obs.Counter.value c_q in
+    let cells0 = Obs.Counter.value c_cells in
+    let e0 = Obs.Counter.value c_entries in
+    let r = Astskew.Router.ast_dme ~jobs:1 i in
+    ( r,
+      Obs.Counter.value c_q - q0,
+      Obs.Counter.value c_cells - cells0,
+      Obs.Counter.value c_entries - e0 )
+  in
+  let r0, q0, cells0, entries0 = route inst in
+  let r1, q1, cells1, entries1 = route scaled in
+  (* Multi-cell occupancy on the unit square: ring scans must visit many
+     more cells than there are queries, which a collapsed one-cell grid
+     cannot do. *)
+  Alcotest.(check bool) "normalized queries ran" true (q0 > 0);
+  Alcotest.(check bool)
+    "normalized grid spans multiple cells" true
+    (cells0 > 2 * q0);
+  (* Identical access pattern at both scales: no O(n^2) blow-up on the
+     sub-unit instance. *)
+  Alcotest.(check int) "grid queries match" q0 q1;
+  Alcotest.(check int) "cells visited match" cells0 cells1;
+  Alcotest.(check int) "entries scanned match" entries0 entries1;
+  Alcotest.(check int) "probe count matches" r0.engine.nn_reprobes
+    r1.engine.nn_reprobes;
+  Alcotest.(check int) "probes saved match" r0.engine.nn_probes_saved
+    r1.engine.nn_probes_saved;
+  (* Bit-identical electrical results, exactly scaled geometry. *)
+  Alcotest.(check bool)
+    "per-sink delays bit-identical" true
+    (r0.evaluation.delays = r1.evaluation.delays);
+  Alcotest.(check bool)
+    "wirelength scales exactly" true
+    (r1.evaluation.wirelength = k *. r0.evaluation.wirelength);
+  let rec same (a : Tree.t) (b : Tree.t) =
+    match (a, b) with
+    | Tree.Leaf sa, Tree.Leaf sb -> sa.id = sb.id
+    | Tree.Node na, Tree.Node nb ->
+      nb.pos.Geometry.Pt.x = k *. na.pos.Geometry.Pt.x
+      && nb.pos.Geometry.Pt.y = k *. na.pos.Geometry.Pt.y
+      && nb.llen = k *. na.llen
+      && nb.rlen = k *. na.rlen
+      && same na.left nb.left
+      && same na.right nb.right
+    | _ -> false
+  in
+  Alcotest.(check bool)
+    "identical topology, exactly scaled embedding" true
+    (same r0.routed.tree r1.routed.tree)
 
 (* --- fuzz smoke + determinism --------------------------------------------- *)
 
@@ -443,6 +545,7 @@ let () =
           Alcotest.test_case "regime shapes" `Quick
             test_generator_regimes_shapes;
           Alcotest.test_case "huge regime" `Slow test_generator_huge;
+          Alcotest.test_case "scale invariance" `Quick test_scale_invariance;
         ] );
       ( "runner",
         [

@@ -368,7 +368,11 @@ let test_parallel_bit_identical () =
         (name ^ ": identical trial stats")
         true
         (serial.engine.trial = par.engine.trial
-        && serial.engine.trial.trial_merges > 0))
+        (* Distance-cost ranking answers feasibility from the constraint
+           windows (Merge.committed_feasible), so probes run no trial
+           merges at all — every probe evaluation is an elision. *)
+        && serial.engine.trial.trial_merges = 0
+        && serial.engine.trial.elided_trials > 0))
     [ "r1"; "r2" ]
 
 let test_incremental_bit_identical () =

@@ -62,6 +62,64 @@ let test_each_index_once () =
             1 (Atomic.get w))
         writes)
 
+(* --- allocating vs non-allocating mapped functions ------------------------- *)
+
+(* The result buffer is filled without the boxed ['b option array]
+   double-materialization it used to have; these stress both extremes of
+   what [f] returns — unboxable floats from a function that allocates
+   nothing itself, and freshly heap-allocated structured values — across
+   many batches, checking against [Array.map] each time. *)
+let test_stress_non_allocating_f () =
+  let input = Array.init 10_000 (fun i -> float_of_int i) in
+  let f x = (x *. x) +. 1.5 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          for _ = 1 to 20 do
+            let got = Par.Pool.map_chunked pool ~chunk:97 f input in
+            Alcotest.(check bool)
+              (Printf.sprintf "float map matches (jobs=%d)" jobs)
+              true (got = expected)
+          done))
+    jobs_sweep
+
+let test_stress_allocating_f () =
+  let input = Array.init 5_000 (fun i -> i) in
+  let f x = (string_of_int x, [ x; x + 1 ], float_of_int x /. 3.) in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          for _ = 1 to 10 do
+            let got = Par.Pool.map_chunked pool ~chunk:61 f input in
+            Alcotest.(check bool)
+              (Printf.sprintf "allocating map matches (jobs=%d)" jobs)
+              true (got = expected)
+          done))
+    jobs_sweep
+
+(* Exactly-once must also hold when [f] allocates (a GC-triggered domain
+   interleaving must not re-run or skip a chunk). *)
+let test_each_index_once_allocating () =
+  let n = 512 in
+  let writes = Array.init n (fun _ -> Atomic.make 0) in
+  with_pool 4 (fun pool ->
+      let got =
+        Par.Pool.map_chunked pool ~chunk:7
+          (fun i ->
+            Atomic.incr writes.(i);
+            Bytes.make (1 + (i mod 64)) 'x')
+          (Array.init n (fun i -> i))
+      in
+      Alcotest.(check int) "all results present" n (Array.length got);
+      Array.iteri
+        (fun i w ->
+          Alcotest.(check int)
+            (Printf.sprintf "index %d computed once" i)
+            1 (Atomic.get w))
+        writes)
+
 (* --- exception propagation ------------------------------------------------- *)
 
 exception Boom of int
@@ -119,6 +177,26 @@ let test_create_clamps () =
   Alcotest.(check int) "jobs clamped to 1" 1 (Par.Pool.jobs pool);
   Par.Pool.shutdown pool
 
+(* Regression: an absurd --jobs used to spawn jobs - 1 domains and crash
+   into OCaml 5's hard domain limit (the runtime aborts the process, so
+   this test existing and completing IS the assertion); now the request
+   is clamped to the documented cap and the pool works. *)
+let test_create_clamps_huge_jobs () =
+  let pool = Par.Pool.create ~jobs:100_000 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      let jobs = Par.Pool.jobs pool in
+      Alcotest.(check bool) "clamped into 1 .. max_jobs" true
+        (jobs >= 1 && jobs <= Par.Pool.max_jobs ());
+      Alcotest.(check bool) "cap below the runtime's domain limit" true
+        (Par.Pool.max_jobs () < 128);
+      let got = Par.Pool.map_chunked pool succ (Array.init 33 (fun i -> i)) in
+      Alcotest.(check (array int))
+        "oversized pool still maps correctly"
+        (Array.init 33 (fun i -> i + 1))
+        got)
+
 (* --- Obs.Counter atomicity under domains ----------------------------------- *)
 
 let test_counter_atomic_across_domains () =
@@ -174,6 +252,12 @@ let () =
             test_each_index_once;
           Alcotest.test_case "deterministic exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "stress: non-allocating float map" `Quick
+            test_stress_non_allocating_f;
+          Alcotest.test_case "stress: allocating map" `Quick
+            test_stress_allocating_f;
+          Alcotest.test_case "exactly-once with allocating f" `Quick
+            test_each_index_once_allocating;
         ] );
       ( "pool",
         [
@@ -181,6 +265,8 @@ let () =
           Alcotest.test_case "shutdown is idempotent, then inline" `Quick
             test_shutdown_then_use;
           Alcotest.test_case "jobs clamped to >= 1" `Quick test_create_clamps;
+          Alcotest.test_case "huge --jobs request clamped, no abort" `Quick
+            test_create_clamps_huge_jobs;
         ] );
       ( "obs",
         [
