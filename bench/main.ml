@@ -6,14 +6,16 @@
      | cache [CIRCUIT...]
      | par [CIRCUIT...]
      | trace [CIRCUIT...]
-     | smoke [CIRCUIT]
+     | smoke [CIRCUIT [CLUSTERED_CIRCUIT]]
+     | scale [--smoke]
      | compare OLD.json NEW.json [--threshold PCT]
      | fuzz [--cases N] [--seed S] [--inject] [--replay CASE]
    (default: all).  "quick" restricts the tables to r1-r3 for fast runs;
    "cache" (also run by "micro") compares the merge-trial cache off vs on
    and incremental ranking off vs on over r1-r5 (or the listed circuits),
-   sweeps the engine's jobs knob, and writes BENCH_<circuit>.json stats
-   files; "par" prints just the jobs sweep (speedup vs jobs in
+   sweeps the engine's jobs knob, routes the clustered two-level mode,
+   and writes BENCH_<circuit>.json stats files; "par" prints just the
+   jobs sweep (speedup vs jobs in
    {1,2,4,cores}); "trace" routes r1-r5 (or the listed circuits) with a
    live trace, writes TRACE_<circuit>.json (Chrome trace-event) and
    TRACE_<circuit>.jsonl (metrics journal) and fails when the journal's
@@ -21,7 +23,13 @@
    deterministic CI perf gate: it routes
    one circuit (default r3) with incremental ranking off then on and
    fails unless the trees are identical and the probe counter strictly
-   dropped; "compare" diffs two BENCH_<circuit>.json files and exits
+   dropped, then gates the clustered router on a second circuit (default
+   r5: clusters=1 must equal flat bit-for-bit and the auto-clustered
+   tree must pass the global grouped audit); "scale" routes synthetic
+   10^4-10^5-sink instances through the clustered router, checks the
+   clusters=1-vs-flat identity, and writes the BENCH_scale.json curve
+   (--smoke keeps the CI-sized pieces only);
+   "compare" diffs two BENCH_<circuit>.json files and exits
    non-zero when a watched metric regressed past the threshold (default
    10%); "fuzz" runs the lib/check property-based fuzzer, prints a JSON
    summary, and writes the shrunk repro of any failure to FUZZ_REPRO.txt
@@ -238,6 +246,30 @@ let cache_bench ?(circuits = default_circuits) () =
           probes_full probes_inc probe_drop inc_speedup
           (if inc_identical then "ok" else "DIFFER!");
         let par = par_sweep inst in
+        (* Clustered leg: the two-level router at the auto cluster
+           count, plus the degenerate clusters=1 identity against the
+           flat cache-on run.  Its watched metrics (wall, counters, GC
+           words, quality) land in the BENCH json so `compare` gates
+           the clustered path exactly like the flat one. *)
+        let timed_clustered clusters =
+          Obs.Report.reset ();
+          let t0 = Obs.Timer.now () in
+          let r = Astskew.Router.ast_dme ~clustered:true ?clusters inst in
+          let elapsed = Obs.Timer.now () -. t0 in
+          (r, elapsed, Obs.Report.snapshot ())
+        in
+        let r_clu, t_clu, snap_clu = timed_clustered None in
+        let r_k1, _, _ = timed_clustered (Some 1) in
+        let clu_identical = same_result r_on r_k1 in
+        let regions =
+          match r_clu.clustering with
+          | Some d -> d.Dme.Cluster.n_clusters
+          | None -> 0
+        in
+        Format.printf
+          "  clustered: %d regions, %.3f s (%.2fx cache-on wall), clusters=1 trees %s@."
+          regions t_clu (t_on /. Float.max 1e-9 t_clu)
+          (if clu_identical then "ok" else "DIFFER!");
         let run_json result elapsed snap =
           Obs.Json.Obj
             [
@@ -272,6 +304,13 @@ let cache_bench ?(circuits = default_circuits) () =
                     ("off", run_json r_noinc t_noinc snap_noinc);
                   ] );
               ("par", par_json par);
+              ( "clustered",
+                Obs.Json.Obj
+                  [
+                    ("regions", Obs.Json.Int regions);
+                    ("identical_at_one_cluster", Obs.Json.Bool clu_identical);
+                    ("run", run_json r_clu t_clu snap_clu);
+                  ] );
               ("cache_off", run_json r_off t_off snap_off);
               ("cache_on", run_json r_on t_on snap_on);
             ]
@@ -289,12 +328,85 @@ let cache_bench ?(circuits = default_circuits) () =
    are identical, the executed probe count strictly dropped, the trial
    workload did not grow, and the executed + saved probes of the
    incremental run add up exactly to the from-scratch count. *)
-let smoke args =
-  let name = match args with [] -> "r3" | [ c ] -> c | _ ->
-    Format.eprintf "usage: smoke [CIRCUIT]@.";
-    exit 2
-  in
+(* Clustered leg of the smoke gate: the two-level router must
+   degenerate exactly at clusters=1 (same tree, same probe and trial
+   counters as flat) and stay Audit-clean under the global grouped
+   contract at the auto cluster count, with every region non-empty.
+   All gates are deterministic counters and tree fingerprints; wall
+   time and GC words are printed for the log but never gated. *)
+let smoke_clustered name =
   match Workload.Circuits.find name with
+  | None ->
+    Format.eprintf "smoke: unknown circuit %S@." name;
+    exit 2
+  | Some spec ->
+    header (Printf.sprintf "Perf smoke: clustered routing on %s" spec.name);
+    let inst = bench_instance spec in
+    let timed f =
+      Obs.Report.reset ();
+      let t0 = Obs.Timer.now () in
+      let r = f () in
+      (r, Obs.Timer.now () -. t0)
+    in
+    let flat, t_flat = timed (fun () -> Astskew.Router.ast_dme inst) in
+    let k1, t_k1 =
+      timed (fun () -> Astskew.Router.ast_dme ~clustered:true ~clusters:1 inst)
+    in
+    let clu, t_clu =
+      timed (fun () -> Astskew.Router.ast_dme ~clustered:true inst)
+    in
+    let line what (r : Astskew.Router.result) wall =
+      Format.printf
+        "%-12s wall %6.3f s, probes %6d, trial merges %6d, minor words %.3e@."
+        what wall r.engine.nn_reprobes r.engine.trial.trial_merges
+        r.engine.gc.Obs.Gcstat.minor_words
+    in
+    line "flat:" flat t_flat;
+    line "clusters=1:" k1 t_k1;
+    line "clustered:" clu t_clu;
+    let fail msg =
+      Format.printf "FAIL: %s@." msg;
+      exit 1
+    in
+    (match clu.clustering with
+     | None -> fail "clustered run reports no clustering detail"
+     | Some d ->
+       Format.printf "clustered regions: %d, top-level rounds: %d@."
+         d.Dme.Cluster.n_clusters d.top.rounds;
+       Array.iter
+         (fun (c : Dme.Cluster.cluster_stats) ->
+           if c.n_sinks = 0 then
+             fail (Printf.sprintf "region %d is empty" c.cluster))
+         d.per_cluster);
+    if not (same_result flat k1) then
+      fail "clusters=1 tree differs from the flat router's";
+    if flat.engine.nn_reprobes <> k1.engine.nn_reprobes then
+      fail "clusters=1 probe count differs from flat";
+    if flat.engine.trial <> k1.engine.trial then
+      fail "clusters=1 trial-merge stats differ from flat";
+    let audit =
+      Check.Audit.run Check.Audit.Grouped inst clu.routed clu.evaluation
+    in
+    if audit <> [] then begin
+      List.iter
+        (fun (v : Check.Audit.violation) ->
+          Format.printf "  AUDIT %s: %s@." v.invariant v.detail)
+        audit;
+      fail "clustered route failed the global grouped audit"
+    end;
+    Format.printf "OK@."
+
+let smoke args =
+  let name, clustered_name =
+    match args with
+    | [] -> ("r3", "r5")
+    | [ c ] -> (c, "r5")
+    | [ c; k ] -> (c, k)
+    | _ ->
+      Format.eprintf "usage: smoke [CIRCUIT [CLUSTERED_CIRCUIT]]@.";
+      exit 2
+  in
+  (match Workload.Circuits.find name with
   | None ->
     Format.eprintf "smoke: unknown circuit %S@." name;
     exit 2
@@ -345,7 +457,8 @@ let smoke args =
         (Printf.sprintf
            "allocation per probe %.1f exceeds the %.0f minor-word budget"
            words_per_probe words_per_probe_budget);
-    Format.printf "OK@."
+    Format.printf "OK@.");
+  smoke_clustered clustered_name
 
 (* --- bench trace: Chrome trace + JSONL journal artifacts ------------------- *)
 
@@ -638,6 +751,156 @@ let micro () =
       Format.printf "%-40s %s@." name pretty)
     (List.sort (fun (a, _) (b, _) -> compare a b) entries)
 
+(* --- bench scale: clustered routing at 10^4-10^5 sinks --------------------- *)
+
+let scale_file = "BENCH_scale.json"
+
+(* Synthetic specs above the named-circuit range: die side grows as
+   sqrt(n) so sink density matches r1-r5; groups stay intermingled
+   (via bench_instance) so the top-level stitch carries real
+   cross-region skew constraints. *)
+let scale_spec n =
+  Workload.Circuits.
+    {
+      name = Printf.sprintf "s%dk" (n / 1000);
+      n_sinks = n;
+      die = 2000. *. sqrt (float_of_int n);
+    }
+
+(* One curve point: route clustered (auto region count), audit the
+   stitched tree under the global grouped contract. *)
+let scale_point n =
+  let spec = scale_spec n in
+  let inst = bench_instance spec in
+  Obs.Report.reset ();
+  let t0 = Obs.Timer.now () in
+  let r = Astskew.Router.ast_dme ~clustered:true inst in
+  let wall = Obs.Timer.now () -. t0 in
+  let audit = Check.Audit.run Check.Audit.Grouped inst r.routed r.evaluation in
+  (spec, r, wall, audit)
+
+let scale_point_json (spec : Workload.Circuits.spec)
+    (r : Astskew.Router.result) wall audit =
+  let open Obs.Json in
+  Obj
+    [
+      ("circuit", String spec.name);
+      ("n_sinks", Int spec.n_sinks);
+      ("die", Float spec.die);
+      ( "clusters",
+        Int
+          (match r.clustering with
+           | Some d -> d.Dme.Cluster.n_clusters
+           | None -> 0) );
+      ("wall_s", Float wall);
+      ("audit_clean", Bool (audit = []));
+      ("result", Astskew.Router.json_of_result r);
+    ]
+
+let print_scale_point (spec : Workload.Circuits.spec)
+    (r : Astskew.Router.result) wall audit =
+  Format.printf "%-8s %8d %8d %9.3f %14.0f %8.3f %8.3f %7s@." spec.name
+    spec.n_sinks
+    (match r.clustering with
+     | Some d -> d.Dme.Cluster.n_clusters
+     | None -> 0)
+    wall r.evaluation.wirelength r.evaluation.global_skew
+    r.evaluation.max_group_skew
+    (if audit = [] then "clean" else "DIRTY!");
+  List.iter
+    (fun (v : Check.Audit.violation) ->
+      Format.printf "  AUDIT %s: %s@." v.invariant v.detail)
+    audit
+
+(* Wall-clock/wirelength scaling curve for the clustered router, written
+   to BENCH_scale.json.  Full mode routes 10^4, ~10^4.5 and 10^5 sinks
+   and checks the clusters=1 identity on every named circuit at jobs
+   {1,4}; --smoke keeps CI-sized pieces only (one 10^4-sink route plus
+   the identity on a downsampled 2000-sink instance).  Exits 1 when any
+   route fails the global audit or any identity check differs — both
+   are deterministic, so this cannot flake on slow runners. *)
+let scale args =
+  let smoke_mode = ref false in
+  let usage () =
+    Format.eprintf "usage: scale [--smoke]@.";
+    exit 2
+  in
+  List.iter
+    (function "--smoke" -> smoke_mode := true | _ -> usage ())
+    args;
+  let ns = if !smoke_mode then [ 10_000 ] else [ 10_000; 31_623; 100_000 ] in
+  header
+    (Printf.sprintf "Scale: clustered AST-DME%s"
+       (if !smoke_mode then " (smoke)" else ""));
+  Format.printf "%-8s %8s %8s %9s %14s %8s %8s %7s@." "circuit" "sinks"
+    "clusters" "wall (s)" "wirelength" "skew" "grp-skew" "audit";
+  let points =
+    List.map
+      (fun n ->
+        let spec, r, wall, audit = scale_point n in
+        print_scale_point spec r wall audit;
+        (spec, r, wall, audit))
+      ns
+  in
+  let identity_legs =
+    if !smoke_mode then [ scale_spec 2_000 ]
+    else List.filter_map Workload.Circuits.find default_circuits
+  in
+  Format.printf "@.clusters=1 vs flat identity:@.";
+  let identities =
+    List.map
+      (fun (spec : Workload.Circuits.spec) ->
+        (* ad-hoc specs (the smoke downsample) are not in the registry,
+           so run the oracle on the instance directly *)
+        let findings =
+          Check.Oracle.cluster_identity ~jobs:[ 1; 4 ] (bench_instance spec)
+        in
+        Format.printf "%-8s jobs 1,4: %s@." spec.name
+          (if findings = [] then "identical" else "DIFFERS!");
+        List.iter (Format.printf "  %a@." Check.Oracle.pp_finding) findings;
+        (spec.name, findings))
+      identity_legs
+  in
+  let json =
+    let open Obs.Json in
+    Obj
+      [
+        ("bench", String "scale");
+        ("mode", String (if !smoke_mode then "smoke" else "full"));
+        ("bound_ps", Float bound);
+        ("n_groups", Int 8);
+        ("scheme", String "intermingled");
+        ( "curve",
+          List
+            (List.map
+               (fun (spec, r, wall, audit) ->
+                 scale_point_json spec r wall audit)
+               points) );
+        ( "cluster_identity",
+          List
+            (List.map
+               (fun (name, findings) ->
+                 Obj
+                   [
+                     ("circuit", String name);
+                     ("jobs", List [ Int 1; Int 4 ]);
+                     ("identical", Bool (findings = []));
+                   ])
+               identities) );
+      ]
+  in
+  Obs.Json.write_file scale_file json;
+  Format.printf "@.wrote %s@." scale_file;
+  let dirty =
+    List.exists (fun (_, _, _, audit) -> audit <> []) points
+    || List.exists (fun (_, findings) -> findings <> []) identities
+  in
+  if dirty then begin
+    Format.printf "FAIL@.";
+    exit 1
+  end;
+  Format.printf "OK@."
+
 (* --- Property-based fuzzing (lib/check) ----------------------------------- *)
 
 let fuzz_repro_file = "FUZZ_REPRO.txt"
@@ -773,6 +1036,7 @@ let () =
   | "par" -> par_bench ?circuits:(circuits_of rest) ()
   | "trace" -> trace_bench ?circuits:(circuits_of rest) ()
   | "smoke" -> smoke rest
+  | "scale" -> scale rest
   | "compare" -> compare_bench rest
   | "quick" ->
     run_tables true;
@@ -789,6 +1053,6 @@ let () =
     micro ()
   | other ->
     Format.eprintf
-      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|trace|smoke|compare|quick|all)@."
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|trace|smoke|scale|compare|quick|all)@."
       other;
     exit 1

@@ -46,6 +46,18 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let clustered_arg =
+  let doc =
+    "Route AST-DME in two-level clustered mode: partition the sinks into      spatial regions, plan each region in parallel, stitch the region      roots with a top-level merge.  With --clusters 1 the output is      bit-identical to the flat router; any fixed cluster count is      bit-identical across --jobs."
+  in
+  Arg.(value & flag & info [ "clustered" ] ~doc)
+
+let clusters_arg =
+  let doc =
+    "Region count for --clustered (clamped to the sink count).  Default:      about one region per thousand sinks, at most 64."
+  in
+  Arg.(value & opt (some int) None & info [ "clusters" ] ~docv:"N" ~doc)
+
 let algo_arg =
   let doc =
     "Algorithm: ast (AST-DME), ext (EXT-BST), zst (greedy-DME) or mmm      (fixed MMM topology)."
@@ -167,7 +179,7 @@ let print_result name (r : Astskew.Router.result) =
 
 let route_cmd =
   let run circuit groups scheme bound seed algo file svg stats_json jobs
-      no_incremental trace_file journal_file =
+      no_incremental clustered clusters trace_file journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -181,7 +193,10 @@ let route_cmd =
       let result =
         match algo with
         | "ast" ->
-          Some ("AST-DME", Astskew.Router.ast_dme ~jobs ~incremental ~trace inst)
+          Some
+            ( "AST-DME",
+              Astskew.Router.ast_dme ~jobs ~incremental ~clustered ?clusters
+                ~trace inst )
         | "ext" ->
           Some ("EXT-BST", Astskew.Router.ext_bst ~jobs ~incremental ~trace inst)
         | "zst" ->
@@ -192,13 +207,27 @@ let route_cmd =
           Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs ~incremental ~trace inst)
         | _ -> None
       in
-      (match result with
+      if clustered && algo <> "ast" then begin
+        Format.eprintf "astroute: --clustered applies to --algo ast only@.";
+        1
+      end
+      else begin
+      match result with
        | None ->
          Format.eprintf "astroute: unknown algorithm %S@." algo;
          1
        | Some (name, r) ->
          Format.printf "%a@." Clocktree.Instance.pp inst;
          print_result name r;
+         (match r.Astskew.Router.clustering with
+          | Some d ->
+            Format.printf
+              "clustered: %d regions, %d top-level rounds, largest region %d sinks@."
+              d.Dme.Cluster.n_clusters d.Dme.Cluster.top.Dme.Engine.rounds
+              (Array.fold_left
+                 (fun m (c : Dme.Cluster.cluster_stats) -> Int.max m c.n_sinks)
+                 0 d.Dme.Cluster.per_cluster)
+          | None -> ());
          (match svg with
           | Some path ->
             Clocktree.Svg.write_file path inst r.routed;
@@ -210,13 +239,15 @@ let route_cmd =
            | Some path -> write_stats_json path [ (name, r) ]
            | None -> 0
          in
-         Int.max trace_code stats_code)
+         Int.max trace_code stats_code
+      end
   in
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
       $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg
-      $ no_incremental_arg $ trace_arg $ trace_journal_arg)
+      $ no_incremental_arg $ clustered_arg $ clusters_arg $ trace_arg
+      $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 
@@ -243,7 +274,7 @@ let gen_cmd =
 
 let compare_cmd =
   let run circuit groups scheme bound seed file stats_json jobs no_incremental
-      trace_file journal_file =
+      clustered clusters trace_file journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -260,7 +291,12 @@ let compare_cmd =
       let zst = Astskew.Router.greedy_dme ~jobs ~incremental ~trace inst in
       let ext = Astskew.Router.ext_bst ~jobs ~incremental ~trace inst in
       let mmm = Astskew.Router.mmm_dme ~jobs ~incremental ~trace inst in
-      let ast = Astskew.Router.ast_dme ~jobs ~incremental ~trace inst in
+      (* --clustered applies to the AST-DME leg only; the baselines have
+         no clustered mode. *)
+      let ast =
+        Astskew.Router.ast_dme ~jobs ~incremental ~clustered ?clusters ~trace
+          inst
+      in
       print_result "greedy-DME" zst;
       print_result "EXT-BST" ext;
       print_result "MMM-DME" mmm;
@@ -285,8 +321,8 @@ let compare_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
-      $ file_arg $ stats_json_arg $ jobs_arg $ no_incremental_arg $ trace_arg
-      $ trace_journal_arg)
+      $ file_arg $ stats_json_arg $ jobs_arg $ no_incremental_arg
+      $ clustered_arg $ clusters_arg $ trace_arg $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all routers on one instance.") term
 

@@ -179,6 +179,34 @@ let bound contract (inst : Instance.t) (rep : Evaluate.report) =
 let run contract inst r rep =
   structure inst r @ semantics inst r rep @ bound contract inst rep
 
+(* --- partition cover ------------------------------------------------------ *)
+
+let partition_cover (inst : Instance.t) (regions : int array array) =
+  let out = ref [] in
+  let add x = out := x :: !out in
+  let n = Instance.n_sinks inst in
+  if n > 0 && Array.length regions = 0 then
+    add (v "partition-cover" "no regions for %d sinks" n);
+  let seen = Array.make n 0 in
+  Array.iteri
+    (fun r ids ->
+      if Array.length ids = 0 then
+        add (v "partition-nonempty" "region %d is empty" r);
+      Array.iter
+        (fun id ->
+          if id < 0 || id >= n then
+            add (v "partition-cover" "region %d holds sink id %d outside [0, %d)" r id n)
+          else seen.(id) <- seen.(id) + 1)
+        ids)
+    regions;
+  Array.iteri
+    (fun id k ->
+      if k = 0 then add (v "partition-cover" "sink %d is in no region" id)
+      else if k > 1 then
+        add (v "partition-cover" "sink %d is in %d regions" id k))
+    seen;
+  List.rev !out
+
 (* --- tree equality ------------------------------------------------------- *)
 
 let tree_equal (a : Tree.routed) (b : Tree.routed) =

@@ -36,6 +36,13 @@ val semantics :
 val bound :
   contract -> Clocktree.Instance.t -> Clocktree.Evaluate.report -> violation list
 
+(** [partition_cover inst regions] audits a spatial partition of the
+    instance's sink ids (see {!Dme.Cluster.partition}): every sink id
+    appears in exactly one region, every region is non-empty, and at
+    least one region exists when the instance has sinks. *)
+val partition_cover :
+  Clocktree.Instance.t -> int array array -> violation list
+
 (** All three layers in order. *)
 val run :
   contract ->

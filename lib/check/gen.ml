@@ -14,10 +14,13 @@ type regime =
   | Zero_bound
   | Normalized
   | Huge
+  | Banked
 
-(* [Huge] is deliberately absent: instances of hundreds to ~1500 sinks
-   are far too slow for the full oracle battery that every cycled case
-   runs.  The runner samples it separately at a reduced rate. *)
+(* [Huge] and [Banked] are deliberately absent: instances of hundreds to
+   thousands of sinks are far too slow for the full oracle battery that
+   every cycled case runs.  The runner samples them separately at a
+   reduced rate — Huge against the ranking-path identity oracles, Banked
+   against the clustered-routing oracles. *)
 let all_regimes =
   [|
     Uniform;
@@ -42,11 +45,12 @@ let regime_to_string = function
   | Zero_bound -> "zero-bound"
   | Normalized -> "normalized"
   | Huge -> "huge"
+  | Banked -> "banked"
 
 let regime_of_string s =
   List.find_opt
     (fun r -> regime_to_string r = s)
-    (Huge :: Array.to_list all_regimes)
+    (Huge :: Banked :: Array.to_list all_regimes)
 
 type case = {
   seed : int64;
@@ -227,6 +231,38 @@ let huge rng =
   let bound = Rng.choice rng [| 5.; 10.; 25. |] in
   finish rng ~die ~bound ~n_groups locs (default_caps rng n) groups
 
+(* Spatially banked sinks at clustered-router scale (10^3 to ~4*10^3):
+   a handful of dense blobs with near-empty space between them, the
+   geometry the top-down median partitioner has to split cleanly — banks
+   straddling a median cut, duplicate-heavy cells inside a bank, and
+   group memberships that span banks so the top-level stitch carries
+   real shared-group constraints across region boundaries. *)
+let banked rng =
+  let die = 100000. in
+  let n = 1000 + Rng.int rng 3001 in
+  let banks = 4 + Rng.int rng 13 in
+  let centers =
+    Array.init banks (fun _ ->
+        Pt.make (Rng.float_range rng 0. die) (Rng.float_range rng 0. die))
+  in
+  let spread = die /. (4. *. Float.sqrt (float_of_int banks)) in
+  let clamp x = Float.min die (Float.max 0. x) in
+  let locs =
+    Array.init n (fun _ ->
+        let c = Rng.choice rng centers in
+        Pt.make
+          (clamp (c.Pt.x +. Rng.float_range rng (-.spread) spread))
+          (clamp (c.Pt.y +. Rng.float_range rng (-.spread) spread)))
+  in
+  let n_groups = 4 + Rng.int rng 13 in
+  let scheme =
+    if Rng.bool rng then Workload.Partition.Intermingled
+    else Workload.Partition.Clustered
+  in
+  let groups = Workload.Partition.assign scheme (Rng.split rng) ~die ~n_groups locs in
+  let bound = Rng.choice rng [| 5.; 10.; 25. |] in
+  finish rng ~die ~bound ~n_groups locs (default_caps rng n) groups
+
 let instance rng regime =
   match regime with
   | Uniform -> uniform rng ~scheme:None
@@ -239,6 +275,7 @@ let instance rng regime =
   | Zero_bound -> zero_bound rng
   | Normalized -> normalized rng
   | Huge -> huge rng
+  | Banked -> banked rng
 
 let case ?regime ~seed ~index () =
   (* Each case draws from its own generator state so cases are

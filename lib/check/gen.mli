@@ -26,8 +26,17 @@ type regime =
           the full oracle battery, so it is excluded from
           {!all_regimes}; {!Runner.run} samples it separately against
           the parallel-identity oracle only. *)
+  | Banked
+      (** clustered-router-scale instances (10^3 to ~4*10^3 sinks) in a
+          few dense spatial banks with empty space between — the
+          geometry the two-level partitioner must split cleanly, with
+          groups spanning banks so the top-level stitch carries real
+          cross-region constraints.  Excluded from {!all_regimes} like
+          [Huge]; {!Runner.run} samples it separately against the
+          clustered-routing oracles. *)
 
-(** The regimes cycled by index in {!case} — everything except [Huge]. *)
+(** The regimes cycled by index in {!case} — everything except [Huge]
+    and [Banked]. *)
 val all_regimes : regime array
 val regime_to_string : regime -> string
 val regime_of_string : string -> regime option

@@ -299,6 +299,73 @@ let trace_identity ?(jobs = [ 1; 2 ]) inst =
       in
       List.concat_map check jobs)
 
+(* --- clustered routing ----------------------------------------------------- *)
+
+let cluster_identity ?(jobs = [ 1; 2 ]) inst =
+  guard "cluster-identity" (fun () ->
+      let flat = Router.ast_dme ~jobs:1 inst in
+      let degc (s : Dme.Engine.stats) = { s with gc = Obs.Gcstat.zero } in
+      let check j =
+        let clu =
+          Router.ast_dme ~jobs:j ~clustered:true ~clusters:1 inst
+        in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff := { Audit.invariant = "cluster-identity"; detail } :: !diff)
+            fmt
+        in
+        if not (Audit.tree_equal flat.routed clu.routed) then
+          add "jobs=%d clusters=1 tree differs structurally from flat" j;
+        Array.iteri
+          (fun i d ->
+            if d <> clu.evaluation.delays.(i) then
+              add "jobs=%d sink %d delay: flat %.17g, clustered %.17g" j i d
+                clu.evaluation.delays.(i))
+          flat.evaluation.delays;
+        if flat.evaluation.wirelength <> clu.evaluation.wirelength then
+          add "jobs=%d wirelength: flat %.17g, clustered %.17g" j
+            flat.evaluation.wirelength clu.evaluation.wirelength;
+        (* Aggregate stats equality (gc zeroed, as ever): the single
+           region's plan must be exactly the flat plan and the top-level
+           stitch over one root must add zero work — scheduling,
+           sub-instance construction and reglobalization all invisible. *)
+        if degc flat.engine <> degc clu.engine then
+          add "jobs=%d clusters=1 engine stats differ from flat" j;
+        (match clu.clustering with
+         | Some d when d.Dme.Cluster.n_clusters = 1 -> ()
+         | Some d ->
+           add "jobs=%d clusters=1 reports %d clusters" j d.Dme.Cluster.n_clusters
+         | None -> add "jobs=%d clustered run reports no clustering detail" j);
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
+let clustered ?(inject = false) ?clusters inst =
+  let k =
+    match clusters with
+    | Some k -> k
+    | None -> Int.max 2 (Int.min 4 (Instance.n_sinks inst))
+  in
+  guard "clustered" (fun () ->
+      let part =
+        Audit.partition_cover inst (Dme.Cluster.partition inst ~clusters:k)
+      in
+      let result = Router.ast_dme ~clustered:true ~clusters:k inst in
+      let routed, report =
+        if inject then begin
+          (* The victim's group is spread over regions by the spatial
+             partition, so the snaked leaf violates the bound across a
+             cluster boundary — the auditor must still see it: the skew
+             contract is global to the stitched tree, not per region. *)
+          let routed = inject_skew_violation inst result.Router.routed in
+          (routed, Evaluate.run inst routed)
+        end
+        else (result.Router.routed, result.Router.evaluation)
+      in
+      part @ Audit.run Audit.Grouped inst routed report)
+
 (* --- Elmore vs transient ------------------------------------------------- *)
 
 let delay_models ?(resolution = 300) inst =
@@ -385,7 +452,8 @@ let delay_models ?(resolution = 300) inst =
 
 let all ?(inject = false) inst =
   routers ~inject inst @ cache_identity inst @ par_identity inst
-  @ incremental_identity inst @ trace_identity inst @ delay_models inst
+  @ incremental_identity inst @ trace_identity inst
+  @ cluster_identity inst @ clustered ~inject inst @ delay_models inst
 
 let reproduces ?inject ~of_run inst =
   let names = List.map (fun f -> f.oracle) of_run in

@@ -22,6 +22,12 @@
       wirelength and engine stats of the untraced run, the journal's
       per-round sums match the engine's aggregate stats, and the Chrome
       export round-trips through {!Obs.Json}.
+    - {!cluster_identity}: the two-level clustered router degenerates
+      exactly — with [clusters = 1] it produces the flat router's tree,
+      delays, wirelength and engine stats, for every jobs count.
+    - {!clustered}: a genuinely clustered run ([clusters >= 2]) yields a
+      covering partition and a stitched tree that passes the full audit
+      under the global grouped contract.
     - {!delay_models}: Elmore and backward-Euler transient 50%-crossing
       delays agree on the routed RC tree wherever an exact relation
       exists: every sink crosses, no crossing exceeds its Elmore delay
@@ -72,6 +78,24 @@ val incremental_identity :
     stats, and any failure of the Chrome export to re-parse via
     {!Obs.Json.of_string} with a non-empty [traceEvents] list. *)
 val trace_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Route flat with [jobs = 1], then clustered with [clusters = 1] for
+    each entry of [jobs] (default [[1; 2]]), and report any difference
+    in tree structure, per-sink delays, wirelength or engine stats (gc
+    zeroed): the degenerate single-region run must be bit-identical to
+    the flat router — partitioning, sub-instance re-indexing and the
+    top-level stitch all semantically invisible. *)
+val cluster_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Audit the clustered router's output: the spatial partition covers
+    every sink exactly once with non-empty regions
+    ({!Audit.partition_cover}), and the stitched tree passes the full
+    {!Audit.run} under the {e global} [Grouped] contract — the skew
+    bound holds across cluster boundaries, not merely per region.
+    [clusters] defaults to [min 4 n_sinks] (at least 2, pre-clamp);
+    [inject] snakes one leaf before auditing, as in {!routers}. *)
+val clustered :
+  ?inject:bool -> ?clusters:int -> Clocktree.Instance.t -> finding list
 
 val delay_models : ?resolution:int -> Clocktree.Instance.t -> finding list
 

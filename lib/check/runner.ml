@@ -35,13 +35,27 @@ let check ?inject (case : Gen.case) =
 let huge_oracles inst =
   Oracle.par_identity inst @ Oracle.incremental_identity ~jobs:[ 2 ] inst
 
-let check_huge (case : Gen.case) =
-  match huge_oracles case.instance with
+(* Banked cases target the clustered path: the degenerate clusters=1 run
+   must be bit-identical to flat (at jobs 2, so region scheduling rides
+   along) and a genuinely clustered run must pass the full audit under
+   the global grouped contract. *)
+let banked_oracles inst =
+  Oracle.cluster_identity ~jobs:[ 2 ] inst @ Oracle.clustered inst
+
+let oracles_for (regime : Gen.regime) =
+  match regime with
+  | Gen.Huge -> huge_oracles
+  | Gen.Banked -> banked_oracles
+  | _ -> assert false
+
+let check_scaled (case : Gen.case) =
+  let oracles = oracles_for case.regime in
+  match oracles case.instance with
   | [] -> None
   | findings ->
-    let fails inst = huge_oracles inst <> [] in
+    let fails inst = oracles inst <> [] in
     let shrunk = Shrink.run ~fails case.instance in
-    let shrunk_findings = huge_oracles shrunk in
+    let shrunk_findings = oracles shrunk in
     Some { case; findings; shrunk; shrunk_findings }
 
 let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
@@ -54,14 +68,17 @@ let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
     | None -> ()
     | Some failure -> failures := failure :: !failures
   done;
-  (* One benchmark-scale par-identity case per 25 ordinary ones, at
-     indices just past the ordinary range so repros stay addressable as
-     (seed, index, Huge). *)
+  (* One benchmark-scale case per 25 ordinary ones, at indices just past
+     the ordinary range so repros stay addressable as (seed, index,
+     regime).  Even slots run Huge against the ranking-path identity
+     oracles, odd slots run Banked against the clustered-routing
+     oracles. *)
   let scaled_cases = cases / 25 in
   for k = 0 to scaled_cases - 1 do
-    let case = Gen.case ~regime:Gen.Huge ~seed ~index:(cases + k) () in
+    let regime = if k mod 2 = 0 then Gen.Huge else Gen.Banked in
+    let case = Gen.case ~regime ~seed ~index:(cases + k) () in
     progress case;
-    match check_huge case with
+    match check_scaled case with
     | None -> ()
     | Some failure -> failures := failure :: !failures
   done;
@@ -78,7 +95,7 @@ let run ?inject ?(progress = fun _ -> ()) ~cases ~seed () =
 let replay ?inject ?regime ~seed ~case () =
   let c = Gen.case ?regime ~seed ~index:case () in
   match c.regime with
-  | Gen.Huge -> huge_oracles c.instance
+  | Gen.Huge | Gen.Banked -> (oracles_for c.regime) c.instance
   | _ -> Oracle.all ?inject c.instance
 
 let ok s = s.failures = []
@@ -130,7 +147,10 @@ let repro_text f =
     f.case.seed f.case.index
     (Gen.regime_to_string f.case.regime);
   Printf.bprintf b "# replay: Check.replay%s ~seed:%LdL ~case:%d ()\n"
-    (if f.case.regime = Gen.Huge then " ~regime:Check.Gen.Huge" else "")
+    (match f.case.regime with
+     | Gen.Huge -> " ~regime:Check.Gen.Huge"
+     | Gen.Banked -> " ~regime:Check.Gen.Banked"
+     | _ -> "")
     f.case.seed f.case.index;
   List.iter
     (fun (x : Oracle.finding) ->

@@ -3,17 +3,21 @@
     [run ~cases ~seed ()] replays cases [0 .. cases-1] of the
     deterministic stream identified by [seed], runs every oracle on each
     instance, and greedily shrinks any failure to a minimal repro.  It
-    then appends [cases / 25] benchmark-scale {!Gen.Huge} cases (indices
-    [cases ..]) checked against {!Oracle.par_identity} alone — the full
-    battery is far too slow at 1500 sinks.  The summary is printable as
-    JSON ({!json_of_summary}); a failing case's shrunk instance is
-    serialised with {!Clocktree.Io} so it can be frozen as a regression
-    test ({!repro_text}).
+    then appends [cases / 25] benchmark-scale cases (indices
+    [cases ..]): even slots are {!Gen.Huge} checked against the
+    ranking-path identity oracles ({!Oracle.par_identity} and
+    {!Oracle.incremental_identity}), odd slots are {!Gen.Banked}
+    checked against the clustered-routing oracles
+    ({!Oracle.cluster_identity} and {!Oracle.clustered}) — the full
+    battery is far too slow at thousands of sinks.  The summary is
+    printable as JSON ({!json_of_summary}); a failing case's shrunk
+    instance is serialised with {!Clocktree.Io} so it can be frozen as
+    a regression test ({!repro_text}).
 
     [replay ~seed ~case ()] re-runs a single printed case — the entry
-    point to paste from a failing CI log.  Pass [~regime:Gen.Huge] to
-    replay a scaled case (huge replays run the par-identity oracle
-    only, matching the original check). *)
+    point to paste from a failing CI log.  Pass [~regime:Gen.Huge] (or
+    [~regime:Gen.Banked]) to replay a scaled case with the reduced
+    oracle set matching the original check. *)
 
 type failure = {
   case : Gen.case;
@@ -25,7 +29,8 @@ type failure = {
 type summary = {
   seed : int64;
   cases : int;  (** ordinary cases (regimes cycled by index) *)
-  scaled_cases : int;  (** appended {!Gen.Huge} par-identity cases *)
+  scaled_cases : int;
+      (** appended benchmark-scale cases ({!Gen.Huge} / {!Gen.Banked}) *)
   passed : int;
   failures : failure list;
   elapsed_s : float;

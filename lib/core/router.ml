@@ -16,6 +16,7 @@ type result = {
   repair : Repair.stats;
   cpu_seconds : float;
   timings : timings;
+  clustering : Dme.Cluster.stats option;
 }
 
 let t_engine = Obs.Timer.make "router.engine"
@@ -68,7 +69,7 @@ let solve_with ?(trace = Obs.Trace.null) ~plan ~route_inst ~eval_inst () =
       total_s = w3 -. w0;
     }
   in
-  { routed; evaluation; engine; repair; cpu_seconds; timings }
+  { routed; evaluation; engine; repair; cpu_seconds; timings; clustering = None }
 
 let solve ?config ?(trace = Obs.Trace.null) ~route_inst ~eval_inst () =
   solve_with ~trace
@@ -109,10 +110,26 @@ let router_manifest trace name (config : Dme.Engine.config) =
         ("incremental", Obs.Json.Bool config.incremental);
       ]
 
-let ast_dme ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
+let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
+    ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "ast_dme" config;
-  solve ~config ~trace ~route_inst:inst ~eval_inst:inst ()
+  if not clustered then solve ~config ~trace ~route_inst:inst ~eval_inst:inst ()
+  else begin
+    (* The clustered engine returns its per-region detail alongside the
+       aggregate stats [solve_with] threads through; stash it and patch
+       the result.  Repair and evaluation treat the stitched tree
+       exactly like a flat one — the global skew bound is theirs to
+       enforce and report. *)
+    let detail = ref None in
+    let plan inst =
+      let routed, stats, d = Dme.Cluster.run ~config ~trace ?clusters inst in
+      detail := Some d;
+      (routed, stats)
+    in
+    let r = solve_with ~trace ~plan ~route_inst:inst ~eval_inst:inst () in
+    { r with clustering = !detail }
+  end
 
 (* Fuse all groups into one: intra-group bound becomes a global bound;
    with per-group bounds the tightest one applies, so the fused router
@@ -153,29 +170,51 @@ let reduction ~baseline result =
   if base = 0. then 0.
   else (base -. result.evaluation.wirelength) /. base
 
+let json_of_engine_stats (s : Dme.Engine.stats) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("rounds", Int s.rounds);
+      ("same_group", Int s.same_group);
+      ("cross_group", Int s.cross_group);
+      ("shared_one", Int s.shared_one);
+      ("shared_multi", Int s.shared_multi);
+      ("planned_snake", Float s.planned_snake);
+      ("infeasible_merges", Int s.infeasible_merges);
+      ("nn_reprobes", Int s.nn_reprobes);
+      ("nn_probes_saved", Int s.nn_probes_saved);
+      ("trial_merges", Int s.trial.trial_merges);
+      ("trial_cache_hits", Int s.trial.cache_hits);
+      ("trial_cache_misses", Int s.trial.cache_misses);
+      ("trial_elided", Int s.trial.elided_trials);
+      ("trial_reused", Int s.trial.reused_trials);
+      ("gc", Obs.Gcstat.json s.gc);
+    ]
+
+let json_of_clustering (d : Dme.Cluster.stats) : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("n_clusters", Int d.n_clusters);
+      ("top", json_of_engine_stats d.top);
+      ( "per_cluster",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (c : Dme.Cluster.cluster_stats) ->
+                  Obj
+                    [
+                      ("cluster", Int c.cluster);
+                      ("n_sinks", Int c.n_sinks);
+                      ("wall_s", Float c.wall_s);
+                      ("stats", json_of_engine_stats c.stats);
+                    ])
+                d.per_cluster)) );
+    ]
+
 let json_of_result (r : result) : Obs.Json.t =
   let open Obs.Json in
-  let engine =
-    let s = r.engine in
-    Obj
-      [
-        ("rounds", Int s.rounds);
-        ("same_group", Int s.same_group);
-        ("cross_group", Int s.cross_group);
-        ("shared_one", Int s.shared_one);
-        ("shared_multi", Int s.shared_multi);
-        ("planned_snake", Float s.planned_snake);
-        ("infeasible_merges", Int s.infeasible_merges);
-        ("nn_reprobes", Int s.nn_reprobes);
-        ("nn_probes_saved", Int s.nn_probes_saved);
-        ("trial_merges", Int s.trial.trial_merges);
-        ("trial_cache_hits", Int s.trial.cache_hits);
-        ("trial_cache_misses", Int s.trial.cache_misses);
-        ("trial_elided", Int s.trial.elided_trials);
-        ("trial_reused", Int s.trial.reused_trials);
-        ("gc", Obs.Gcstat.json s.gc);
-      ]
-  in
+  let engine = json_of_engine_stats r.engine in
   let repair =
     let s = r.repair in
     Obj
@@ -197,16 +236,21 @@ let json_of_result (r : result) : Obs.Json.t =
       ]
   in
   Obj
-    [
-      ("wirelength", Float r.evaluation.wirelength);
-      ("snaking", Float r.evaluation.snaking);
-      ("global_skew_ps", Float r.evaluation.global_skew);
-      ("max_group_skew_ps", Float r.evaluation.max_group_skew);
-      ("cpu_seconds", Float r.cpu_seconds);
-      ("timings", timings);
-      ("engine", engine);
-      ("repair", repair);
-    ]
+    ([
+       ("wirelength", Float r.evaluation.wirelength);
+       ("snaking", Float r.evaluation.snaking);
+       ("global_skew_ps", Float r.evaluation.global_skew);
+       ("max_group_skew_ps", Float r.evaluation.max_group_skew);
+       ("cpu_seconds", Float r.cpu_seconds);
+       ("timings", timings);
+       ("engine", engine);
+       ("repair", repair);
+       ("clustered", Bool (r.clustering <> None));
+     ]
+    @
+    match r.clustering with
+    | None -> []
+    | Some d -> [ ("clustering", json_of_clustering d) ])
 
 let pp_result ppf r =
   Format.fprintf ppf "%a, %.2fs cpu, %d infeasible merges, repair +%.0f wire"

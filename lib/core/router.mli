@@ -25,9 +25,14 @@ type result = {
   routed : Clocktree.Tree.routed;
   evaluation : Clocktree.Evaluate.report;  (** w.r.t. the original instance *)
   engine : Dme.Engine.stats;
+      (** clustered runs report the aggregate over region plans and the
+          top-level stitch (see {!Dme.Cluster.run}) *)
   repair : Clocktree.Repair.stats;
   cpu_seconds : float;  (** CPU time of planning + repair (no evaluation) *)
   timings : timings;
+  clustering : Dme.Cluster.stats option;
+      (** per-region detail when the run was clustered; [None] for the
+          flat routers *)
 }
 
 (** The configuration [ast_dme] uses by default: the engine defaults
@@ -53,10 +58,21 @@ val ast_default_config : Dme.Engine.config
     The default {!Obs.Trace.null} emits nothing; the routed tree,
     evaluation and stats are identical with tracing on or off. *)
 
+(** [ast_dme ~clustered:true] routes through {!Dme.Cluster.run}: a
+    two-level construction that partitions the sinks into [clusters]
+    spatial regions (default {!Dme.Cluster.auto_clusters}), plans each
+    region in parallel across the pool's domains and stitches the
+    region roots with a top-level plan.  Repair and evaluation are
+    unchanged, so the reported tree satisfies the same global
+    constraints as a flat run.  [clusters = 1] is bit-identical to the
+    flat router; any fixed cluster count is bit-identical across
+    [jobs].  [clusters] is ignored without [clustered]. *)
 val ast_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?clustered:bool ->
+  ?clusters:int ->
   ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
@@ -96,8 +112,10 @@ val mmm_dme :
 val reduction : baseline:result -> result -> float
 
 (** Machine-readable summary of a result: evaluation metrics, engine and
-    repair stats, per-phase timings.  This is the ["result"] object of
-    the [BENCH_*.json] files and of [astroute --stats-json]. *)
+    repair stats, per-phase timings, a ["clustered"] flag and — for
+    clustered runs — a ["clustering"] object with per-region stats.
+    This is the ["result"] object of the [BENCH_*.json] files and of
+    [astroute --stats-json]. *)
 val json_of_result : result -> Obs.Json.t
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,205 @@
+module Instance = Clocktree.Instance
+module Sink = Clocktree.Sink
+module Split = Geometry.Split
+
+type cluster_stats = {
+  cluster : int;
+  n_sinks : int;
+  wall_s : float;
+  stats : Engine.stats;
+}
+
+type stats = {
+  n_clusters : int;
+  per_cluster : cluster_stats array;
+  top : Engine.stats;
+}
+
+let c_regions = Obs.Counter.make "dme.cluster.regions"
+let c_region_sinks = Obs.Counter.make "dme.cluster.region_sinks"
+
+(* Roughly one region per thousand sinks, capped at 64: small instances
+   stay flat-sized (k = 1 is bit-identical to the flat router), large
+   ones get regions big enough that per-region planning dominates the
+   top-level stitch. *)
+let auto_clusters inst =
+  Int.max 1 (Int.min 64 ((Instance.n_sinks inst + 999) / 1000))
+
+let partition inst ~clusters =
+  let sinks = inst.Instance.sinks in
+  let n = Array.length sinks in
+  if n = 0 then [||]
+  else begin
+    let k = Int.max 1 (Int.min clusters n) in
+    let point_of id = sinks.(id).Sink.loc in
+    let out = ref [] in
+    (* Top-down MMM-style halving: split along the longer bounding-box
+       axis at the median, handing the larger (lower) half the larger
+       share of the remaining region budget.  The lower half holds
+       [ceil (n/2)] sinks and receives [ceil (k/2)] regions, so [k <= n]
+       guarantees every region ends up non-empty, by induction.  The
+       whole walk is a pure serial function of the sink set — region
+       contents and order never depend on jobs. *)
+    let rec split ids k =
+      if k <= 1 then out := ids :: !out
+      else begin
+        let lo, hi = Split.bipartition point_of ids in
+        let kl = (k + 1) / 2 in
+        split lo kl;
+        split hi (k - kl)
+      end
+    in
+    split (Array.init n Fun.id) k;
+    Array.of_list (List.rev !out)
+  end
+
+(* A region's routing instance: its sinks re-indexed densely (sorted by
+   global id, so ids within a region rank the same way globally — for
+   [clusters = 1] the sub-instance is structurally identical to the
+   original) with every other instance parameter carried over.  Group
+   ids are global: a region's delay maps need no translation when its
+   root joins the top-level merge. *)
+let sub_instance (inst : Instance.t) ids =
+  let sinks = Array.mapi (fun i gid -> { inst.sinks.(gid) with Sink.id = i }) ids in
+  Instance.make ~params:inst.params ~rd:inst.rd ~bound:inst.bound
+    ?group_bounds:inst.group_bounds ~source:inst.source
+    ~n_groups:inst.n_groups sinks
+
+(* Swap each leaf's re-indexed sink back for the global one it mirrors.
+   Regions, caps and delay maps are unaffected (a leaf's fields depend
+   on location, load and group only), so the rebuilt plan embeds to the
+   same geometry while the final tree reports global sink ids. *)
+let rec reglobalize (inst : Instance.t) ids (s : Subtree.t) =
+  match s.Subtree.build with
+  | Subtree.Leaf l ->
+    { s with Subtree.build = Subtree.Leaf inst.sinks.(ids.(l.Sink.id)) }
+  | Subtree.Merge { left; right; lengths } ->
+    {
+      s with
+      Subtree.build =
+        Subtree.Merge
+          {
+            left = reglobalize inst ids left;
+            right = reglobalize inst ids right;
+            lengths;
+          };
+    }
+
+let add_trials (a : Engine.trial_stats) (b : Engine.trial_stats) =
+  Engine.
+    {
+      trial_merges = a.trial_merges + b.trial_merges;
+      cache_hits = a.cache_hits + b.cache_hits;
+      cache_misses = a.cache_misses + b.cache_misses;
+      elided_trials = a.elided_trials + b.elided_trials;
+      reused_trials = a.reused_trials + b.reused_trials;
+    }
+
+(* Component-wise sum, except [gc]: per-plan samples come from whichever
+   domain ran the plan, so the aggregate instead carries the caller's
+   whole-run differential (passed in by [run]). *)
+let add_stats (a : Engine.stats) (b : Engine.stats) =
+  Engine.
+    {
+      rounds = a.rounds + b.rounds;
+      same_group = a.same_group + b.same_group;
+      cross_group = a.cross_group + b.cross_group;
+      shared_one = a.shared_one + b.shared_one;
+      shared_multi = a.shared_multi + b.shared_multi;
+      planned_snake = a.planned_snake +. b.planned_snake;
+      infeasible_merges = a.infeasible_merges + b.infeasible_merges;
+      nn_reprobes = a.nn_reprobes + b.nn_reprobes;
+      nn_probes_saved = a.nn_probes_saved + b.nn_probes_saved;
+      trial = add_trials a.trial b.trial;
+      gc = Obs.Gcstat.zero;
+    }
+
+let run ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters inst =
+  let gc0 = Obs.Gcstat.sample () in
+  let tracing = Obs.Trace.enabled trace in
+  let k =
+    match clusters with
+    | Some k -> Int.max 1 (Int.min k (Int.max 1 (Instance.n_sinks inst)))
+    | None -> auto_clusters inst
+  in
+  let regions = partition inst ~clusters:k in
+  let k = Array.length regions in
+  Obs.Counter.add c_regions k;
+  if tracing then
+    Obs.Trace.merge_manifest trace
+      [ ("cluster_regions", Obs.Json.Int k) ];
+  let jobs = Int.max 1 config.Engine.jobs in
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+    (fun () ->
+      (* Bottom level: one serial plan per region.  [Par.Pool] is not
+         reentrant, so region plans never see the pool — parallelism
+         across regions comes from mapping the regions themselves over
+         the pool's domains.  Each plan builds its own private arena and
+         grid shard, mutates nothing shared (counters are atomic,
+         trace/histogram sinks are mutex-guarded), and its result is a
+         pure function of the region's sub-instance — so the gathered
+         array, and everything downstream, is bit-identical for any
+         jobs count. *)
+      let plan_region c =
+        let ids = regions.(c) in
+        let sub = sub_instance inst ids in
+        let t0 = Obs.Timer.now () in
+        let root, stats = Engine.plan ~config ~trace sub in
+        let wall_s = Float.max 0. (Obs.Timer.now () -. t0) in
+        (reglobalize inst ids root, { cluster = c; n_sinks = Array.length ids; wall_s; stats })
+      in
+      let cs = Array.init k Fun.id in
+      let planned =
+        let body () =
+          match pool with
+          | Some pool when k > 1 -> Par.Pool.map_chunked pool ~chunk:1 plan_region cs
+          | _ -> Array.map plan_region cs
+        in
+        if tracing then
+          Obs.Trace.span trace ~cat:"dme.cluster"
+            ~args:[ ("regions", Obs.Json.Int k); ("jobs", Obs.Json.Int jobs) ]
+            "cluster.plan" body
+        else body ()
+      in
+      let per_cluster = Array.map snd planned in
+      Array.iter
+        (fun (c : cluster_stats) -> Obs.Counter.add c_region_sinks c.n_sinks)
+        per_cluster;
+      if tracing then
+        Array.iter
+          (fun (c : cluster_stats) ->
+            Obs.Trace.journal trace
+              (Obs.Json.Obj
+                 [
+                   ("type", Obs.Json.String "cluster");
+                   ("cluster", Obs.Json.Int c.cluster);
+                   ("n_sinks", Obs.Json.Int c.n_sinks);
+                   ("rounds", Obs.Json.Int c.stats.Engine.rounds);
+                   ("nn_reprobes", Obs.Json.Int c.stats.Engine.nn_reprobes);
+                   ( "trial_merges",
+                     Obs.Json.Int c.stats.Engine.trial.Engine.trial_merges );
+                   ( "planned_snake",
+                     Obs.Json.Float c.stats.Engine.planned_snake );
+                   ("wall_s", Obs.Json.Float c.wall_s);
+                   ("gc", Obs.Gcstat.json c.stats.Engine.gc);
+                 ]))
+          per_cluster;
+      (* Top level: stitch the region roots with one more AST-DME plan
+         over the global instance (global bbox drives the penalty /
+         reach-cap / grid scales), then embed the whole two-level plan
+         in a single top-down pass — the skew bound is enforced across
+         region boundaries exactly as it is within them. *)
+      let leaves =
+        Array.mapi (fun i (root, _) -> { root with Subtree.id = i }) planned
+      in
+      let root, top =
+        Engine.plan ~config ~trace ?pool ~leaves inst
+      in
+      let routed = Embed.run ?pool ~trace inst root in
+      let aggregate =
+        let sum = Array.fold_left (fun acc c -> add_stats acc c.stats) top per_cluster in
+        { sum with Engine.gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 }
+      in
+      (routed, aggregate, { n_clusters = k; per_cluster; top }))

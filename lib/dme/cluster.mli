@@ -1,0 +1,74 @@
+(** Two-level clustered AST-DME: partition the sinks into spatial
+    regions, plan each region bottom-up with its own {!Engine} instance
+    — in parallel across a {!Par.Pool}'s domains — then stitch the
+    region roots with one top-level plan and embed the whole tree in a
+    single pass.
+
+    The shape follows Held–Kämmerling's two-level rectilinear Steiner
+    construction and the 3D-MMM "Cluster DME" decomposition: the
+    per-region work is embarrassingly parallel (each region plan owns a
+    private arena and {!Geometry.Grid_index} shard and is a pure
+    function of its sub-instance), and the top-level merge sees exact
+    per-group delay intervals, so the associative skew bound is
+    enforced across region boundaries exactly as within them — the
+    stitched tree goes through the same {!Clocktree.Repair} as a flat
+    one.
+
+    Determinism contract: for a fixed cluster count the partition, the
+    routed tree, per-sink delays and wirelength are bit-identical for
+    any jobs count; with [clusters = 1] they are additionally
+    bit-identical to the flat {!Engine.run} ({!Check.Oracle}'s
+    [cluster_identity] enforces this).  [gc] is, as ever, the one
+    run-dependent stats field. *)
+
+(** One region's bottom-up plan: its 0-based [cluster] index in
+    partition order, sink count, wall-clock planning seconds (as
+    measured on whichever domain ran the plan) and the region engine's
+    stats ([gc] sampled on that same domain). *)
+type cluster_stats = {
+  cluster : int;
+  n_sinks : int;
+  wall_s : float;
+  stats : Engine.stats;
+}
+
+(** Clustering detail of one run: the realized region count (after
+    clamping to the sink count), per-region stats and the top-level
+    stitch plan's stats. *)
+type stats = {
+  n_clusters : int;
+  per_cluster : cluster_stats array;
+  top : Engine.stats;
+}
+
+(** Default region count: about one region per thousand sinks, clamped
+    to [1 .. 64]. *)
+val auto_clusters : Clocktree.Instance.t -> int
+
+(** [partition inst ~clusters] splits the sink ids into
+    [min clusters (n_sinks)] non-empty regions (at least 1) by
+    recursive median bipartition along the longer bounding-box axis
+    ({!Geometry.Split.bipartition}).  Every sink id appears in exactly
+    one region; the result is a pure function of the instance —
+    deterministic across jobs counts and runs. *)
+val partition : Clocktree.Instance.t -> clusters:int -> int array array
+
+(** [run ?config ?trace ?clusters inst] routes the instance in clustered
+    mode and returns the routed tree, aggregate engine stats
+    (component-wise sum over region plans and the top-level stitch,
+    with [gc] the caller-domain whole-run differential) and the
+    per-cluster detail.  [clusters] defaults to {!auto_clusters}; it is
+    clamped to [1 .. n_sinks].  [config.jobs] sizes the pool that maps
+    region plans (one chunk each) and serves the top-level plan and the
+    final embed; region plans themselves run serially on their domain
+    ({!Par.Pool} is not reentrant).  With [trace] enabled, region plans
+    emit the usual engine spans/journal records from their domains, a
+    ["cluster.plan"] span wraps the bottom level, one journal record of
+    [type = "cluster"] summarizes each region, and the manifest gains
+    the region count. *)
+val run :
+  ?config:Engine.config ->
+  ?trace:Obs.Trace.t ->
+  ?clusters:int ->
+  Clocktree.Instance.t ->
+  Clocktree.Tree.routed * Engine.stats * stats

@@ -112,7 +112,13 @@ type note = {
   n_elided : int;
 }
 
-let run ?(config = default) ?(trace = Obs.Trace.null) inst =
+(* Bottom-up merge planning only: reduce [inst]'s sinks — or an explicit
+   [leaves] population, see {!Order.run_ranked} — to one subtree.  Does
+   not embed and does not own the pool, so the clustered router can run
+   one [plan] per region on worker domains (with [pool] absent: the pool
+   is not reentrant) and a top-level [plan] over the region roots on the
+   shared pool.  [stats.gc] covers the planning phase only. *)
+let plan ?(config = default) ?(trace = Obs.Trace.null) ?pool ?leaves inst =
   let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
   if tracing then
@@ -364,8 +370,7 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
         incremental = config.incremental;
       }
   in
-  let jobs = Int.max 1 config.jobs in
-  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  let jobs = match pool with Some p -> Par.Pool.jobs p | None -> 1 in
   (* One journal record per merge round.  Trial-cache counters are
      engine-side state, so their per-round deltas are computed here and
      joined with the ranking loop's own round report. *)
@@ -404,27 +409,19 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
                ]))
     end
   in
-  (* The pool stays alive through embedding: the top-down phase reuses
-     the ranking loop's worker domains for its subtree fan-out. *)
-  let routed, (ostats : Order.stats) =
-    Fun.protect
-      ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
-      (fun () ->
-        let body () =
-          Order.run_ranked ?pool ~trace ?on_round inst order_config
-            ~coster:{ Order.session; absorb }
-            ~merger:{ Order.compute; install }
-        in
-        let root, ostats =
-          if tracing then
-            Obs.Trace.span trace ~cat:"dme.engine"
-              ~args:[ ("jobs", Obs.Json.Int jobs) ]
-              "engine.plan" body
-          else body ()
-        in
-        (Embed.run ?pool ~trace inst root, ostats))
+  let root, (ostats : Order.stats) =
+    let body () =
+      Order.run_ranked ?pool ~trace ?on_round ?leaves inst order_config
+        ~coster:{ Order.session; absorb }
+        ~merger:{ Order.compute; install }
+    in
+    if tracing then
+      Obs.Trace.span trace ~cat:"dme.engine"
+        ~args:[ ("jobs", Obs.Json.Int jobs) ]
+        "engine.plan" body
+    else body ()
   in
-  ( routed,
+  ( root,
     {
       rounds = ostats.rounds;
       nn_reprobes = ostats.nn_probes;
@@ -445,3 +442,18 @@ let run ?(config = default) ?(trace = Obs.Trace.null) inst =
         };
       gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0;
     } )
+
+let run ?(config = default) ?(trace = Obs.Trace.null) inst =
+  let gc0 = Obs.Gcstat.sample () in
+  let jobs = Int.max 1 config.jobs in
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
+  (* The pool stays alive through embedding: the top-down phase reuses
+     the ranking loop's worker domains for its subtree fan-out. *)
+  let routed, stats =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+      (fun () ->
+        let root, stats = plan ~config ~trace ?pool inst in
+        (Embed.run ?pool ~trace inst root, stats))
+  in
+  (routed, { stats with gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 })

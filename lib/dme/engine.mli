@@ -110,6 +110,25 @@ type stats = {
     manifests and stats dumps. *)
 val json_of_config : config -> Obs.Json.t
 
+(** Bottom-up merge planning only: reduce the instance's sinks — or an
+    explicit [leaves] population (see {!Order.run_ranked}: dense ids,
+    delay maps against [inst]'s groups) — to a single root subtree,
+    without embedding.  Unlike {!run}, [plan] does not own a pool:
+    ranking parallelism comes from the caller's [pool] (absent = fully
+    serial; [config.jobs] is ignored).  This is the re-entrant core the
+    clustered router calls once per region from worker domains
+    ({!Par.Pool} is not reentrant, so region plans pass no pool) and
+    once at top level over the region roots with the shared pool.
+    [stats.gc] covers planning only.  Planning is bit-identical for any
+    pool size. *)
+val plan :
+  ?config:config ->
+  ?trace:Obs.Trace.t ->
+  ?pool:Par.Pool.t ->
+  ?leaves:Subtree.t array ->
+  Clocktree.Instance.t ->
+  Subtree.t * stats
+
 (** Plan and embed a clock tree for the instance.  The result is the
     pre-repair tree: callers normally pass it through
     {!Clocktree.Repair.run}.

@@ -107,10 +107,25 @@ let rec mem_cand qid = function
   | (cid, _, _) :: rest -> cid = qid || mem_cand qid rest
   | [] -> false
 
-let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
+let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round ?leaves
     (inst : Clocktree.Instance.t) config ~(coster : 'note coster)
     ~(merger : 'merge merger) =
-  let n = Clocktree.Instance.n_sinks inst in
+  (* The initial population: the instance's sink leaves by default, or an
+     explicit subtree array (the clustered router's region roots).  The
+     arena is indexed by subtree id, so explicit leaves must carry dense
+     ids [0 .. n-1] — the same invariant sink leaves satisfy. *)
+  let leaves =
+    match leaves with
+    | None -> Array.map Subtree.leaf inst.Clocktree.Instance.sinks
+    | Some ls ->
+      Array.iteri
+        (fun i (s : Subtree.t) ->
+          if s.id <> i then
+            invalid_arg "Order.run_ranked: leaf subtree ids must be dense")
+        ls;
+      ls
+  in
+  let n = Array.length leaves in
   let tracing = Obs.Trace.enabled trace in
   (* Probe costs observed in the absorb phase (main domain): the chosen
      best cost of every executed probe. *)
@@ -195,7 +210,7 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round
     end;
     prop_partner.(id) <- -1
   in
-  Array.iter (fun s -> insert (Subtree.leaf s)) inst.sinks;
+  Array.iter insert leaves;
   let next_id = ref n in
   let fresh_id () =
     let id = !next_id in

@@ -123,7 +123,7 @@ type round_info = {
     pairs.  Exposed for testing. *)
 val dedupe_pairs : (float * int * int) list -> (float * int * int) list
 
-(** [run_ranked ?pool ?trace ?on_round inst config ~coster ~merger]
+(** [run_ranked ?pool ?trace ?on_round ?leaves inst config ~coster ~merger]
     reduces the sink set to one subtree, running [merger.compute] for
     every selected pair and [merger.install] on the calling domain in
     selection order.  With [pool], candidate probing and the selected
@@ -134,12 +134,18 @@ val dedupe_pairs : (float * int * int) list -> (float * int * int) list
     ["order.probe_cost"] histogram; the default {!Obs.Trace.null} skips
     every emission, keeping the untraced run allocation-free on that
     path.  [on_round] is invoked after each round's commits with that
-    round's {!round_info}.  Returns the final subtree and the ranking
-    statistics. *)
+    round's {!round_info}.  [leaves] overrides the initial population:
+    instead of the instance's sink leaves, ranking starts from the given
+    subtrees (the clustered router's region roots).  Explicit leaves
+    must carry dense ids [0 .. n-1] — the arena is id-indexed — and
+    their delay maps must be expressed against [inst]'s groups; merge
+    node ids are allocated from [n] upward.  Returns the final subtree
+    and the ranking statistics. *)
 val run_ranked :
   ?pool:Par.Pool.t ->
   ?trace:Obs.Trace.t ->
   ?on_round:(round_info -> unit) ->
+  ?leaves:Subtree.t array ->
   Clocktree.Instance.t ->
   config ->
   coster:'note coster ->

@@ -1,0 +1,40 @@
+type axis = X | Y
+
+let coord axis (p : Pt.t) = match axis with X -> p.Pt.x | Y -> p.Pt.y
+
+let longer_axis ~lo ~hi =
+  let w = hi.Pt.x -. lo.Pt.x and h = hi.Pt.y -. lo.Pt.y in
+  if h > w then Y else X
+
+let extent point_of ids =
+  let lo = ref (Pt.make Float.infinity Float.infinity) in
+  let hi = ref (Pt.make Float.neg_infinity Float.neg_infinity) in
+  Array.iter
+    (fun id ->
+      let p = point_of id in
+      lo := Pt.make (Float.min !lo.Pt.x p.Pt.x) (Float.min !lo.Pt.y p.Pt.y);
+      hi := Pt.make (Float.max !hi.Pt.x p.Pt.x) (Float.max !hi.Pt.y p.Pt.y))
+    ids;
+  (!lo, !hi)
+
+let median ~axis point_of ids =
+  let n = Array.length ids in
+  if n < 2 then invalid_arg "Split.median: need at least two points";
+  let sorted = Array.copy ids in
+  (* (coordinate, id) keys: ids are unique, so the order — and hence the
+     two halves — is a pure function of the input set, independent of the
+     input array's order or any earlier sort.  Duplicate coordinates
+     (snapped grids, stacked sinks) split deterministically by id. *)
+  Array.sort
+    (fun a b ->
+      match Float.compare (coord axis (point_of a)) (coord axis (point_of b))
+      with
+      | 0 -> Int.compare a b
+      | c -> c)
+    sorted;
+  let half = (n + 1) / 2 in
+  (Array.sub sorted 0 half, Array.sub sorted half (n - half))
+
+let bipartition point_of ids =
+  let lo, hi = extent point_of ids in
+  median ~axis:(longer_axis ~lo ~hi) point_of ids

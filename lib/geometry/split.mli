@@ -1,0 +1,32 @@
+(** Deterministic median bipartition of point sets, the geometric kernel
+    of the top-down clustering partitioner (see [Dme.Cluster]).
+
+    All functions take the points by an [point_of : int -> Pt.t] lookup
+    over an id array rather than materialized point arrays, so callers
+    can split index sets over a shared sink table without copying. *)
+
+type axis = X | Y
+
+(** Coordinate of a point along one axis. *)
+val coord : axis -> Pt.t -> float
+
+(** The axis of the larger bounding-box extent; ties go to [X], so a
+    square (or empty) extent splits vertically. *)
+val longer_axis : lo:Pt.t -> hi:Pt.t -> axis
+
+(** Bounding box of a set of points, as [(lo, hi)] corner points.
+    [(+inf, +inf), (-inf, -inf)] for an empty set. *)
+val extent : (int -> Pt.t) -> int array -> Pt.t * Pt.t
+
+(** [median ~axis point_of ids] splits [ids] into two halves at the
+    median along [axis]: the lower half gets [ceil (n / 2)] ids, so both
+    halves are non-empty whenever [n >= 2] (raises [Invalid_argument]
+    for [n < 2]).  The split is a pure function of the id {e set}:
+    entries sort by [(coordinate, id)], so duplicate coordinates break
+    ties by id and the input array's order never matters. *)
+val median : axis:axis -> (int -> Pt.t) -> int array -> int array * int array
+
+(** [bipartition point_of ids] is {!median} along the {!longer_axis} of
+    the set's {!extent} — one step of the top-down MMM-style
+    partition. *)
+val bipartition : (int -> Pt.t) -> int array -> int array * int array

@@ -1,0 +1,246 @@
+(* Tests for the two-level clustered router: the spatial partitioner's
+   invariants, the clusters=1 ≡ flat identity, cross-jobs determinism
+   of a genuinely clustered run, and the auditor's ability to see a
+   skew violation that spans a cluster boundary. *)
+
+module Pt = Geometry.Pt
+open Clocktree
+
+let pt = Pt.make
+
+let sink id x y ?(cap = 20.) group = Sink.make ~id ~loc:(pt x y) ~cap ~group
+
+let instance ?(bound = 10.) ?(n_groups = 1) sinks =
+  Instance.make ~bound ~source:(pt 0. 0.) ~n_groups (Array.of_list sinks)
+
+(* n sinks on a diagonal with a few coincident points, groups round-robin *)
+let diagonal ?(n_groups = 3) n =
+  instance ~n_groups
+    (List.init n (fun i ->
+         let c = float_of_int (i - (i mod 7)) in
+         sink i c c (i mod n_groups)))
+
+let circuit name =
+  match Workload.Circuits.find name with
+  | Some spec ->
+    Workload.Circuits.instance spec ~n_groups:8
+      ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+  | None -> Alcotest.failf "unknown circuit %s" name
+
+(* --- Split --------------------------------------------------------------- *)
+
+let test_split_bipartition () =
+  (* Wide cloud: split must be along X, halves of sizes ceil/floor. *)
+  let pts = [| pt 0. 0.; pt 10. 5.; pt 20. 0.; pt 30. 5.; pt 40. 0. |] in
+  let ids = Array.init 5 Fun.id in
+  let lo, hi = Geometry.Split.bipartition (Array.get pts) ids in
+  Alcotest.(check int) "lower size" 3 (Array.length lo);
+  Alcotest.(check int) "upper size" 2 (Array.length hi);
+  Array.iter
+    (fun i ->
+      Array.iter
+        (fun j ->
+          if (pts.(i) : Pt.t).x >= pts.(j).x then
+            Alcotest.failf "sink %d (lower) right of sink %d (upper)" i j)
+        hi)
+    lo
+
+let test_split_ties () =
+  (* All coincident: ties broken by id, halves still non-empty. *)
+  let pts = Array.make 6 (pt 1. 1.) in
+  let ids = Array.init 6 Fun.id in
+  let lo, hi = Geometry.Split.bipartition (Array.get pts) ids in
+  Alcotest.(check int) "lower size" 3 (Array.length lo);
+  Alcotest.(check int) "upper size" 3 (Array.length hi);
+  Alcotest.(check (list int)) "lower ids" [ 0; 1; 2 ] (Array.to_list lo);
+  Alcotest.(check (list int)) "upper ids" [ 3; 4; 5 ] (Array.to_list hi)
+
+(* --- Partition ----------------------------------------------------------- *)
+
+let check_partition inst ~clusters =
+  let regions = Dme.Cluster.partition inst ~clusters in
+  Alcotest.(check (list string))
+    "partition covers every sink exactly once" []
+    (List.map
+       (fun (v : Check.Audit.violation) -> v.invariant ^ ": " ^ v.detail)
+       (Check.Audit.partition_cover inst regions));
+  regions
+
+let test_partition_cover () =
+  let inst = diagonal 37 in
+  List.iter
+    (fun k ->
+      let regions = check_partition inst ~clusters:k in
+      Alcotest.(check int)
+        (Printf.sprintf "realized count at k=%d" k)
+        (Int.min (Int.max 1 k) 37)
+        (Array.length regions))
+    [ 0; 1; 2; 3; 5; 8; 36; 37; 38; 100 ]
+
+let test_partition_deterministic () =
+  let inst = circuit "r1" in
+  let a = Dme.Cluster.partition inst ~clusters:7 in
+  let b = Dme.Cluster.partition inst ~clusters:7 in
+  Alcotest.(check bool) "pure function of the instance" true (a = b)
+
+let test_auto_clusters () =
+  Alcotest.(check int) "small instance" 1
+    (Dme.Cluster.auto_clusters (diagonal 40));
+  Alcotest.(check int) "2500 sinks" 3
+    (Dme.Cluster.auto_clusters (diagonal 2500))
+
+let partition_prop =
+  let gen =
+    QCheck.Gen.(
+      let* n = 1 -- 60 in
+      let* k = 1 -- 10 in
+      let* dup = QCheck.Gen.bool in
+      let* coords = list_repeat n (pair (0 -- 1000) (0 -- 1000)) in
+      return (n, k, dup, coords))
+  in
+  QCheck.Test.make ~name:"partition covers exactly once, regions non-empty"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (n, k, dup, _) ->
+         Printf.sprintf "n=%d k=%d dup=%b" n k dup)
+       gen)
+    (fun (n, k, dup, coords) ->
+      let sinks =
+        List.mapi
+          (fun i (x, y) ->
+            (* dup: collapse half the sinks onto one location to stress
+               the tie-break *)
+            let x, y = if dup && i mod 2 = 0 then (500, 500) else (x, y) in
+            sink i (float_of_int x) (float_of_int y) (i mod 3))
+          coords
+      in
+      let inst = instance ~n_groups:3 sinks in
+      let regions = Dme.Cluster.partition inst ~clusters:k in
+      Check.Audit.partition_cover inst regions = []
+      && Array.length regions = Int.min k n
+      && Array.for_all (fun r -> Array.length r > 0) regions)
+
+(* --- clusters=1 identity and cross-jobs determinism ----------------------- *)
+
+let test_identity_small () =
+  let inst = diagonal ~n_groups:4 50 in
+  Alcotest.(check (list string))
+    "clusters=1 is bit-identical to flat" []
+    (List.map
+       (fun (f : Check.Oracle.finding) -> f.oracle)
+       (Check.Oracle.cluster_identity ~jobs:[ 1; 4 ] inst))
+
+let test_identity_circuit name () =
+  let inst = circuit name in
+  Alcotest.(check (list string))
+    "clusters=1 is bit-identical to flat" []
+    (List.map
+       (fun (f : Check.Oracle.finding) -> f.oracle)
+       (Check.Oracle.cluster_identity ~jobs:[ 1; 4 ] inst))
+
+let test_jobs_deterministic () =
+  (* A genuinely clustered run must not depend on the pool size. *)
+  let inst = circuit "r1" in
+  let route jobs =
+    let config = { Astskew.Router.ast_default_config with Dme.Engine.jobs } in
+    let routed, _, detail = Dme.Cluster.run ~config ~clusters:5 inst in
+    (routed, detail)
+  in
+  let t1, d1 = route 1 in
+  let t4, d4 = route 4 in
+  Alcotest.(check bool) "trees identical" true (Check.Audit.tree_equal t1 t4);
+  Alcotest.(check int) "region count" 5 d1.Dme.Cluster.n_clusters;
+  Alcotest.(check int) "region count independent of jobs"
+    d1.Dme.Cluster.n_clusters d4.Dme.Cluster.n_clusters;
+  Array.iteri
+    (fun i (c : Dme.Cluster.cluster_stats) ->
+      let c4 = d4.Dme.Cluster.per_cluster.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "region %d sink count" i)
+        c.n_sinks c4.n_sinks;
+      Alcotest.(check int)
+        (Printf.sprintf "region %d rounds" i)
+        c.stats.rounds c4.stats.rounds)
+    d1.Dme.Cluster.per_cluster
+
+let test_clustered_audit_clean () =
+  let inst = circuit "r2" in
+  Alcotest.(check (list string))
+    "clustered route passes the global grouped audit" []
+    (List.map
+       (fun (f : Check.Oracle.finding) -> f.oracle)
+       (Check.Oracle.clustered inst))
+
+(* --- cross-cluster violation detection ------------------------------------ *)
+
+let test_cross_cluster_injection_detected () =
+  (* The injected snake lengthens one leaf of the stitched tree; its
+     group is spread over regions by the spatial partition (r1 is
+     intermingled), so the resulting bound violation spans a cluster
+     boundary.  The audit runs against the global instance and must
+     still see it. *)
+  let inst = circuit "r1" in
+  let findings = Check.Oracle.clustered ~inject:true inst in
+  Alcotest.(check bool)
+    "injected cross-cluster skew violation is detected" true
+    (List.exists
+       (fun (f : Check.Oracle.finding) ->
+         f.oracle = "clustered"
+         && List.exists
+              (fun (v : Check.Audit.violation) ->
+                v.invariant = "within-bound")
+              f.violations)
+       findings)
+
+(* --- Banked fuzz regime --------------------------------------------------- *)
+
+let test_banked_regime () =
+  Alcotest.(check bool) "parses" true
+    (Check.Gen.regime_of_string "banked" = Some Check.Gen.Banked);
+  Alcotest.(check bool) "excluded from the ordinary cycle" false
+    (Array.mem Check.Gen.Banked Check.Gen.all_regimes);
+  let case =
+    Check.Gen.case ~regime:Check.Gen.Banked ~seed:7L ~index:0 ()
+  in
+  let n = Instance.n_sinks case.instance in
+  Alcotest.(check bool) "banked size in range" true (n >= 1000 && n <= 4000);
+  (* banked geometry must produce several regions under the default
+     cluster count *)
+  Alcotest.(check bool) "auto clusters >= 2" true
+    (Dme.Cluster.auto_clusters case.instance >= 2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "split",
+        [
+          Alcotest.test_case "bipartition" `Quick test_split_bipartition;
+          Alcotest.test_case "coincident ties" `Quick test_split_ties;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "cover + clamp" `Quick test_partition_cover;
+          Alcotest.test_case "deterministic" `Quick
+            test_partition_deterministic;
+          Alcotest.test_case "auto clusters" `Quick test_auto_clusters;
+        ]
+        @ qsuite [ partition_prop ] );
+      ( "identity",
+        [
+          Alcotest.test_case "small diagonal" `Quick test_identity_small;
+          Alcotest.test_case "r1" `Slow (test_identity_circuit "r1");
+          Alcotest.test_case "r3" `Slow (test_identity_circuit "r3");
+        ] );
+      ( "clustered",
+        [
+          Alcotest.test_case "jobs-deterministic" `Slow
+            test_jobs_deterministic;
+          Alcotest.test_case "audit clean" `Slow test_clustered_audit_clean;
+          Alcotest.test_case "cross-cluster injection detected" `Slow
+            test_cross_cluster_injection_detected;
+        ] );
+      ( "banked",
+        [ Alcotest.test_case "regime" `Quick test_banked_regime ] );
+    ]
