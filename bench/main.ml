@@ -573,6 +573,10 @@ let cost_metrics =
     "trial_merges"; "trial_cache_misses"; "nn_reprobes"; "nn_probes_full";
     "nn_probes_incremental"; "trial_merges_off"; "trial_merges_on";
     "wirelength"; "global_skew_ps"; "max_group_skew_ps";
+    (* repair-loop effort: balance cycles, lift sweeps and the per-sink
+       repair wall time of the scale curve — the metrics the flat-arena
+       incremental repair exists to keep down *)
+    "lift_iterations"; "cycles"; "repair_s_per_sink";
     (* engine-phase GC counters (see Obs.Gcstat): allocation growth is a
        perf regression just like wall time, but deterministic *)
     "minor_words"; "promoted_words"; "major_words";
@@ -793,19 +797,21 @@ let scale_point_json (spec : Workload.Circuits.spec)
            | Some d -> d.Dme.Cluster.n_clusters
            | None -> 0) );
       ("wall_s", Float wall);
+      ( "repair_s_per_sink",
+        Float (r.timings.repair_s /. float_of_int spec.n_sinks) );
       ("audit_clean", Bool (audit = []));
       ("result", Astskew.Router.json_of_result r);
     ]
 
 let print_scale_point (spec : Workload.Circuits.spec)
     (r : Astskew.Router.result) wall audit =
-  Format.printf "%-8s %8d %8d %9.3f %14.0f %8.3f %8.3f %7s@." spec.name
-    spec.n_sinks
+  Format.printf "%-8s %8d %8d %9.3f %9.3f %6d %14.0f %8.3f %8.3f %7s@."
+    spec.name spec.n_sinks
     (match r.clustering with
      | Some d -> d.Dme.Cluster.n_clusters
      | None -> 0)
-    wall r.evaluation.wirelength r.evaluation.global_skew
-    r.evaluation.max_group_skew
+    wall r.timings.repair_s r.repair.cycles r.evaluation.wirelength
+    r.evaluation.global_skew r.evaluation.max_group_skew
     (if audit = [] then "clean" else "DIRTY!");
   List.iter
     (fun (v : Check.Audit.violation) ->
@@ -813,12 +819,14 @@ let print_scale_point (spec : Workload.Circuits.spec)
     audit
 
 (* Wall-clock/wirelength scaling curve for the clustered router, written
-   to BENCH_scale.json.  Full mode routes 10^4, ~10^4.5 and 10^5 sinks
-   and checks the clusters=1 identity on every named circuit at jobs
-   {1,4}; --smoke keeps CI-sized pieces only (one 10^4-sink route plus
-   the identity on a downsampled 2000-sink instance).  Exits 1 when any
-   route fails the global audit or any identity check differs — both
-   are deterministic, so this cannot flake on slow runners. *)
+   to BENCH_scale.json.  Full mode routes 10^4, ~10^4.5, 10^5 and
+   ~10^5.5 sinks and checks the clusters=1 identity on every named
+   circuit at jobs {1,4}; --smoke keeps CI-sized pieces only (one
+   10^4-sink route plus the identity on a downsampled 2000-sink
+   instance).  Exits 1 when any route fails the global audit, any
+   identity check differs, or repair misbehaves — a fixpoint exhausting
+   its cycle budget or leaving a group unresolved.  All of these are
+   deterministic, so this cannot flake on slow runners. *)
 let scale args =
   let smoke_mode = ref false in
   let usage () =
@@ -828,12 +836,16 @@ let scale args =
   List.iter
     (function "--smoke" -> smoke_mode := true | _ -> usage ())
     args;
-  let ns = if !smoke_mode then [ 10_000 ] else [ 10_000; 31_623; 100_000 ] in
+  let ns =
+    if !smoke_mode then [ 10_000 ]
+    else [ 10_000; 31_623; 100_000; 316_228 ]
+  in
   header
     (Printf.sprintf "Scale: clustered AST-DME%s"
        (if !smoke_mode then " (smoke)" else ""));
-  Format.printf "%-8s %8s %8s %9s %14s %8s %8s %7s@." "circuit" "sinks"
-    "clusters" "wall (s)" "wirelength" "skew" "grp-skew" "audit";
+  Format.printf "%-8s %8s %8s %9s %9s %6s %14s %8s %8s %7s@." "circuit"
+    "sinks" "clusters" "wall (s)" "repair(s)" "cycles" "wirelength" "skew"
+    "grp-skew" "audit";
   let points =
     List.map
       (fun n ->
@@ -891,9 +903,25 @@ let scale args =
   in
   Obs.Json.write_file scale_file json;
   Format.printf "@.wrote %s@." scale_file;
+  (* Repair gate: a fixpoint burning through its whole cycle budget (or
+     worse, leaving a group over bound) is a behavioral regression even
+     when the wall time still looks fine. *)
+  let repair_bad =
+    List.filter_map
+      (fun ((spec : Workload.Circuits.spec), (r : Astskew.Router.result), _, _)
+         ->
+        if r.repair.budget_exhausted || r.repair.unresolved_groups > 0 then
+          Some
+            (Printf.sprintf "%s: budget_exhausted=%b unresolved=%d" spec.name
+               r.repair.budget_exhausted r.repair.unresolved_groups)
+        else None)
+      points
+  in
+  List.iter (Format.printf "REPAIR %s@.") repair_bad;
   let dirty =
     List.exists (fun (_, _, _, audit) -> audit <> []) points
     || List.exists (fun (_, findings) -> findings <> []) identities
+    || repair_bad <> []
   in
   if dirty then begin
     Format.printf "FAIL@.";

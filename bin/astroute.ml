@@ -58,6 +58,15 @@ let clusters_arg =
   in
   Arg.(value & opt (some int) None & info [ "clusters" ] ~docv:"N" ~doc)
 
+let repair_max_cycles_arg =
+  let doc =
+    "Cycle budget per repair fixpoint (balance/lift rounds before giving      up; the repair stats then report budget_exhausted).  The default      converges in all supported configurations."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repair-max-cycles" ] ~docv:"N" ~doc)
+
 let algo_arg =
   let doc =
     "Algorithm: ast (AST-DME), ext (EXT-BST), zst (greedy-DME) or mmm      (fixed MMM topology)."
@@ -179,7 +188,8 @@ let print_result name (r : Astskew.Router.result) =
 
 let route_cmd =
   let run circuit groups scheme bound seed algo file svg stats_json jobs
-      no_incremental clustered clusters trace_file journal_file =
+      no_incremental clustered clusters repair_max_cycles trace_file
+      journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -196,15 +206,22 @@ let route_cmd =
           Some
             ( "AST-DME",
               Astskew.Router.ast_dme ~jobs ~incremental ~clustered ?clusters
-                ~trace inst )
+                ?repair_max_cycles ~trace inst )
         | "ext" ->
-          Some ("EXT-BST", Astskew.Router.ext_bst ~jobs ~incremental ~trace inst)
+          Some
+            ( "EXT-BST",
+              Astskew.Router.ext_bst ~jobs ~incremental ?repair_max_cycles
+                ~trace inst )
         | "zst" ->
           Some
             ( "greedy-DME",
-              Astskew.Router.greedy_dme ~jobs ~incremental ~trace inst )
+              Astskew.Router.greedy_dme ~jobs ~incremental ?repair_max_cycles
+                ~trace inst )
         | "mmm" ->
-          Some ("MMM-DME", Astskew.Router.mmm_dme ~jobs ~incremental ~trace inst)
+          Some
+            ( "MMM-DME",
+              Astskew.Router.mmm_dme ~jobs ~incremental ?repair_max_cycles
+                ~trace inst )
         | _ -> None
       in
       if clustered && algo <> "ast" then begin
@@ -246,8 +263,8 @@ let route_cmd =
     Term.(
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
       $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg
-      $ no_incremental_arg $ clustered_arg $ clusters_arg $ trace_arg
-      $ trace_journal_arg)
+      $ no_incremental_arg $ clustered_arg $ clusters_arg
+      $ repair_max_cycles_arg $ trace_arg $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 

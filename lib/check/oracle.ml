@@ -366,6 +366,76 @@ let clustered ?(inject = false) ?clusters inst =
       in
       part @ Audit.run Audit.Grouped inst routed report)
 
+(* --- repair bit-identity --------------------------------------------------- *)
+
+let repair_identity ?(jobs = [ 2; 4 ]) inst =
+  guard "repair-identity" (fun () ->
+      let module Repair = Clocktree.Repair in
+      (* One plan, many repairs: the oracle isolates the repair pass
+         from the (separately guarded) engine. *)
+      let routed, _ = Dme.Engine.run ~config:Router.ast_default_config inst in
+      let serial regions =
+        {
+          Repair.default_config with
+          jobs = 1;
+          incremental = false;
+          regions;
+        }
+      in
+      (* Two families: the default decomposition (no regional phase on
+         oracle-sized instances), and a forced 4-way decomposition that
+         exercises the regional fixpoints + parallel phase on every
+         case.  Within a family, incremental and parallel variants must
+         reproduce the serial from-scratch repair bit for bit — trees,
+         delays and stats. *)
+      let check (family, regions) =
+        let base = serial regions in
+        let base_t, base_s = Repair.run ~config:base inst routed in
+        let base_d = Evaluate.delays inst base_t in
+        let variants =
+          ("incremental jobs=1", { base with Repair.incremental = true })
+          :: List.map
+               (fun j ->
+                 ( Printf.sprintf "incremental jobs=%d" j,
+                   { base with Repair.incremental = true; jobs = j } ))
+               jobs
+        in
+        List.concat_map
+          (fun (label, cfg) ->
+            let t, s = Repair.run ~config:cfg inst routed in
+            let diff = ref [] in
+            let add fmt =
+              Printf.ksprintf
+                (fun detail ->
+                  diff :=
+                    { Audit.invariant = "repair-identity"; detail } :: !diff)
+                fmt
+            in
+            if not (Audit.tree_equal base_t t) then
+              add "%s %s: repaired tree differs from serial from-scratch"
+                family label;
+            let d = Evaluate.delays inst t in
+            Array.iteri
+              (fun i dv ->
+                if dv <> d.(i) then
+                  add "%s %s sink %d delay: serial %.17g, variant %.17g" family
+                    label i dv d.(i))
+              base_d;
+            if s <> base_s then
+              add
+                "%s %s: repair stats differ from serial from-scratch \
+                 (added_wire %.17g vs %.17g, adjusted %d vs %d, cycles %d vs \
+                 %d, lifts %d vs %d)"
+                family label base_s.Repair.added_wire s.Repair.added_wire
+                base_s.Repair.adjusted_edges s.Repair.adjusted_edges
+                base_s.Repair.cycles s.Repair.cycles
+                base_s.Repair.lift_iterations s.Repair.lift_iterations;
+            List.rev !diff)
+          variants
+      in
+      List.concat_map check
+        [ ("auto-regions", None); ("forced-regions", Some 4) ])
+
 (* --- Elmore vs transient ------------------------------------------------- *)
 
 let delay_models ?(resolution = 300) inst =
@@ -453,7 +523,8 @@ let delay_models ?(resolution = 300) inst =
 let all ?(inject = false) inst =
   routers ~inject inst @ cache_identity inst @ par_identity inst
   @ incremental_identity inst @ trace_identity inst
-  @ cluster_identity inst @ clustered ~inject inst @ delay_models inst
+  @ cluster_identity inst @ repair_identity inst @ clustered ~inject inst
+  @ delay_models inst
 
 let reproduces ?inject ~of_run inst =
   let names = List.map (fun f -> f.oracle) of_run in

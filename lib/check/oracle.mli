@@ -25,6 +25,10 @@
     - {!cluster_identity}: the two-level clustered router degenerates
       exactly — with [clusters = 1] it produces the flat router's tree,
       delays, wirelength and engine stats, for every jobs count.
+    - {!repair_identity}: incremental / regional / parallel skew repair
+      is bit-identical to the serial from-scratch pass — same tree,
+      delays and stats for any jobs count, with regions both auto-derived
+      and forced.
     - {!clustered}: a genuinely clustered run ([clusters >= 2]) yields a
       covering partition and a stitched tree that passes the full audit
       under the global grouped contract.
@@ -86,6 +90,17 @@ val trace_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
     the flat router — partitioning, sub-instance re-indexing and the
     top-level stitch all semantically invisible. *)
 val cluster_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Plan once with the AST engine, then repair under two decomposition
+    families — the default (auto regions, i.e. the pure global cycle on
+    oracle-sized instances) and a forced 4-way regional split that
+    exercises the regional-fixpoint machinery on every case — and
+    report any difference between the serial from-scratch repair
+    ([jobs = 1], [incremental = false]) and its incremental variants at
+    [jobs = 1] and each entry of [jobs] (default [[2; 4]]): tree
+    structure, per-sink delays and the full repair stats must be
+    bit-identical (see {!Clocktree.Repair}'s determinism contract). *)
+val repair_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
 
 (** Audit the clustered router's output: the spatial partition covers
     every sink exactly once with non-empty regions

@@ -26,14 +26,18 @@ let check ?inject (case : Gen.case) =
     let shrunk_findings = Oracle.all ?inject shrunk in
     Some { case; findings; shrunk; shrunk_findings }
 
-(* Huge cases run (and shrink against) the parallel- and
-   incremental-identity oracles alone: the full battery would take
-   minutes per 1500-sink instance, and scale only stresses the ranking
-   path anyway — which is exactly what those two oracles audit.  The
-   incremental oracle runs at jobs = 2 so cache reuse and parallel
-   probing are exercised together. *)
+(* Huge cases run (and shrink against) the ranking-path and repair
+   identity oracles alone: the full battery would take minutes per
+   1500-sink instance, and scale stresses exactly the ranking and
+   repair paths — which is what these three audit.  The incremental
+   oracle runs at jobs = 2 so cache reuse and parallel probing are
+   exercised together; repair-identity at this size auto-derives
+   multiple regions, so the regional-fixpoint machinery is exercised
+   against the serial from-scratch pass on every huge case. *)
 let huge_oracles inst =
-  Oracle.par_identity inst @ Oracle.incremental_identity ~jobs:[ 2 ] inst
+  Oracle.par_identity inst
+  @ Oracle.incremental_identity ~jobs:[ 2 ] inst
+  @ Oracle.repair_identity ~jobs:[ 2 ] inst
 
 (* Banked cases target the clustered path: the degenerate clusters=1 run
    must be bit-identical to flat (at jobs 2, so region scheduling rides

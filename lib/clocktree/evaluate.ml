@@ -9,18 +9,31 @@ type report = {
   max_group_skew : float;
 }
 
-(* Delays are computed through the same RC-tree conversion the transient
-   simulator uses, so Elmore numbers and "SPICE" numbers describe the
-   identical circuit. *)
-let delays (inst : Instance.t) (r : Tree.routed) =
-  let rct, sink_index =
-    Tree.to_rctree inst.params ~rd:inst.rd ~n_sinks:(Instance.n_sinks inst) r
-  in
-  let node_delay = Rc.Rctree.elmore rct in
-  Array.map (fun idx -> node_delay.(idx)) sink_index
+(* Acceptance slack shared with Repair.run: a group skew within [slack]
+   of its bound counts as satisfied.  Exported so the two modules cannot
+   silently drift apart. *)
+let default_slack = 1e-4
 
-let run (inst : Instance.t) (r : Tree.routed) =
-  let delays = delays inst r in
+(* Delays are computed through the arena's RC kernels, which replicate
+   the Tree.to_rctree + Rc.Rctree.elmore pipeline bit for bit (see
+   Arena) — so Elmore numbers and "SPICE" numbers still describe the
+   identical circuit, and the walk is iterative: evaluation survives
+   degenerate deep trees (10^6-node combs) that would overflow the
+   stack of the recursive RC conversion. *)
+let sink_delays (inst : Instance.t) (a : Arena.t) =
+  let down = Array.make a.Arena.n 0. in
+  let down0 = Arena.downstream_rc ~into:down a in
+  let node_delay = Array.make a.Arena.n 0. in
+  Arena.elmore ~down ~down0 ~into:node_delay a;
+  let delays = Array.make (Instance.n_sinks inst) 0. in
+  Arena.delays_by_sink ~delay:node_delay ~into:delays a;
+  delays
+
+let delays (inst : Instance.t) (r : Tree.routed) =
+  sink_delays inst (Arena.of_routed inst.params ~rd:inst.rd r)
+
+let report_of_arena (inst : Instance.t) (a : Arena.t) =
+  let delays = sink_delays inst a in
   let min_delay = Array.fold_left Float.min Float.infinity delays in
   let max_delay = Array.fold_left Float.max Float.neg_infinity delays in
   let lo = Array.make inst.n_groups Float.infinity in
@@ -35,8 +48,8 @@ let run (inst : Instance.t) (r : Tree.routed) =
         if lo.(g) > hi.(g) then 0. else hi.(g) -. lo.(g))
   in
   {
-    wirelength = Tree.wirelength r;
-    snaking = Tree.total_snaking r;
+    wirelength = Arena.wirelength a;
+    snaking = Arena.total_snaking a;
     delays;
     min_delay;
     max_delay;
@@ -45,7 +58,10 @@ let run (inst : Instance.t) (r : Tree.routed) =
     max_group_skew = Array.fold_left Float.max 0. group_skew;
   }
 
-let within_bound ?(slack = 1e-4) (inst : Instance.t) report =
+let run (inst : Instance.t) (r : Tree.routed) =
+  report_of_arena inst (Arena.of_routed inst.params ~rd:inst.rd r)
+
+let within_bound ?(slack = default_slack) (inst : Instance.t) report =
   let ok = ref true in
   Array.iteri
     (fun g w -> if w > Instance.bound_for inst g +. slack then ok := false)

@@ -1,6 +1,11 @@
 (** Exact Elmore evaluation of embedded clock trees: wirelength, per-sink
     delays, global skew and per-group skew — the quantities reported in
-    the thesis' Tables I and II. *)
+    the thesis' Tables I and II.
+
+    Evaluation runs on the flat post-order {!Arena}, whose RC kernels
+    are bit-identical to the {!Tree.to_rctree} + {!Rc.Rctree.elmore}
+    pipeline but iterative, so arbitrarily deep (comb-shaped) trees
+    evaluate without stack overflow. *)
 
 type report = {
   wirelength : float;
@@ -13,13 +18,22 @@ type report = {
   max_group_skew : float;
 }
 
+(** The default acceptance slack of {!within_bound} (ps).  {!Repair.run}
+    uses the same constant, so repair's convergence test and the final
+    acceptance check cannot drift apart. *)
+val default_slack : float
+
 (** Per-sink Elmore delays (ps) of a routed tree, indexed by sink id. *)
 val delays : Instance.t -> Tree.routed -> float array
 
 val run : Instance.t -> Tree.routed -> report
 
+(** Evaluate a tree already flattened into an arena (the repair loop's
+    representation), without re-flattening. *)
+val report_of_arena : Instance.t -> Arena.t -> report
+
 (** Does the tree satisfy the instance's intra-group bound (within
-    [slack], default 1e-4 ps of numerical slack)? *)
+    [slack], default {!default_slack} ps of numerical slack)? *)
 val within_bound : ?slack:float -> Instance.t -> report -> bool
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,5 +1,19 @@
-module IntMap = Map.Make (Int)
-module Interval = Geometry.Interval
+module Eps = Geometry.Eps
+
+type config = {
+  max_cycles : int;
+  jobs : int;
+  incremental : bool;
+  regions : int option;
+}
+
+let default_config =
+  {
+    max_cycles = 300;
+    jobs = Par.Pool.default_jobs ();
+    incremental = true;
+    regions = None;
+  }
 
 type stats = {
   added_wire : float;
@@ -7,217 +21,684 @@ type stats = {
   conflict_nodes : int;
   lift_iterations : int;
   unresolved_groups : int;
+  cycles : int;
+  budget_exhausted : bool;
 }
 
 let c_balance = Obs.Counter.make "clocktree.repair.balance_passes"
 let c_lift = Obs.Counter.make "clocktree.repair.lift_sweeps"
 let c_adjusted = Obs.Counter.make "clocktree.repair.adjusted_edges"
+let c_regions = Obs.Counter.make "clocktree.repair.regions"
+let c_exhausted = Obs.Counter.make "clocktree.repair.budget_exhausted"
 
-(* Stage 1: per-node balancing.  Returns the rebuilt subtree, its
-   downstream capacitance and per-group delay intervals from the root. *)
-let balance_pass (inst : Instance.t) tree ~added_wire ~adjusted ~conflicts =
-  let params = inst.params in
-  let rec go t =
-    match t with
-    | Tree.Leaf s ->
-      (t, s.Sink.cap, IntMap.singleton s.Sink.group (Interval.point 0.))
-    | Tree.Node n ->
-      let left, cap_l, iv_l = go n.left in
-      let right, cap_r, iv_r = go n.right in
-      let wl = Rc.Elmore.wire_delay params ~len:n.llen ~load:cap_l in
-      let wr = Rc.Elmore.wire_delay params ~len:n.rlen ~load:cap_r in
-      (* Admissible x = delta_left - delta_right for one spanning group:
-         after shifting, the merged interval width must stay <= bound. *)
-      let wanted =
-        IntMap.fold
-          (fun g (l : Interval.t) acc ->
-            match IntMap.find_opt g iv_r with
-            | None -> acc
-            | Some rt ->
-              let bound = Instance.bound_for inst g in
-              let lo = rt.Interval.hi +. wr -. bound -. (l.lo +. wl) in
-              let hi = bound +. rt.Interval.lo +. wr -. (l.hi +. wl) in
-              Interval.inter acc (Interval.make lo hi))
-          iv_l
-          (Interval.make Float.neg_infinity Float.infinity)
+(* --- group-interval slab store ----------------------------------------
+
+   Balancing needs, per node, the per-group interval of sink delays
+   measured from that node.  The old implementation built an IntMap per
+   node per pass; the arena keeps slabs — short (gid, lo, hi) runs
+   sorted by gid — in growable parallel arrays, one store per regional
+   fixpoint plus one residual store, so the parallel phase never
+   appends to a shared cursor.  A node's slab is the [goff, goff+glen)
+   window of its store; re-balancing appends a fresh slab and rolls the
+   cursor back when it is bit-identical to the memo, so clean passes
+   cost no store growth and the store compacts itself when dead slabs
+   dominate. *)
+
+type store = {
+  mutable sg : int array;
+  mutable slo : float array;
+  mutable shi : float array;
+  mutable used : int;
+  mutable live : int;
+  node_lo : int;
+  node_hi : int;  (** arena range owning slabs here (filtered by gstore) *)
+}
+
+let store_create ~node_lo ~node_hi cap =
+  let cap = Int.max cap 8 in
+  {
+    sg = Array.make cap (-1);
+    slo = Array.make cap 0.;
+    shi = Array.make cap 0.;
+    used = 0;
+    live = 0;
+    node_lo;
+    node_hi;
+  }
+
+let store_ensure s extra =
+  let need = s.used + extra in
+  if need > Array.length s.sg then begin
+    let cap = Int.max need (2 * Array.length s.sg) in
+    let sg = Array.make cap (-1) in
+    let slo = Array.make cap 0. in
+    let shi = Array.make cap 0. in
+    Array.blit s.sg 0 sg 0 s.used;
+    Array.blit s.slo 0 slo 0 s.used;
+    Array.blit s.shi 0 shi 0 s.used;
+    s.sg <- sg;
+    s.slo <- slo;
+    s.shi <- shi
+  end
+
+type state = {
+  a : Arena.t;
+  inst : Instance.t;
+  slack : float;
+  bcap : float array;  (** memoized downstream capacitance *)
+  goff : int array;
+  glen : int array;
+  gstore : int array;
+  stores : store array;
+  dirty : Bytes.t;  (** must be re-balanced next pass *)
+  changed : Bytes.t;  (** per-pass scratch: processed / cap-changed *)
+  visited : Bytes.t;  (** balanced at least once (conflict accounting) *)
+  down : float array;
+  delay : float array;
+  dsink : float array;
+  pg : int array;  (** lift: pure group, -1 when mixed *)
+  md : float array;  (** lift: min deficit over subtree sinks *)
+  amount : float array;
+  carry : float array;
+}
+
+let maybe_compact st idx s =
+  if s.used > (2 * s.live) + 64 then begin
+    let cap = Int.max 8 (s.live + (s.live / 2) + 16) in
+    let sg = Array.make cap (-1) in
+    let slo = Array.make cap 0. in
+    let shi = Array.make cap 0. in
+    let cur = ref 0 in
+    for v = s.node_lo to s.node_hi do
+      if st.gstore.(v) = idx && st.glen.(v) > 0 then begin
+        let off = st.goff.(v) and m = st.glen.(v) in
+        Array.blit s.sg off sg !cur m;
+        Array.blit s.slo off slo !cur m;
+        Array.blit s.shi off shi !cur m;
+        st.goff.(v) <- !cur;
+        cur := !cur + m
+      end
+    done;
+    s.sg <- sg;
+    s.slo <- slo;
+    s.shi <- shi;
+    s.used <- !cur
+  end
+
+(* Balance one merge node: replicate the pointer-walk expressions
+   operation for operation (see the old balance_pass) so the arena pass
+   is bit-identical to it.  Returns whether one of the node's child
+   edges was adjusted. *)
+let process_internal st v ~count_conflicts ~conflicts ~adjusted ~added =
+  let a = st.a in
+  let params = a.Arena.params in
+  let l = a.Arena.left.(v) and r = a.Arena.right.(v) in
+  let cap_l = st.bcap.(l) and cap_r = st.bcap.(r) in
+  let llen0 = a.Arena.len.(l) and rlen0 = a.Arena.len.(r) in
+  let wl0 = Rc.Elmore.wire_delay params ~len:llen0 ~load:cap_l in
+  let wr0 = Rc.Elmore.wire_delay params ~len:rlen0 ~load:cap_r in
+  let ls = st.stores.(st.gstore.(l)) and rs = st.stores.(st.gstore.(r)) in
+  let l_off = st.goff.(l) and l_len = st.glen.(l) in
+  let r_off = st.goff.(r) and r_len = st.glen.(r) in
+  (* Admissible x = delta_left - delta_right: intersect, in ascending
+     group order, one interval per group spanning both children.  Exact
+     max/min make the intersection order-independent; ascending order
+     still mirrors the old IntMap.fold. *)
+  let acc_lo = ref Float.neg_infinity and acc_hi = ref Float.infinity in
+  let j = ref 0 in
+  for i = 0 to l_len - 1 do
+    let g = ls.sg.(l_off + i) in
+    while !j < r_len && rs.sg.(r_off + !j) < g do
+      incr j
+    done;
+    if !j < r_len && rs.sg.(r_off + !j) = g then begin
+      let bound = Instance.bound_for st.inst g in
+      let llo = ls.slo.(l_off + i) and lhi = ls.shi.(l_off + i) in
+      let rlo = rs.slo.(r_off + !j) and rhi = rs.shi.(r_off + !j) in
+      let lo = rhi +. wr0 -. bound -. (llo +. wl0) in
+      let hi = bound +. rlo +. wr0 -. (lhi +. wl0) in
+      acc_lo := Float.max !acc_lo lo;
+      acc_hi := Float.min !acc_hi hi
+    end
+  done;
+  let x =
+    if !acc_lo > !acc_hi +. Eps.tol then begin
+      if count_conflicts then incr conflicts;
+      (!acc_lo +. !acc_hi) /. 2.
+    end
+    else Eps.clamp !acc_lo !acc_hi 0.
+  in
+  let delta_l = Float.max 0. x and delta_r = Float.max 0. (-.x) in
+  (* The skip floor is relative to the edge delay: at extreme RC corners
+     delays reach ~1e9 ps, where an absolute 1e-9 ps floor sits far
+     below one ulp and a repeated pass would chase its own recomputation
+     noise, adjusting edges forever.  64 ulps stays well under
+     Evaluate.within_bound's acceptance slack for any delay magnitude
+     the acceptance check can resolve.  An adjustment whose resulting
+     length is bit-identical is dropped as the no-op it is. *)
+  let extend len cap w delta =
+    if delta <= Float.max 1e-9 (64. *. epsilon_float *. Float.abs w) then
+      (len, w)
+    else begin
+      let len' = Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. delta) in
+      if len' = len then (len, w)
+      else begin
+        added := !added +. (len' -. len);
+        incr adjusted;
+        (len', w +. delta)
+      end
+    end
+  in
+  let llen, wl = extend llen0 cap_l wl0 delta_l in
+  let rlen, wr = extend rlen0 cap_r wr0 delta_r in
+  a.Arena.len.(l) <- llen;
+  a.Arena.len.(r) <- rlen;
+  st.bcap.(v) <- cap_l +. cap_r +. (params.Rc.Wire.c *. (llen +. rlen));
+  (* Merged slab: shift children by their (possibly extended) edge
+     delays and hull the common groups.  Append to this node's store,
+     then roll back if the result matches the memo bit for bit. *)
+  let vs = st.stores.(st.gstore.(v)) in
+  store_ensure vs (l_len + r_len);
+  (* store_ensure may have swapped the arrays; always read through the
+     record fields below. *)
+  let base = vs.used in
+  let i = ref 0 and jj = ref 0 and out = ref base in
+  while !i < l_len || !jj < r_len do
+    let gl = if !i < l_len then ls.sg.(l_off + !i) else max_int in
+    let gr = if !jj < r_len then rs.sg.(r_off + !jj) else max_int in
+    if gl < gr then begin
+      vs.sg.(!out) <- gl;
+      vs.slo.(!out) <- ls.slo.(l_off + !i) +. wl;
+      vs.shi.(!out) <- ls.shi.(l_off + !i) +. wl;
+      incr i;
+      incr out
+    end
+    else if gr < gl then begin
+      vs.sg.(!out) <- gr;
+      vs.slo.(!out) <- rs.slo.(r_off + !jj) +. wr;
+      vs.shi.(!out) <- rs.shi.(r_off + !jj) +. wr;
+      incr jj;
+      incr out
+    end
+    else begin
+      vs.sg.(!out) <- gl;
+      vs.slo.(!out) <-
+        Float.min (ls.slo.(l_off + !i) +. wl) (rs.slo.(r_off + !jj) +. wr);
+      vs.shi.(!out) <-
+        Float.max (ls.shi.(l_off + !i) +. wl) (rs.shi.(r_off + !jj) +. wr);
+      incr i;
+      incr jj;
+      incr out
+    end
+  done;
+  let m = !out - base in
+  let old_off = st.goff.(v) and old_len = st.glen.(v) in
+  let same =
+    old_len = m
+    &&
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < m do
+      if
+        vs.sg.(old_off + !k) <> vs.sg.(base + !k)
+        || vs.slo.(old_off + !k) <> vs.slo.(base + !k)
+        || vs.shi.(old_off + !k) <> vs.shi.(base + !k)
+      then ok := false;
+      incr k
+    done;
+    !ok
+  in
+  if same then vs.used <- base
+  else begin
+    vs.used <- base + m;
+    vs.live <- vs.live + m - old_len;
+    st.goff.(v) <- base;
+    st.glen.(v) <- m
+  end;
+  llen <> llen0 || rlen <> rlen0
+
+(* One balance pass over [lo, hi].  With [full] every merge node is
+   processed; otherwise only the dirty frontier: nodes whose own edges
+   changed since their memo (dirty) or whose children were reprocessed
+   this pass (changed).  A skipped node's inputs are bit-identical to
+   its memo, so skipping is exact. *)
+let balance_range st ~lo ~hi ~full ~conflicts ~adjusted ~added =
+  Bytes.fill st.changed lo (hi - lo + 1) '\000';
+  let processed = ref 0 in
+  for v = lo to hi do
+    let l = st.a.Arena.left.(v) in
+    if l >= 0 then begin
+      let must =
+        full
+        || Bytes.unsafe_get st.dirty v = '\001'
+        || Bytes.unsafe_get st.changed l = '\001'
+        || Bytes.unsafe_get st.changed (st.a.Arena.right.(v)) = '\001'
       in
-      let x =
-        if Interval.is_empty wanted then begin
-          incr conflicts;
-          Interval.mid wanted
-        end
-        else Interval.clamp wanted 0.
-      in
-      let delta_l = Float.max 0. x and delta_r = Float.max 0. (-.x) in
-      (* The skip floor is relative to the edge delay: at extreme RC
-         corners delays reach ~1e9 ps, where an absolute 1e-9 ps floor
-         sits far below one ulp and a repeated pass would chase its own
-         recomputation noise, adjusting edges forever.  64 ulps stays
-         well under Evaluate.within_bound's acceptance slack for any
-         delay magnitude the acceptance check can resolve.  An
-         adjustment whose resulting length is bit-identical is dropped
-         as the no-op it is. *)
-      let extend len cap w delta =
-        if delta <= Float.max 1e-9 (64. *. epsilon_float *. Float.abs w) then
-          (len, w)
-        else begin
+      if must then begin
+        incr processed;
+        let count_conflicts = Bytes.unsafe_get st.visited v = '\000' in
+        if count_conflicts then Bytes.unsafe_set st.visited v '\001';
+        let self =
+          process_internal st v ~count_conflicts ~conflicts ~adjusted ~added
+        in
+        Bytes.unsafe_set st.changed v '\001';
+        Bytes.unsafe_set st.dirty v (if self then '\001' else '\000')
+      end
+    end
+  done;
+  !processed
+
+(* One lift sweep over [lo, hi] (stage 2): pure-group and min-deficit
+   memos ascending, snaking amounts with carry descending, then the
+   edge adjustments ascending with incremental cap maintenance.  Nodes
+   whose edges or downstream caps change are marked dirty for the next
+   balance pass. *)
+let lift_range st ~lo ~hi ~target ~adjusted ~added =
+  let a = st.a in
+  let params = a.Arena.params in
+  for v = lo to hi do
+    let l = a.Arena.left.(v) in
+    if l < 0 then begin
+      let g = a.Arena.group.(v) in
+      st.pg.(v) <- g;
+      st.md.(v) <- target.(g) -. st.dsink.(a.Arena.sink.(v))
+    end
+    else begin
+      let r = a.Arena.right.(v) in
+      st.pg.(v) <-
+        (if st.pg.(l) >= 0 && st.pg.(l) = st.pg.(r) then st.pg.(l) else -1);
+      st.md.(v) <- Float.min st.md.(l) st.md.(r)
+    end
+  done;
+  st.carry.(hi) <- 0.;
+  st.amount.(hi) <- 0.;
+  for v = hi downto lo do
+    let l = a.Arena.left.(v) in
+    if l >= 0 then begin
+      let r = a.Arena.right.(v) in
+      let cv = st.carry.(v) in
+      let al = if st.pg.(l) >= 0 then Float.max 0. (st.md.(l) -. cv) else 0. in
+      st.amount.(l) <- al;
+      st.carry.(l) <- cv +. al;
+      let ar = if st.pg.(r) >= 0 then Float.max 0. (st.md.(r) -. cv) else 0. in
+      st.amount.(r) <- ar;
+      st.carry.(r) <- cv +. ar
+    end
+  done;
+  Bytes.fill st.changed lo (hi - lo + 1) '\000';
+  let half_slack = st.slack /. 2. in
+  for v = lo to hi do
+    let l = a.Arena.left.(v) in
+    if l >= 0 then begin
+      let r = a.Arena.right.(v) in
+      let adj c =
+        let amt = st.amount.(c) in
+        if amt > half_slack then begin
+          let len = a.Arena.len.(c) in
+          let cap = st.bcap.(c) in
+          let w = Rc.Elmore.wire_delay params ~len ~load:cap in
           let len' =
-            Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. delta)
+            Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. amt)
           in
-          if len' = len then (len, w)
+          if len' = len then false
           else begin
-            added_wire := !added_wire +. (len' -. len);
+            added := !added +. (len' -. len);
             incr adjusted;
-            (len', w +. delta)
+            a.Arena.len.(c) <- len';
+            true
           end
         end
+        else false
       in
-      let llen, wl = extend n.llen cap_l wl delta_l in
-      let rlen, wr = extend n.rlen cap_r wr delta_r in
-      let shift w iv = IntMap.map (Interval.shift w) iv in
-      let merged =
-        IntMap.union
-          (fun _ a b -> Some (Interval.hull a b))
-          (shift wl iv_l) (shift wr iv_r)
-      in
-      let cap = cap_l +. cap_r +. (params.c *. (llen +. rlen)) in
-      (Tree.Node { n with left; right; llen; rlen }, cap, merged)
-  in
-  let tree, _, _ = go tree in
-  tree
+      let al = adj l in
+      let ar = adj r in
+      if
+        al || ar
+        || Bytes.unsafe_get st.changed l = '\001'
+        || Bytes.unsafe_get st.changed r = '\001'
+      then begin
+        st.bcap.(v) <-
+          st.bcap.(l) +. st.bcap.(r)
+          +. (params.Rc.Wire.c *. (a.Arena.len.(l) +. a.Arena.len.(r)));
+        Bytes.unsafe_set st.changed v '\001';
+        Bytes.unsafe_set st.dirty v '\001'
+      end
+    end
+  done
 
-(* Stage 2: lift slow sinks by snaking the edges of *maximal group-pure
-   subtrees* — subtrees whose sinks all belong to one group.  Such edges
-   always exist (leaf edges are pure) and snaking them delays exactly one
-   group; placing the wire as high as possible is also the cheapest spot
-   (larger downstream capacitance means less length per picosecond).
-   Each subtree edge absorbs the minimum deficit of its sinks; the
-   residual is handled recursively by deeper pure edges.  The added wire
-   capacitance perturbs other delays, so the caller re-runs the balance
-   pass after each sweep. *)
-let lift_sweep (inst : Instance.t) (routed : Tree.routed) report ~slack
-    ~added_wire ~adjusted =
-  let params = inst.params in
-  let target = Array.make inst.n_groups Float.neg_infinity in
-  Array.iter
-    (fun (s : Sink.t) ->
-      target.(s.group) <-
-        Float.max target.(s.group)
-          (report.Evaluate.delays.(s.id) -. Instance.bound_for inst s.group))
-    inst.sinks;
-  let deficit (s : Sink.t) =
-    target.(s.group) -. report.Evaluate.delays.(s.id)
-  in
-  (* (is the subtree group-pure?, min deficit over its sinks) *)
-  let rec pure_min = function
-    | Tree.Leaf s -> (Some s.Sink.group, deficit s)
-    | Tree.Node n ->
-      let gl, dl = pure_min n.left and gr, dr = pure_min n.right in
-      let g = match (gl, gr) with
-        | Some a, Some b when a = b -> Some a
-        | _ -> None
-      in
-      (g, Float.min dl dr)
-  in
-  (* Rebuild bottom-up; [carry] is the delay already added on pure edges
-     above (within the same pure chain).  Returns the new subtree and its
-     downstream capacitance. *)
-  let rec rebuild t carry =
-    match t with
-    | Tree.Leaf s -> (t, s.Sink.cap)
-    | Tree.Node n ->
-      let handle child len =
-        let amount =
-          match pure_min child with
-          | Some _, min_def -> Float.max 0. (min_def -. carry)
-          | None, _ -> 0.
-        in
-        let child', cap = rebuild child (carry +. amount) in
-        let len' =
-          if amount > slack /. 2. then begin
-            let w = Rc.Elmore.wire_delay params ~len ~load:cap in
-            let len' =
-              Rc.Elmore.wire_for_delay params ~load:cap ~delay:(w +. amount)
-            in
-            if len' = len then len
-            else begin
-              added_wire := !added_wire +. (len' -. len);
-              incr adjusted;
-              len'
-            end
-          end
-          else len
-        in
-        (child', cap, len')
-      in
-      let left, cap_l, llen = handle n.left n.llen in
-      let right, cap_r, rlen = handle n.right n.rlen in
-      let cap = cap_l +. cap_r +. (params.c *. (llen +. rlen)) in
-      (Tree.Node { n with left; right; llen; rlen }, cap)
-  in
-  let tree, _ = rebuild routed.tree 0. in
-  { routed with tree }
+(* --- regional fixpoints ----------------------------------------------- *)
 
-(* The balance pass alone is exact whenever no merge node has conflicting
-   spanning groups; with conflicts, alternating lift sweeps (which align
-   group offsets through group-pure leaf edges) with balance passes
-   (which re-establish exactness everywhere else) converges. *)
-let run ?(trace = Obs.Trace.null) (inst : Instance.t) (r : Tree.routed) =
-  let tracing = Obs.Trace.enabled trace in
-  (* Acceptance slack matches Evaluate.within_bound's default. *)
-  let slack = 1e-4 in
-  let max_cycles = 300 in
-  let added_wire = ref 0. in
-  let adjusted = ref 0 in
-  let conflicts = ref 0 in
-  let rec cycle routed iter =
-    let first_conflicts = if iter = 0 then conflicts else ref 0 in
+type region = { rlo : int; rhi : int; rstore : int }
+
+type region_summary = {
+  r_root : int;
+  r_sinks : int;
+  r_cycles : int;
+  r_lifts : int;
+  r_adjusted : int;
+  r_conflicts : int;
+  r_added : float;
+  r_exhausted : bool;
+}
+
+(* Fixpoint regions: the maximal subtrees of at most [ceil (n / k)]
+   nodes (and at least one merge node), k the auto-cluster target — a
+   pure function of the tree shape and [config.regions], never of the
+   jobs count, so the decomposition (and with it every float) is
+   identical for any parallelism. *)
+let select_regions (a : Arena.t) cfg =
+  let k =
+    match cfg.regions with
+    | Some k -> Int.max 1 k
+    | None -> Int.max 1 (Int.min 64 ((a.Arena.n_sinks + 999) / 1000))
+  in
+  if k < 2 then [||]
+  else begin
+    let threshold = (a.Arena.n + k - 1) / k in
+    let out = ref [] in
+    for v = a.Arena.n - 1 downto 0 do
+      if
+        a.Arena.size.(v) <= threshold
+        && a.Arena.size.(v) >= 3
+        && a.Arena.parent.(v) >= 0
+        && a.Arena.size.(a.Arena.parent.(v)) > threshold
+      then out := v :: !out
+    done;
+    Array.of_list
+      (List.mapi
+         (fun i root ->
+           { rlo = root - a.Arena.size.(root) + 1; rhi = root; rstore = i + 1 })
+         !out)
+  end
+
+(* Local balance/evaluate/lift fixpoint on one region.  Delays are
+   measured from the region root (delay 0 there): intra-region skews are
+   offset-free, so balancing and lifting inside the region are exactly
+   the global operations restricted to the subtree.  Acceptance uses
+   twice the global slack — the local optimum can sit an ulp away from
+   the global one, and the global cycle enforces the true slack
+   afterwards; the looser local gate keeps re-repair a no-op.  Runs on
+   worker domains: touches only this region's index range and store,
+   and never the trace context. *)
+let region_fixpoint st cfg (rg : region) =
+  let a = st.a in
+  let lo = rg.rlo and hi = rg.rhi in
+  let n_groups = st.inst.Instance.n_groups in
+  let glo = Array.make n_groups Float.infinity in
+  let ghi = Array.make n_groups Float.neg_infinity in
+  let target = Array.make n_groups Float.neg_infinity in
+  let added = ref 0. and adjusted = ref 0 and conflicts = ref 0 in
+  let store = st.stores.(rg.rstore) in
+  let accept_slack = 2. *. st.slack in
+  let cycles = ref 0 and lifts = ref 0 in
+  let exhausted = ref false in
+  let continue = ref true in
+  while !continue do
+    maybe_compact st rg.rstore store;
     Obs.Counter.incr c_balance;
-    if tracing then
-      Obs.Trace.instant trace ~cat:"clocktree.repair"
-        ~args:[ ("cycle", Obs.Json.Int iter) ]
-        "balance_pass";
-    let tree =
-      balance_pass inst routed.Tree.tree ~added_wire ~adjusted
-        ~conflicts:first_conflicts
+    let _ : int =
+      balance_range st ~lo ~hi ~full:(not cfg.incremental) ~conflicts
+        ~adjusted ~added
     in
-    let routed = { routed with Tree.tree } in
-    let report = Evaluate.run inst routed in
-    if Evaluate.within_bound ~slack inst report then (routed, iter, 0)
-    else if iter >= max_cycles then begin
-      let unresolved = ref 0 in
-      Array.iteri
-        (fun g w ->
-          if w > Instance.bound_for inst g +. slack then incr unresolved)
-        report.group_skew;
-      (routed, iter, !unresolved)
+    incr cycles;
+    Arena.downstream_rc_range ~into:st.down ~lo ~hi a;
+    Arena.elmore_range ~down:st.down ~root_delay:0. ~into:st.delay ~lo ~hi a;
+    Array.fill glo 0 n_groups Float.infinity;
+    Array.fill ghi 0 n_groups Float.neg_infinity;
+    for v = lo to hi do
+      if a.Arena.left.(v) < 0 then begin
+        let d = st.delay.(v) in
+        st.dsink.(a.Arena.sink.(v)) <- d;
+        let g = a.Arena.group.(v) in
+        glo.(g) <- Float.min glo.(g) d;
+        ghi.(g) <- Float.max ghi.(g) d
+      end
+    done;
+    let ok = ref true in
+    for g = 0 to n_groups - 1 do
+      let w = if glo.(g) > ghi.(g) then 0. else ghi.(g) -. glo.(g) in
+      if w > Instance.bound_for st.inst g +. accept_slack then ok := false
+    done;
+    if !ok then continue := false
+    else if !cycles > cfg.max_cycles then begin
+      exhausted := true;
+      continue := false
     end
     else begin
       Obs.Counter.incr c_lift;
+      incr lifts;
+      Array.fill target 0 n_groups Float.neg_infinity;
+      for v = lo to hi do
+        if a.Arena.left.(v) < 0 then begin
+          let g = a.Arena.group.(v) in
+          target.(g) <-
+            Float.max target.(g)
+              (st.dsink.(a.Arena.sink.(v)) -. Instance.bound_for st.inst g)
+        end
+      done;
+      lift_range st ~lo ~hi ~target ~adjusted ~added
+    end
+  done;
+  {
+    r_root = hi;
+    r_sinks = (a.Arena.size.(hi) + 1) / 2;
+    r_cycles = !cycles;
+    r_lifts = !lifts;
+    r_adjusted = !adjusted;
+    r_conflicts = !conflicts;
+    r_added = !added;
+    r_exhausted = !exhausted;
+  }
+
+(* --- driver ----------------------------------------------------------- *)
+
+let make_state (inst : Instance.t) (a : Arena.t) regions =
+  let n = a.Arena.n in
+  let gstore = Array.make n 0 in
+  Array.iter
+    (fun rg ->
+      Array.fill gstore rg.rlo (rg.rhi - rg.rlo + 1) rg.rstore)
+    regions;
+  let stores = Array.make (Array.length regions + 1) (store_create ~node_lo:0 ~node_hi:(n - 1) 8) in
+  stores.(0) <- store_create ~node_lo:0 ~node_hi:(n - 1) (n / 2);
+  Array.iter
+    (fun rg ->
+      stores.(rg.rstore) <-
+        store_create ~node_lo:rg.rlo ~node_hi:rg.rhi
+          (2 * (rg.rhi - rg.rlo + 1)))
+    regions;
+  let st =
+    {
+      a;
+      inst;
+      slack = Evaluate.default_slack;
+      bcap = Array.make n 0.;
+      goff = Array.make n 0;
+      glen = Array.make n 0;
+      gstore;
+      stores;
+      dirty = Bytes.make n '\001';
+      changed = Bytes.make n '\000';
+      visited = Bytes.make n '\000';
+      down = Array.make n 0.;
+      delay = Array.make n 0.;
+      dsink = Array.make (Instance.n_sinks inst) 0.;
+      pg = Array.make n (-1);
+      md = Array.make n 0.;
+      amount = Array.make n 0.;
+      carry = Array.make n 0.;
+    }
+  in
+  (* Leaf slabs are the constant point interval at delay 0; written once,
+     never replaced. *)
+  for v = 0 to n - 1 do
+    if a.Arena.left.(v) < 0 then begin
+      st.bcap.(v) <- a.Arena.scap.(v);
+      let s = stores.(gstore.(v)) in
+      store_ensure s 1;
+      s.sg.(s.used) <- a.Arena.group.(v);
+      s.slo.(s.used) <- 0.;
+      s.shi.(s.used) <- 0.;
+      st.goff.(v) <- s.used;
+      st.glen.(v) <- 1;
+      s.used <- s.used + 1;
+      s.live <- s.live + 1
+    end
+  done;
+  st
+
+let run ?(config = default_config) ?(trace = Obs.Trace.null)
+    (inst : Instance.t) (r : Tree.routed) =
+  let tracing = Obs.Trace.enabled trace in
+  let slack = Evaluate.default_slack in
+  let go () =
+    let a = Arena.of_routed inst.params ~rd:inst.rd r in
+    let regions = select_regions a config in
+    let st = make_state inst a regions in
+    let n = a.Arena.n in
+    (* Phase 1: regional fixpoints, in parallel when jobs > 1.  Regions
+       are disjoint index ranges with disjoint stores, so workers never
+       write the same word; summaries are folded in region index order,
+       keeping every accumulated float deterministic for any jobs. *)
+    let summaries =
+      if Array.length regions = 0 then [||]
+      else if config.jobs <= 1 || Array.length regions < 2 then
+        Array.map (region_fixpoint st config) regions
+      else
+        Par.Pool.with_pool ~jobs:config.jobs (fun pool ->
+            match pool with
+            | None -> Array.map (region_fixpoint st config) regions
+            | Some p ->
+              Par.Pool.map_chunked p ~chunk:1 (region_fixpoint st config)
+                regions)
+    in
+    Obs.Counter.add c_regions (Array.length summaries);
+    let added = ref 0. and adjusted = ref 0 and conflicts = ref 0 in
+    let cycles = ref 0 and lifts = ref 0 in
+    let exhausted = ref false in
+    Array.iter
+      (fun s ->
+        added := !added +. s.r_added;
+        adjusted := !adjusted + s.r_adjusted;
+        conflicts := !conflicts + s.r_conflicts;
+        cycles := !cycles + s.r_cycles;
+        lifts := !lifts + s.r_lifts;
+        if s.r_exhausted then exhausted := true)
+      summaries;
+    if tracing && Array.length summaries > 0 then begin
+      Obs.Trace.instant trace ~cat:"clocktree.repair"
+        ~args:[ ("regions", Obs.Json.Int (Array.length summaries)) ]
+        "regional_repair";
+      Array.iter
+        (fun s ->
+          Obs.Trace.journal trace
+            (Obs.Json.Obj
+               [
+                 ("type", Obs.Json.String "repair_region");
+                 ("root", Obs.Json.Int s.r_root);
+                 ("sinks", Obs.Json.Int s.r_sinks);
+                 ("cycles", Obs.Json.Int s.r_cycles);
+                 ("lifts", Obs.Json.Int s.r_lifts);
+                 ("adjusted", Obs.Json.Int s.r_adjusted);
+                 ("exhausted", Obs.Json.Bool s.r_exhausted);
+               ]))
+        summaries
+    end;
+    if !exhausted then Obs.Counter.incr c_exhausted;
+    (* Phase 2: the global cycle, incremental over the residual dirty
+       set (all of the tree on the first pass when no regional phase
+       ran — every node starts dirty). *)
+    let glo = Array.make inst.Instance.n_groups Float.infinity in
+    let ghi = Array.make inst.Instance.n_groups Float.neg_infinity in
+    let target = Array.make inst.Instance.n_groups Float.neg_infinity in
+    let iter = ref 0 in
+    let finished = ref false in
+    let g_lifts = ref 0 and unresolved = ref 0 in
+    while not !finished do
+      Array.iteri (fun i s -> maybe_compact st i s) st.stores;
+      Obs.Counter.incr c_balance;
       if tracing then
         Obs.Trace.instant trace ~cat:"clocktree.repair"
-          ~args:
-            [
-              ("cycle", Obs.Json.Int iter);
-              ("added_wire", Obs.Json.Float !added_wire);
-            ]
-          "lift_sweep";
-      let routed = lift_sweep inst routed report ~slack ~added_wire ~adjusted in
-      cycle routed (iter + 1)
-    end
+          ~args:[ ("cycle", Obs.Json.Int !iter) ]
+          "balance_pass";
+      let processed =
+        balance_range st ~lo:0 ~hi:(n - 1) ~full:(not config.incremental)
+          ~conflicts ~adjusted ~added
+      in
+      incr cycles;
+      let down0 = Arena.downstream_rc ~into:st.down a in
+      Arena.elmore ~down:st.down ~down0 ~into:st.delay a;
+      Arena.delays_by_sink ~delay:st.delay ~into:st.dsink a;
+      Array.fill glo 0 (Array.length glo) Float.infinity;
+      Array.fill ghi 0 (Array.length ghi) Float.neg_infinity;
+      Array.iter
+        (fun (s : Sink.t) ->
+          glo.(s.group) <- Float.min glo.(s.group) st.dsink.(s.id);
+          ghi.(s.group) <- Float.max ghi.(s.group) st.dsink.(s.id))
+        inst.sinks;
+      let within = ref true in
+      for g = 0 to Array.length glo - 1 do
+        let w = if glo.(g) > ghi.(g) then 0. else ghi.(g) -. glo.(g) in
+        if w > Instance.bound_for inst g +. slack then within := false
+      done;
+      if tracing then
+        Obs.Trace.journal trace
+          (Obs.Json.Obj
+             [
+               ("type", Obs.Json.String "repair_cycle");
+               ("cycle", Obs.Json.Int !iter);
+               ("processed", Obs.Json.Int processed);
+               ("adjusted", Obs.Json.Int !adjusted);
+               ("added_wire", Obs.Json.Float !added);
+               ("within", Obs.Json.Bool !within);
+             ]);
+      if !within then finished := true
+      else if !iter >= config.max_cycles then begin
+        for g = 0 to Array.length glo - 1 do
+          let w = if glo.(g) > ghi.(g) then 0. else ghi.(g) -. glo.(g) in
+          if w > Instance.bound_for inst g +. slack then incr unresolved
+        done;
+        exhausted := true;
+        Obs.Counter.incr c_exhausted;
+        if tracing then
+          Obs.Trace.instant trace ~cat:"clocktree.repair"
+            ~args:[ ("cycle", Obs.Json.Int !iter) ]
+            "budget_exhausted";
+        finished := true
+      end
+      else begin
+        Obs.Counter.incr c_lift;
+        if tracing then
+          Obs.Trace.instant trace ~cat:"clocktree.repair"
+            ~args:
+              [
+                ("cycle", Obs.Json.Int !iter);
+                ("added_wire", Obs.Json.Float !added);
+              ]
+            "lift_sweep";
+        Array.fill target 0 (Array.length target) Float.neg_infinity;
+        Array.iter
+          (fun (s : Sink.t) ->
+            target.(s.group) <-
+              Float.max target.(s.group)
+                (st.dsink.(s.id) -. Instance.bound_for inst s.group))
+          inst.sinks;
+        lift_range st ~lo:0 ~hi:(n - 1) ~target ~adjusted ~added;
+        incr g_lifts;
+        incr iter
+      end
+    done;
+    Obs.Counter.add c_adjusted !adjusted;
+    ( Arena.to_routed a,
+      {
+        added_wire = !added;
+        adjusted_edges = !adjusted;
+        conflict_nodes = !conflicts;
+        lift_iterations = !lifts + !g_lifts;
+        unresolved_groups = !unresolved;
+        cycles = !cycles;
+        budget_exhausted = !exhausted;
+      } )
   in
-  let routed, lift_iterations, unresolved_groups =
-    if tracing then
-      Obs.Trace.span trace ~cat:"clocktree.repair" "repair" (fun () ->
-          cycle r 0)
-    else cycle r 0
-  in
-  Obs.Counter.add c_adjusted !adjusted;
-  ( routed,
-    {
-      added_wire = !added_wire;
-      adjusted_edges = !adjusted;
-      conflict_nodes = !conflicts;
-      lift_iterations;
-      unresolved_groups;
-    } )
+  if tracing then Obs.Trace.span trace ~cat:"clocktree.repair" "repair" go
+  else go ()

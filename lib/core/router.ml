@@ -28,10 +28,22 @@ let t_evaluate = Obs.Timer.make "router.evaluate"
    whose groups define the reported skews).  [plan] is the engine phase:
    Dme.Engine.run for the greedy merge order, Dme.Mmm.run for the fixed
    topology. *)
-let solve_with ?(trace = Obs.Trace.null) ~plan ~route_inst ~eval_inst () =
+let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(repair_jobs = 1)
+    ~plan ~route_inst ~eval_inst () =
   let tracing = Obs.Trace.enabled trace in
   let phase name f =
     if tracing then Obs.Trace.span trace ~cat:"router" name f else f ()
+  in
+  (* Repair inherits the engine's jobs so one --jobs flag drives both
+     parallel phases; its results are jobs-invariant either way. *)
+  let repair_config =
+    {
+      Repair.default_config with
+      jobs = Int.max 1 repair_jobs;
+      max_cycles =
+        Option.value repair_max_cycles
+          ~default:Repair.default_config.Repair.max_cycles;
+    }
   in
   let t0 = Sys.time () in
   let w0 = Obs.Timer.now () in
@@ -42,7 +54,8 @@ let solve_with ?(trace = Obs.Trace.null) ~plan ~route_inst ~eval_inst () =
   let w1 = Obs.Timer.now () in
   let routed, repair =
     phase "router.repair" (fun () ->
-        Obs.Timer.time t_repair (fun () -> Repair.run ~trace route_inst routed))
+        Obs.Timer.time t_repair (fun () ->
+            Repair.run ~config:repair_config ~trace route_inst routed))
   in
   let w2 = Obs.Timer.now () in
   (* cpu_seconds spans planning + repair, as it always has; the wall
@@ -71,8 +84,14 @@ let solve_with ?(trace = Obs.Trace.null) ~plan ~route_inst ~eval_inst () =
   in
   { routed; evaluation; engine; repair; cpu_seconds; timings; clustering = None }
 
-let solve ?config ?(trace = Obs.Trace.null) ~route_inst ~eval_inst () =
-  solve_with ~trace
+let solve ?config ?(trace = Obs.Trace.null) ?repair_max_cycles ~route_inst
+    ~eval_inst () =
+  let repair_jobs =
+    match config with
+    | Some (c : Dme.Engine.config) -> c.jobs
+    | None -> Dme.Engine.default.jobs
+  in
+  solve_with ~trace ?repair_max_cycles ~repair_jobs
     ~plan:(Dme.Engine.run ?config ~trace)
     ~route_inst ~eval_inst ()
 
@@ -111,10 +130,11 @@ let router_manifest trace name (config : Dme.Engine.config) =
       ]
 
 let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
-    ?(trace = Obs.Trace.null) inst =
+    ?repair_max_cycles ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "ast_dme" config;
-  if not clustered then solve ~config ~trace ~route_inst:inst ~eval_inst:inst ()
+  if not clustered then
+    solve ~config ~trace ?repair_max_cycles ~route_inst:inst ~eval_inst:inst ()
   else begin
     (* The clustered engine returns its per-region detail alongside the
        aggregate stats [solve_with] threads through; stash it and patch
@@ -127,7 +147,10 @@ let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
       detail := Some d;
       (routed, stats)
     in
-    let r = solve_with ~trace ~plan ~route_inst:inst ~eval_inst:inst () in
+    let r =
+      solve_with ~trace ?repair_max_cycles ~repair_jobs:config.jobs ~plan
+        ~route_inst:inst ~eval_inst:inst ()
+    in
     { r with clustering = !detail }
   end
 
@@ -146,20 +169,25 @@ let fused ?bound (inst : Instance.t) =
     ~bound:(Option.value bound ~default)
     ~source:inst.source ~n_groups:1 sinks
 
-let ext_bst ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
+let ext_bst ?config ?jobs ?incremental ?repair_max_cycles
+    ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
   router_manifest trace "ext_bst" config;
-  solve ~config ~trace ~route_inst:(fused inst) ~eval_inst:inst ()
+  solve ~config ~trace ?repair_max_cycles ~route_inst:(fused inst)
+    ~eval_inst:inst ()
 
-let greedy_dme ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
+let greedy_dme ?config ?jobs ?incremental ?repair_max_cycles
+    ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
   router_manifest trace "greedy_dme" config;
-  solve ~config ~trace ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
+  solve ~config ~trace ?repair_max_cycles ~route_inst:(fused ~bound:0. inst)
+    ~eval_inst:inst ()
 
-let mmm_dme ?config ?jobs ?incremental ?(trace = Obs.Trace.null) inst =
+let mmm_dme ?config ?jobs ?incremental ?repair_max_cycles
+    ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "mmm_dme" config;
-  solve_with ~trace
+  solve_with ~trace ?repair_max_cycles ~repair_jobs:config.jobs
     ~plan:(Dme.Mmm.run ~config ~trace)
     ~route_inst:inst ~eval_inst:inst ()
 
@@ -224,6 +252,8 @@ let json_of_result (r : result) : Obs.Json.t =
         ("conflict_nodes", Int s.conflict_nodes);
         ("lift_iterations", Int s.lift_iterations);
         ("unresolved_groups", Int s.unresolved_groups);
+        ("cycles", Int s.cycles);
+        ("budget_exhausted", Bool s.budget_exhausted);
       ]
   in
   let timings =

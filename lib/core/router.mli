@@ -45,7 +45,10 @@ val ast_default_config : Dme.Engine.config
     over the corresponding [config] field (and, for [jobs], over the
     [ASTSKEW_JOBS] environment default).  Routed trees are bit-identical
     for any [jobs] and for [incremental] on or off, so the knobs only
-    affect wall time.
+    affect wall time.  The effective [jobs] also drives the repair
+    pass's regional parallelism (equally jobs-invariant), and
+    [repair_max_cycles] overrides {!Clocktree.Repair.default_config}'s
+    cycle budget per fixpoint.
 
     Each router also takes an optional [trace] (see {!Obs.Trace}): when
     enabled, the run merges router name, jobs, incremental and the full
@@ -73,6 +76,7 @@ val ast_dme :
   ?incremental:bool ->
   ?clustered:bool ->
   ?clusters:int ->
+  ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
@@ -81,6 +85,7 @@ val ext_bst :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
@@ -89,6 +94,7 @@ val greedy_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result
@@ -102,6 +108,7 @@ val mmm_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->
   result

@@ -129,10 +129,7 @@ let run ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters inst =
     Obs.Trace.merge_manifest trace
       [ ("cluster_regions", Obs.Json.Int k) ];
   let jobs = Int.max 1 config.Engine.jobs in
-  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
-  Fun.protect
-    ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
-    (fun () ->
+  Par.Pool.with_pool ~jobs (fun pool ->
       (* Bottom level: one serial plan per region.  [Par.Pool] is not
          reentrant, so region plans never see the pool — parallelism
          across regions comes from mapping the regions themselves over

@@ -446,13 +446,10 @@ let plan ?(config = default) ?(trace = Obs.Trace.null) ?pool ?leaves inst =
 let run ?(config = default) ?(trace = Obs.Trace.null) inst =
   let gc0 = Obs.Gcstat.sample () in
   let jobs = Int.max 1 config.jobs in
-  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs ()) else None in
   (* The pool stays alive through embedding: the top-down phase reuses
      the ranking loop's worker domains for its subtree fan-out. *)
   let routed, stats =
-    Fun.protect
-      ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
-      (fun () ->
+    Par.Pool.with_pool ~jobs (fun pool ->
         let root, stats = plan ~config ~trace ?pool inst in
         (Embed.run ?pool ~trace inst root, stats))
   in

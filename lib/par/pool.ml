@@ -156,6 +156,13 @@ let map_chunked t ?chunk f arr =
     r
   end
 
+let with_pool ~jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = create ~jobs () in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+  end
+
 let jobs_of_string s =
   match int_of_string_opt (String.trim s) with
   | Some j when j >= 1 -> Some j

@@ -51,6 +51,13 @@ val map_chunked : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     works but runs everything on the calling domain. *)
 val shutdown : t -> unit
 
+(** [with_pool ~jobs f] runs [f (Some pool)] with a fresh pool of
+    [jobs] domains, shutting it down when [f] returns or raises; with
+    [jobs <= 1] it is [f None] and no domain is spawned.  The standard
+    scoped-pool pattern used by the engine, the cluster planner and
+    repair. *)
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+
 (** [default_jobs ()] is the process-wide default parallelism: the value
     of the [ASTSKEW_JOBS] environment variable when it parses as a
     positive integer, else 1 (fully serial).  Never exceeds

@@ -195,6 +195,105 @@ let prop_repair_enforces_bound =
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* --- Arena ----------------------------------------------------------------- *)
+
+(* Flatten → rebuild must be the identity, bit for bit: same structure,
+   same positions, same sink records, same edge lengths.  Structural
+   equality on the routed record compares every float exactly. *)
+let prop_arena_roundtrip =
+  QCheck.Test.make ~name:"arena flatten/rebuild round-trips bit-exact"
+    ~count:300
+    (QCheck.make gen_repair_case)
+    (fun (coords, groups, caps, n_groups, _bound) ->
+      let sinks =
+        List.mapi
+          (fun i ((x, y), (g, cap)) -> Sink.make ~id:i ~loc:(pt x y) ~cap ~group:g)
+          (List.combine coords (List.combine groups caps))
+      in
+      ignore n_groups;
+      let routed = Tree.route (pt (-5.) 7.) (random_topology sinks) in
+      let a = Arena.of_routed params ~rd:100. routed in
+      routed = Arena.to_routed a)
+
+(* A 240k-node left-deep comb: every recursive walk would need ~120k
+   stack frames.  Flatten, repair and evaluate must all survive it and,
+   with a generous bound, repair must leave the tree untouched. *)
+let test_deep_comb_stack_safety () =
+  let n = 120_000 in
+  let sinks = Array.init n (fun i -> sink i (float_of_int i) 0. 0) in
+  let t = ref (Tree.Leaf sinks.(0)) in
+  for i = 1 to n - 1 do
+    let p = sinks.(i).Sink.loc in
+    t := Tree.node p !t (Tree.Leaf sinks.(i)) ~llen:1. ~rlen:0.
+  done;
+  let root = pt (float_of_int (n - 1)) 0. in
+  let routed = Tree.route root !t in
+  let inst = Instance.make ~bound:1e9 ~source:root ~n_groups:1 sinks in
+  let a = Arena.of_routed inst.params ~rd:inst.rd routed in
+  Alcotest.(check int) "node count" (2 * n - 1) a.Arena.n;
+  check_float "wirelength" (float_of_int (n - 1))
+    (Arena.wirelength a);
+  let repaired, stats = Repair.run inst routed in
+  check_float "repair is a no-op" 0. stats.added_wire;
+  Alcotest.(check int) "no edges adjusted" 0 stats.adjusted_edges;
+  Alcotest.(check int) "no unresolved" 0 stats.unresolved_groups;
+  let report = Evaluate.run inst repaired in
+  Alcotest.(check bool) "within bound" true (Evaluate.within_bound inst report)
+
+(* Feasible tree: repair must hand back the identical arena content —
+   not merely "no stats", the rebuilt tree itself is bit-equal. *)
+let test_repair_noop_preserves_tree () =
+  let s0 = sink 0 0. 0. 0 and s1 = sink 1 100. 0. 0 in
+  let t =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:0. ~rlen:100.
+  in
+  let routed = Tree.route (pt 0. 0.) t in
+  let inst =
+    Instance.make ~bound:1000. ~source:(pt 0. 0.) ~n_groups:1 [| s0; s1 |]
+  in
+  let repaired, stats = Repair.run inst routed in
+  Alcotest.(check int) "no adjustment" 0 stats.adjusted_edges;
+  Alcotest.(check bool) "tree bit-equal" true (routed = repaired)
+
+(* Conflicting groups under a zero bound: one balance pass cannot
+   converge, so [max_cycles = 0] must exhaust the budget, report the
+   unresolved groups, and still terminate.  The default budget resolves
+   the same instance. *)
+let exhaustion_case () =
+  let s0 = sink 0 0. 0. 0 and s1 = sink 1 0. 10000. 1 in
+  let s2 = sink 2 20000. 0. 0 and s3 = sink 3 20000. 20000. 1 in
+  let a =
+    Tree.node (pt 0. 0.) (Tree.Leaf s0) (Tree.Leaf s1) ~llen:0. ~rlen:10000.
+  in
+  let b =
+    Tree.node (pt 20000. 0.) (Tree.Leaf s2) (Tree.Leaf s3) ~llen:0.
+      ~rlen:20000.
+  in
+  let top = Tree.node (pt 10000. 0.) a b ~llen:10000. ~rlen:10000. in
+  let routed = Tree.route (pt 10000. 0.) top in
+  let inst =
+    Instance.make ~bound:0. ~source:(pt 10000. 0.) ~n_groups:2
+      [| s0; s1; s2; s3 |]
+  in
+  (inst, routed)
+
+let test_repair_budget_exhaustion () =
+  let inst, routed = exhaustion_case () in
+  let config = { Repair.default_config with max_cycles = 0 } in
+  let _, stats = Repair.run ~config inst routed in
+  Alcotest.(check bool) "budget exhausted" true stats.budget_exhausted;
+  Alcotest.(check int) "one balance pass" 1 stats.cycles;
+  Alcotest.(check bool) "unresolved reported" true
+    (stats.unresolved_groups > 0)
+
+let test_repair_default_budget_converges () =
+  let inst, routed = exhaustion_case () in
+  let repaired, stats = Repair.run inst routed in
+  Alcotest.(check bool) "not exhausted" false stats.budget_exhausted;
+  Alcotest.(check int) "no unresolved" 0 stats.unresolved_groups;
+  let report = Evaluate.run inst repaired in
+  Alcotest.(check bool) "within bound" true (Evaluate.within_bound inst report)
+
 (* --- Per-group bounds ----------------------------------------------------- *)
 
 let test_per_group_bounds () =
@@ -325,6 +424,18 @@ let () =
           Alcotest.test_case "per-group bounds" `Quick test_repair_per_group_bounds;
         ]
         @ qsuite [ prop_repair_enforces_bound ] );
+      ( "arena",
+        [
+          Alcotest.test_case "deep comb stack safety" `Quick
+            test_deep_comb_stack_safety;
+          Alcotest.test_case "no-op preserves tree" `Quick
+            test_repair_noop_preserves_tree;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_repair_budget_exhaustion;
+          Alcotest.test_case "default budget converges" `Quick
+            test_repair_default_budget_converges;
+        ]
+        @ qsuite [ prop_arena_roundtrip ] );
       ( "bounds",
         [ Alcotest.test_case "per-group accessors" `Quick test_per_group_bounds ] );
       ( "io",
