@@ -26,9 +26,10 @@
    dropped, then gates the clustered router on a second circuit (default
    r5: clusters=1 must equal flat bit-for-bit and the auto-clustered
    tree must pass the global grouped audit); "scale" routes synthetic
-   10^4-10^5-sink instances through the clustered router, checks the
-   clusters=1-vs-flat identity, and writes the BENCH_scale.json curve
-   (--smoke keeps the CI-sized pieces only);
+   10^4-10^6-sink instances through the (multi-level) clustered router,
+   checks the clusters=1-vs-flat identity and a forced depth-2 leg, and
+   writes the BENCH_scale.json curve with per-point peak heap (--smoke
+   keeps the CI-sized pieces only);
    "compare" diffs two BENCH_<circuit>.json files and exits
    non-zero when a watched metric regressed past the threshold (default
    10%); "fuzz" runs the lib/check property-based fuzzer, prints a JSON
@@ -580,6 +581,9 @@ let cost_metrics =
     (* engine-phase GC counters (see Obs.Gcstat): allocation growth is a
        perf regression just like wall time, but deterministic *)
     "minor_words"; "promoted_words"; "major_words";
+    (* process-lifetime major-heap high-water mark, recorded per scale
+       point: the arena-native pipeline exists to keep this flat *)
+    "top_heap_words";
   ]
 
 let watched_leaf path =
@@ -771,8 +775,12 @@ let scale_spec n =
       die = 2000. *. sqrt (float_of_int n);
     }
 
-(* One curve point: route clustered (auto region count), audit the
-   stitched tree under the global grouped contract. *)
+(* One curve point: route clustered (auto region count and depth),
+   audit the stitched tree under the global grouped contract.  The
+   major-heap high-water mark is sampled right after the route: it is a
+   process-lifetime maximum, so points must run in ascending sink order
+   for per-point values to be attributable (scale's ns list is
+   ascending). *)
 let scale_point n =
   let spec = scale_spec n in
   let inst = bench_instance spec in
@@ -780,11 +788,12 @@ let scale_point n =
   let t0 = Obs.Timer.now () in
   let r = Astskew.Router.ast_dme ~clustered:true inst in
   let wall = Obs.Timer.now () -. t0 in
+  let heap = Obs.Gcstat.top_heap_words () in
   let audit = Check.Audit.run Check.Audit.Grouped inst r.routed r.evaluation in
-  (spec, r, wall, audit)
+  (spec, r, wall, heap, audit)
 
 let scale_point_json (spec : Workload.Circuits.spec)
-    (r : Astskew.Router.result) wall audit =
+    (r : Astskew.Router.result) wall heap audit =
   let open Obs.Json in
   Obj
     [
@@ -796,37 +805,50 @@ let scale_point_json (spec : Workload.Circuits.spec)
           (match r.clustering with
            | Some d -> d.Dme.Cluster.n_clusters
            | None -> 0) );
+      ( "cluster_depth",
+        Int
+          (match r.clustering with
+           | Some d -> d.Dme.Cluster.depth
+           | None -> 0) );
       ("wall_s", Float wall);
       ( "repair_s_per_sink",
         Float (r.timings.repair_s /. float_of_int spec.n_sinks) );
+      ("top_heap_words", Int heap);
       ("audit_clean", Bool (audit = []));
       ("result", Astskew.Router.json_of_result r);
     ]
 
 let print_scale_point (spec : Workload.Circuits.spec)
-    (r : Astskew.Router.result) wall audit =
-  Format.printf "%-8s %8d %8d %9.3f %9.3f %6d %14.0f %8.3f %8.3f %7s@."
+    (r : Astskew.Router.result) wall heap audit =
+  Format.printf
+    "%-8s %8d %8d %5d %9.3f %9.3f %6d %14.0f %8.3f %8.3f %8.1f %7s@."
     spec.name spec.n_sinks
     (match r.clustering with
      | Some d -> d.Dme.Cluster.n_clusters
      | None -> 0)
+    (match r.clustering with
+     | Some d -> d.Dme.Cluster.depth
+     | None -> 0)
     wall r.timings.repair_s r.repair.cycles r.evaluation.wirelength
     r.evaluation.global_skew r.evaluation.max_group_skew
+    (float_of_int heap /. 1e6)
     (if audit = [] then "clean" else "DIRTY!");
   List.iter
     (fun (v : Check.Audit.violation) ->
       Format.printf "  AUDIT %s: %s@." v.invariant v.detail)
     audit
 
-(* Wall-clock/wirelength scaling curve for the clustered router, written
-   to BENCH_scale.json.  Full mode routes 10^4, ~10^4.5, 10^5 and
-   ~10^5.5 sinks and checks the clusters=1 identity on every named
-   circuit at jobs {1,4}; --smoke keeps CI-sized pieces only (one
-   10^4-sink route plus the identity on a downsampled 2000-sink
-   instance).  Exits 1 when any route fails the global audit, any
-   identity check differs, or repair misbehaves — a fixpoint exhausting
-   its cycle budget or leaving a group unresolved.  All of these are
-   deterministic, so this cannot flake on slow runners. *)
+(* Wall-clock/wirelength/peak-heap scaling curve for the clustered
+   router, written to BENCH_scale.json.  Full mode routes 10^4, ~10^4.5,
+   10^5, ~10^5.5 and 10^6 sinks (the last through the multi-level
+   stitch: ~1000 regions at depth 2) and checks the clusters=1 identity
+   on every named circuit at jobs {1,4}; --smoke keeps CI-sized pieces
+   only (one 10^4-sink route plus the identity on a downsampled
+   2000-sink instance).  Both modes run the forced depth-2 leg on the
+   10^4 instance.  Exits 1 when any route fails the global audit, any
+   identity or depth check differs, or repair misbehaves — a fixpoint
+   exhausting its cycle budget or leaving a group unresolved.  All of
+   these are deterministic, so this cannot flake on slow runners. *)
 let scale args =
   let smoke_mode = ref false in
   let usage () =
@@ -838,20 +860,20 @@ let scale args =
     args;
   let ns =
     if !smoke_mode then [ 10_000 ]
-    else [ 10_000; 31_623; 100_000; 316_228 ]
+    else [ 10_000; 31_623; 100_000; 316_228; 1_000_000 ]
   in
   header
     (Printf.sprintf "Scale: clustered AST-DME%s"
        (if !smoke_mode then " (smoke)" else ""));
-  Format.printf "%-8s %8s %8s %9s %9s %6s %14s %8s %8s %7s@." "circuit"
-    "sinks" "clusters" "wall (s)" "repair(s)" "cycles" "wirelength" "skew"
-    "grp-skew" "audit";
+  Format.printf "%-8s %8s %8s %5s %9s %9s %6s %14s %8s %8s %8s %7s@."
+    "circuit" "sinks" "clusters" "depth" "wall (s)" "repair(s)" "cycles"
+    "wirelength" "skew" "grp-skew" "heap(MW)" "audit";
   let points =
     List.map
       (fun n ->
-        let spec, r, wall, audit = scale_point n in
-        print_scale_point spec r wall audit;
-        (spec, r, wall, audit))
+        let spec, r, wall, heap, audit = scale_point n in
+        print_scale_point spec r wall heap audit;
+        (spec, r, wall, heap, audit))
       ns
   in
   let identity_legs =
@@ -873,6 +895,53 @@ let scale args =
         (spec.name, findings))
       identity_legs
   in
+  (* Forced depth-2 leg: a 10^4-sink route through a two-level stitch
+     hierarchy (clusters=16 forces fan-out 4 over 4), gated on the
+     stitched tree passing the global grouped audit and on a forced
+     depth-1 run being bit-identical to the default-depth run (at 16
+     regions the auto depth is 1, so the two must coincide exactly). *)
+  let depth2_name, depth2_bad =
+    let spec = scale_spec 10_000 in
+    let inst = bench_instance spec in
+    let base = Astskew.Router.ast_dme ~clustered:true ~clusters:16 inst in
+    let d1 =
+      Astskew.Router.ast_dme ~clustered:true ~clusters:16 ~cluster_depth:1
+        inst
+    in
+    let t0 = Obs.Timer.now () in
+    let d2 =
+      Astskew.Router.ast_dme ~clustered:true ~clusters:16 ~cluster_depth:2
+        inst
+    in
+    let wall2 = Obs.Timer.now () -. t0 in
+    let bad = ref [] in
+    if
+      not
+        (Check.Audit.tree_equal base.routed d1.routed
+        && base.evaluation.delays = d1.evaluation.delays
+        && base.evaluation.wirelength = d1.evaluation.wirelength)
+    then bad := "depth=1 differs from default depth" :: !bad;
+    (match d2.clustering with
+     | Some d
+       when d.Dme.Cluster.depth = 2 && Array.length d.Dme.Cluster.super > 0
+       -> ()
+     | Some d ->
+       bad :=
+         Printf.sprintf "depth=2 realized depth %d with %d super stitches"
+           d.Dme.Cluster.depth
+           (Array.length d.Dme.Cluster.super)
+         :: !bad
+     | None -> bad := "depth=2 run reports no clustering detail" :: !bad);
+    List.iter
+      (fun (v : Check.Audit.violation) ->
+        bad := Printf.sprintf "audit %s: %s" v.invariant v.detail :: !bad)
+      (Check.Audit.run Check.Audit.Grouped inst d2.routed d2.evaluation);
+    Format.printf "@.forced depth-2 (%s, clusters=16): %.3fs %s@." spec.name
+      wall2
+      (if !bad = [] then "clean" else "DIRTY!");
+    List.iter (Format.printf "  DEPTH2 %s@.") !bad;
+    (spec.name, List.rev !bad)
+  in
   let json =
     let open Obs.Json in
     Obj
@@ -885,8 +954,8 @@ let scale args =
         ( "curve",
           List
             (List.map
-               (fun (spec, r, wall, audit) ->
-                 scale_point_json spec r wall audit)
+               (fun (spec, r, wall, heap, audit) ->
+                 scale_point_json spec r wall heap audit)
                points) );
         ( "cluster_identity",
           List
@@ -899,6 +968,13 @@ let scale args =
                      ("identical", Bool (findings = []));
                    ])
                identities) );
+        ( "depth2",
+          Obj
+            [
+              ("circuit", String depth2_name);
+              ("clusters", Int 16);
+              ("clean", Bool (depth2_bad = []));
+            ] );
       ]
   in
   Obs.Json.write_file scale_file json;
@@ -908,8 +984,11 @@ let scale args =
      when the wall time still looks fine. *)
   let repair_bad =
     List.filter_map
-      (fun ((spec : Workload.Circuits.spec), (r : Astskew.Router.result), _, _)
-         ->
+      (fun ( (spec : Workload.Circuits.spec),
+             (r : Astskew.Router.result),
+             _,
+             _,
+             _ ) ->
         if r.repair.budget_exhausted || r.repair.unresolved_groups > 0 then
           Some
             (Printf.sprintf "%s: budget_exhausted=%b unresolved=%d" spec.name
@@ -919,9 +998,9 @@ let scale args =
   in
   List.iter (Format.printf "REPAIR %s@.") repair_bad;
   let dirty =
-    List.exists (fun (_, _, _, audit) -> audit <> []) points
+    List.exists (fun (_, _, _, _, audit) -> audit <> []) points
     || List.exists (fun (_, findings) -> findings <> []) identities
-    || repair_bad <> []
+    || repair_bad <> [] || depth2_bad <> []
   in
   if dirty then begin
     Format.printf "FAIL@.";

@@ -48,15 +48,24 @@ let no_incremental_arg =
 
 let clustered_arg =
   let doc =
-    "Route AST-DME in two-level clustered mode: partition the sinks into      spatial regions, plan each region in parallel, stitch the region      roots with a top-level merge.  With --clusters 1 the output is      bit-identical to the flat router; any fixed cluster count is      bit-identical across --jobs."
+    "Route AST-DME in clustered mode: partition the sinks into spatial      regions, plan each region in parallel, stitch the region roots back      through a bounded-fan-in hierarchy of merges.  With --clusters 1 the      output is bit-identical to the flat router; any fixed cluster count      and depth is bit-identical across --jobs."
   in
   Arg.(value & flag & info [ "clustered" ] ~doc)
 
 let clusters_arg =
   let doc =
-    "Region count for --clustered (clamped to the sink count).  Default:      about one region per thousand sinks, at most 64."
+    "Region count for --clustered (clamped to the sink count).  Default:      about one region per thousand sinks."
   in
   Arg.(value & opt (some int) None & info [ "clusters" ] ~docv:"N" ~doc)
+
+let cluster_depth_arg =
+  let doc =
+    "Stitch depth for --clustered: 1 is the classic two-level      construction (every region joins one top-level merge), higher depths      stitch regions through intermediate plans of at most 64 children      each.  Default: the smallest depth that accommodates the region      count."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cluster-depth" ] ~docv:"D" ~doc)
 
 let repair_max_cycles_arg =
   let doc =
@@ -188,8 +197,8 @@ let print_result name (r : Astskew.Router.result) =
 
 let route_cmd =
   let run circuit groups scheme bound seed algo file svg stats_json jobs
-      no_incremental clustered clusters repair_max_cycles trace_file
-      journal_file =
+      no_incremental clustered clusters cluster_depth repair_max_cycles
+      trace_file journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -206,7 +215,7 @@ let route_cmd =
           Some
             ( "AST-DME",
               Astskew.Router.ast_dme ~jobs ~incremental ~clustered ?clusters
-                ?repair_max_cycles ~trace inst )
+                ?cluster_depth ?repair_max_cycles ~trace inst )
         | "ext" ->
           Some
             ( "EXT-BST",
@@ -239,8 +248,10 @@ let route_cmd =
          (match r.Astskew.Router.clustering with
           | Some d ->
             Format.printf
-              "clustered: %d regions, %d top-level rounds, largest region %d sinks@."
-              d.Dme.Cluster.n_clusters d.Dme.Cluster.top.Dme.Engine.rounds
+              "clustered: %d regions at depth %d (%d super stitches), %d top-level rounds, largest region %d sinks@."
+              d.Dme.Cluster.n_clusters d.Dme.Cluster.depth
+              (Array.length d.Dme.Cluster.super)
+              d.Dme.Cluster.top.Dme.Engine.rounds
               (Array.fold_left
                  (fun m (c : Dme.Cluster.cluster_stats) -> Int.max m c.n_sinks)
                  0 d.Dme.Cluster.per_cluster)
@@ -264,7 +275,8 @@ let route_cmd =
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
       $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg
       $ no_incremental_arg $ clustered_arg $ clusters_arg
-      $ repair_max_cycles_arg $ trace_arg $ trace_journal_arg)
+      $ cluster_depth_arg $ repair_max_cycles_arg $ trace_arg
+      $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term
 

@@ -436,6 +436,212 @@ let repair_identity ?(jobs = [ 2; 4 ]) inst =
       List.concat_map check
         [ ("auto-regions", None); ("forced-regions", Some 4) ])
 
+(* --- windowed evaluation bit-identity -------------------------------------- *)
+
+let evaluate_identity ?(jobs = [ 2; 4 ]) inst =
+  guard "evaluate-identity" (fun () ->
+      (* One routed tree, many evaluations: the serial report is the
+         specification, the windowed kernels must reproduce it bit for
+         bit.  Oracle-sized instances derive fewer than 2 windows, so
+         the decomposition is forced ([regions = 4]) to make the
+         parallel path actually run. *)
+      let r = Router.ast_dme ~jobs:1 inst in
+      let base = r.Router.evaluation in
+      let arena =
+        Clocktree.Arena.of_routed inst.Instance.params ~rd:inst.Instance.rd
+          r.Router.routed
+      in
+      let check j =
+        let w = Evaluate.report_of_arena ~jobs:j ~regions:4 inst arena in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff := { Audit.invariant = "evaluate-identity"; detail } :: !diff)
+            fmt
+        in
+        let fcheck name a b =
+          if a <> b then
+            add "jobs=%d %s: serial %.17g, windowed %.17g" j name a b
+        in
+        fcheck "wirelength" base.Evaluate.wirelength w.Evaluate.wirelength;
+        fcheck "snaking" base.Evaluate.snaking w.Evaluate.snaking;
+        fcheck "min_delay" base.Evaluate.min_delay w.Evaluate.min_delay;
+        fcheck "max_delay" base.Evaluate.max_delay w.Evaluate.max_delay;
+        fcheck "global_skew" base.Evaluate.global_skew w.Evaluate.global_skew;
+        fcheck "max_group_skew" base.Evaluate.max_group_skew
+          w.Evaluate.max_group_skew;
+        Array.iteri
+          (fun i d ->
+            if d <> w.Evaluate.delays.(i) then
+              add "jobs=%d sink %d delay: serial %.17g, windowed %.17g" j i d
+                w.Evaluate.delays.(i))
+          base.Evaluate.delays;
+        Array.iteri
+          (fun g s ->
+            if s <> w.Evaluate.group_skew.(g) then
+              add "jobs=%d group %d skew: serial %.17g, windowed %.17g" j g s
+                w.Evaluate.group_skew.(g))
+          base.Evaluate.group_skew;
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
+(* --- arena-direct embedding bit-identity ------------------------------------ *)
+
+let embed_identity ?(jobs = [ 1; 2; 4 ]) inst =
+  guard "embed-identity" (fun () ->
+      let module Arena = Clocktree.Arena in
+      (* One merge plan, many embeddings: the recursive boxed-tree
+         reference flattened through [Arena.of_routed] is the
+         specification; the arena-direct embedding must populate every
+         column identically, serial or parallel. *)
+      let root, _ = Dme.Engine.plan ~config:Router.ast_default_config inst in
+      let spec =
+        Arena.of_routed inst.Instance.params ~rd:inst.Instance.rd
+          (Dme.Embed.run_reference inst root)
+      in
+      let check j =
+        let a =
+          Par.Pool.with_pool ~jobs:j (fun pool ->
+              Dme.Embed.run_arena ?pool inst root)
+        in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff := { Audit.invariant = "embed-identity"; detail } :: !diff)
+            fmt
+        in
+        if a.Arena.n <> spec.Arena.n then
+          add "jobs=%d arena has %d nodes, reference %d" j a.Arena.n
+            spec.Arena.n
+        else begin
+          if a.Arena.source_len <> spec.Arena.source_len then
+            add "jobs=%d source_len: direct %.17g, reference %.17g" j
+              a.Arena.source_len spec.Arena.source_len;
+          let icol name (c : int array) (s : int array) =
+            Array.iteri
+              (fun v x ->
+                if x <> s.(v) then
+                  add "jobs=%d node %d %s: direct %d, reference %d" j v name x
+                    s.(v))
+              c
+          in
+          icol "left" a.Arena.left spec.Arena.left;
+          icol "right" a.Arena.right spec.Arena.right;
+          icol "parent" a.Arena.parent spec.Arena.parent;
+          icol "size" a.Arena.size spec.Arena.size;
+          icol "sink" a.Arena.sink spec.Arena.sink;
+          icol "group" a.Arena.group spec.Arena.group;
+          let fcol name (c : float array) (s : float array) =
+            Array.iteri
+              (fun v x ->
+                if x <> s.(v) then
+                  add "jobs=%d node %d %s: direct %.17g, reference %.17g" j v
+                    name x s.(v))
+              c
+          in
+          fcol "scap" a.Arena.scap spec.Arena.scap;
+          fcol "len" a.Arena.len spec.Arena.len;
+          Array.iteri
+            (fun v (p : Geometry.Pt.t) ->
+              let q = spec.Arena.pos.(v) in
+              if p.Geometry.Pt.x <> q.Geometry.Pt.x
+                 || p.Geometry.Pt.y <> q.Geometry.Pt.y
+              then
+                add "jobs=%d node %d pos: direct (%.17g, %.17g), reference \
+                     (%.17g, %.17g)"
+                  j v p.Geometry.Pt.x p.Geometry.Pt.y q.Geometry.Pt.x
+                  q.Geometry.Pt.y)
+            a.Arena.pos
+        end;
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
+(* --- multi-level clustering ------------------------------------------------- *)
+
+let cluster_depth_identity ?(jobs = [ 2; 4 ]) inst =
+  guard "cluster-depth-identity" (fun () ->
+      (* k = 4 is the smallest cluster count whose depth-2 hierarchy is
+         non-degenerate (fan-out 2 over two levels). *)
+      let k = 4 in
+      let degc (s : Dme.Engine.stats) = { s with gc = Obs.Gcstat.zero } in
+      let diff = ref [] in
+      let add fmt =
+        Printf.ksprintf
+          (fun detail ->
+            diff :=
+              { Audit.invariant = "cluster-depth-identity"; detail } :: !diff)
+          fmt
+      in
+      let compare_runs label (a : Router.result) (b : Router.result) =
+        if not (Audit.tree_equal a.Router.routed b.Router.routed) then
+          add "%s: trees differ structurally" label;
+        Array.iteri
+          (fun i d ->
+            if d <> b.Router.evaluation.Evaluate.delays.(i) then
+              add "%s sink %d delay: %.17g vs %.17g" label i d
+                b.Router.evaluation.Evaluate.delays.(i))
+          a.Router.evaluation.Evaluate.delays;
+        if
+          a.Router.evaluation.Evaluate.wirelength
+          <> b.Router.evaluation.Evaluate.wirelength
+        then
+          add "%s wirelength: %.17g vs %.17g" label
+            a.Router.evaluation.Evaluate.wirelength
+            b.Router.evaluation.Evaluate.wirelength;
+        if degc a.Router.engine <> degc b.Router.engine then
+          add "%s: aggregate engine stats differ" label
+      in
+      (* Depth 1 is the historical two-level construction; it must be
+         what the default depth resolves to at this cluster count. *)
+      let auto = Router.ast_dme ~jobs:1 ~clustered:true ~clusters:k inst in
+      let d1 =
+        Router.ast_dme ~jobs:1 ~clustered:true ~clusters:k ~cluster_depth:1
+          inst
+      in
+      compare_runs "depth=1 vs auto" d1 auto;
+      (* A forced depth-2 hierarchy: jobs-invariant, audit-clean, and
+         honestly reported in the clustering detail. *)
+      let d2 =
+        Router.ast_dme ~jobs:1 ~clustered:true ~clusters:k ~cluster_depth:2
+          inst
+      in
+      List.iter
+        (fun j ->
+          let d2j =
+            Router.ast_dme ~jobs:j ~clustered:true ~clusters:k ~cluster_depth:2
+              inst
+          in
+          compare_runs (Printf.sprintf "depth=2 jobs=%d vs jobs=1" j) d2j d2)
+        jobs;
+      (match d2.Router.clustering with
+       | None -> add "depth=2 run reports no clustering detail"
+       | Some d ->
+         let kr = Int.min k (Int.max 1 (Instance.n_sinks inst)) in
+         if d.Dme.Cluster.n_clusters <> kr then
+           add "depth=2 reports %d clusters, expected %d"
+             d.Dme.Cluster.n_clusters kr;
+         if kr = k && d.Dme.Cluster.depth <> 2 then
+           add "depth=2 realized depth %d" d.Dme.Cluster.depth;
+         if kr = k && Array.length d.Dme.Cluster.super = 0 then
+           add "depth=2 reports no super-stitch plans";
+         let covered =
+           Array.fold_left
+             (fun acc (c : Dme.Cluster.cluster_stats) ->
+               acc + c.Dme.Cluster.n_sinks)
+             0 d.Dme.Cluster.per_cluster
+         in
+         if covered <> Instance.n_sinks inst then
+           add "depth=2 regions cover %d sinks of %d" covered
+             (Instance.n_sinks inst));
+      let audit =
+        Audit.run Audit.Grouped inst d2.Router.routed d2.Router.evaluation
+      in
+      List.rev !diff @ audit)
+
 (* --- Elmore vs transient ------------------------------------------------- *)
 
 let delay_models ?(resolution = 300) inst =
@@ -523,8 +729,9 @@ let delay_models ?(resolution = 300) inst =
 let all ?(inject = false) inst =
   routers ~inject inst @ cache_identity inst @ par_identity inst
   @ incremental_identity inst @ trace_identity inst
-  @ cluster_identity inst @ repair_identity inst @ clustered ~inject inst
-  @ delay_models inst
+  @ cluster_identity inst @ cluster_depth_identity inst
+  @ repair_identity inst @ evaluate_identity inst @ embed_identity inst
+  @ clustered ~inject inst @ delay_models inst
 
 let reproduces ?inject ~of_run inst =
   let names = List.map (fun f -> f.oracle) of_run in

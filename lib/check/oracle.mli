@@ -29,6 +29,18 @@
       is bit-identical to the serial from-scratch pass — same tree,
       delays and stats for any jobs count, with regions both auto-derived
       and forced.
+    - {!cluster_depth_identity}: multi-level clustering degenerates and
+      scales exactly — a forced [cluster_depth = 1] reproduces the
+      default (historical two-level) run bit for bit, and a forced
+      depth-2 hierarchy is jobs-invariant, audit-clean and honestly
+      reported in the clustering detail.
+    - {!evaluate_identity}: the windowed parallel evaluation kernels
+      reproduce the serial report bit for bit for every jobs count,
+      with the decomposition forced so the parallel path actually runs
+      on oracle-sized instances.
+    - {!embed_identity}: the arena-direct embedding (serial and
+      parallel) populates every arena column exactly as flattening the
+      recursive reference embedder's boxed tree would.
     - {!clustered}: a genuinely clustered run ([clusters >= 2]) yields a
       covering partition and a stitched tree that passes the full audit
       under the global grouped contract.
@@ -90,6 +102,30 @@ val trace_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
     the flat router — partitioning, sub-instance re-indexing and the
     top-level stitch all semantically invisible. *)
 val cluster_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Route clustered at [clusters = 4] with a forced [cluster_depth] of
+    1 (must be bit-identical to the default-depth run — tree, delays,
+    wirelength, aggregate engine stats with gc zeroed) and of 2 (must
+    be bit-identical across [jobs = 1] and each entry of [jobs],
+    default [[2; 4]], report a covering region set, realized depth 2
+    with non-empty super-stitch detail, and pass the full grouped
+    audit). *)
+val cluster_depth_identity :
+  ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Route once serially, then re-evaluate the routed tree through the
+    windowed kernels ([regions = 4] forced, each entry of [jobs],
+    default [[2; 4]]) and report any field of the report — delays,
+    wirelength, snaking, extrema, group skews — that is not bit-equal
+    to the serial evaluation. *)
+val evaluate_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Plan once with the AST engine, then embed arena-direct under each
+    entry of [jobs] (default [[1; 2; 4]]) and compare every arena
+    column — topology, sizes, sink ids, groups, caps, positions, edge
+    lengths — bit for bit against the recursive reference embedder's
+    tree flattened through [Arena.of_routed]. *)
+val embed_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
 
 (** Plan once with the AST engine, then repair under two decomposition
     families — the default (auto regions, i.e. the pure global cycle on

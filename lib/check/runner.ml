@@ -26,25 +26,30 @@ let check ?inject (case : Gen.case) =
     let shrunk_findings = Oracle.all ?inject shrunk in
     Some { case; findings; shrunk; shrunk_findings }
 
-(* Huge cases run (and shrink against) the ranking-path and repair
-   identity oracles alone: the full battery would take minutes per
-   1500-sink instance, and scale stresses exactly the ranking and
-   repair paths — which is what these three audit.  The incremental
-   oracle runs at jobs = 2 so cache reuse and parallel probing are
-   exercised together; repair-identity at this size auto-derives
-   multiple regions, so the regional-fixpoint machinery is exercised
-   against the serial from-scratch pass on every huge case. *)
+(* Huge cases run (and shrink against) the ranking-path, repair and
+   evaluation identity oracles alone: the full battery would take
+   minutes per 1500-sink instance, and scale stresses exactly the
+   ranking, repair and windowed-evaluation paths — which is what these
+   audit.  The incremental oracle runs at jobs = 2 so cache reuse and
+   parallel probing are exercised together; repair-identity at this
+   size auto-derives multiple regions, so the regional-fixpoint
+   machinery is exercised against the serial from-scratch pass on every
+   huge case. *)
 let huge_oracles inst =
   Oracle.par_identity inst
   @ Oracle.incremental_identity ~jobs:[ 2 ] inst
   @ Oracle.repair_identity ~jobs:[ 2 ] inst
+  @ Oracle.evaluate_identity ~jobs:[ 2 ] inst
 
 (* Banked cases target the clustered path: the degenerate clusters=1 run
    must be bit-identical to flat (at jobs 2, so region scheduling rides
-   along) and a genuinely clustered run must pass the full audit under
-   the global grouped contract. *)
+   along), a forced depth-2 hierarchy must be jobs-invariant and
+   audit-clean, and a genuinely clustered run must pass the full audit
+   under the global grouped contract. *)
 let banked_oracles inst =
-  Oracle.cluster_identity ~jobs:[ 2 ] inst @ Oracle.clustered inst
+  Oracle.cluster_identity ~jobs:[ 2 ] inst
+  @ Oracle.cluster_depth_identity ~jobs:[ 2 ] inst
+  @ Oracle.clustered inst
 
 let oracles_for (regime : Gen.regime) =
   match regime with

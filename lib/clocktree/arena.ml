@@ -205,6 +205,104 @@ let delays_by_sink ~delay ~into a =
     if a.left.(v) < 0 then into.(a.sink.(v)) <- delay.(v)
   done
 
+let delays_by_sink_range ~delay ~into ~lo ~hi a =
+  for v = lo to hi do
+    if a.left.(v) < 0 then into.(a.sink.(v)) <- delay.(v)
+  done
+
+(* --- evaluation windows ------------------------------------------------ *)
+
+(* Disjoint maximal subtrees of at most [ceil (n / count)] nodes (with at
+   least one merge node), returned as ascending contiguous index ranges.
+   The same decomposition policy as the repair pass's regional fixpoints
+   — a pure function of the tree shape and [count], never of the jobs
+   count, so any computation split along these windows is reproducible
+   for any parallelism.  The root is never inside a window (its subtree
+   is the whole arena), so the residual "spine" — every node outside all
+   windows — always contains it.  [count < 2] yields no windows.  The
+   default [count] mirrors [Dme.Cluster]'s region density target: one
+   window per thousand sinks, capped at 64. *)
+let windows ?count a =
+  let k =
+    match count with
+    | Some k -> Int.max 1 k
+    | None -> Int.max 1 (Int.min 64 ((a.n_sinks + 999) / 1000))
+  in
+  if k < 2 then [||]
+  else begin
+    let threshold = (a.n + k - 1) / k in
+    let out = ref [] in
+    for v = a.n - 1 downto 0 do
+      if
+        a.size.(v) <= threshold
+        && a.size.(v) >= 3
+        && a.parent.(v) >= 0
+        && a.size.(a.parent.(v)) > threshold
+      then out := v :: !out
+    done;
+    Array.of_list
+      (List.map (fun root -> (root - a.size.(root) + 1, root)) !out)
+  end
+
+(* Spine passes: the serial complement of a window decomposition.  Each
+   computes exactly the per-node expression of its full-array kernel,
+   only over the index gaps between windows — children of a spine node
+   are spine nodes or window roots, and a spine node's parent is again a
+   spine node (windows are whole subtrees), so evaluation order along
+   gaps is well-founded in both directions. *)
+
+let downstream_rc_gaps ~into ~windows a =
+  let idx = ref 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      if !idx < lo then downstream_rc_range ~into ~lo:!idx ~hi:(lo - 1) a;
+      idx := hi + 1)
+    windows;
+  if !idx <= a.n - 1 then downstream_rc_range ~into ~lo:!idx ~hi:(a.n - 1) a;
+  half a.params a.source_len +. into.(a.n - 1)
+
+let elmore_gaps ~down ~down0 ~into ~windows a =
+  let k = Rc.Wire.ps_per_ohm_ff in
+  let root = a.n - 1 in
+  let root_delay =
+    (k *. a.rd *. down0) +. (k *. (a.params.r *. a.len.(root)) *. down.(root))
+  in
+  let fill lo hi =
+    for v = hi downto lo do
+      if v = root then into.(v) <- root_delay
+      else
+        into.(v) <-
+          into.(a.parent.(v)) +. (k *. (a.params.r *. a.len.(v)) *. down.(v))
+    done
+  in
+  let idx = ref (a.n - 1) in
+  for w = Array.length windows - 1 downto 0 do
+    let lo, hi = windows.(w) in
+    if hi < !idx then fill (hi + 1) !idx;
+    idx := lo - 1
+  done;
+  if !idx >= 0 then fill 0 !idx
+
+(* Top-down fill of one window, deriving the window root's delay from
+   its (already computed) parent — the identical expression the full
+   descending loop of [elmore] uses for that node. *)
+let elmore_window ~down ~into ~lo ~hi a =
+  let k = Rc.Wire.ps_per_ohm_ff in
+  let root_delay =
+    into.(a.parent.(hi)) +. (k *. (a.params.r *. a.len.(hi)) *. down.(hi))
+  in
+  elmore_range ~down ~root_delay ~into ~lo ~hi a
+
+let delays_by_sink_gaps ~delay ~into ~windows a =
+  let idx = ref 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      if !idx < lo then delays_by_sink_range ~delay ~into ~lo:!idx ~hi:(lo - 1) a;
+      idx := hi + 1)
+    windows;
+  if !idx <= a.n - 1 then
+    delays_by_sink_range ~delay ~into ~lo:!idx ~hi:(a.n - 1) a
+
 let wirelength a =
   let w = Array.make a.n 0. in
   for v = 0 to a.n - 1 do

@@ -96,6 +96,50 @@ val elmore_range :
     length [n_sinks]. *)
 val delays_by_sink : delay:float array -> into:float array -> t -> unit
 
+(** {!delays_by_sink} restricted to the index range [lo, hi]. *)
+val delays_by_sink_range :
+  delay:float array -> into:float array -> lo:int -> hi:int -> t -> unit
+
+(** Evaluation windows: the disjoint maximal subtrees of at most
+    [ceil (n / count)] nodes (at least 3 nodes each), as ascending
+    contiguous [(lo, hi)] index ranges.  A pure function of the tree
+    shape and [count] — never of a jobs count — so work split along
+    these windows is bit-reproducible for any parallelism.  The root is
+    always outside every window.  [count] defaults to the
+    [Dme.Cluster]-style density target ([clamp 1 64 (ceil (n_sinks /
+    1000))]); below 2 the result is empty.  This is the same
+    decomposition the repair pass uses for its regional fixpoints. *)
+val windows : ?count:int -> t -> (int * int) array
+
+(** Serial spine complement of {!downstream_rc} over a window
+    decomposition: fills every node {e outside} the windows (ascending
+    along the gaps; window values must already be present) with the
+    exact expression of the full kernel and returns [down0]. *)
+val downstream_rc_gaps :
+  into:float array -> windows:(int * int) array -> t -> float
+
+(** Serial spine complement of {!elmore}: fills every node outside the
+    windows top-down (descending along the gaps), computing the root
+    delay from [down0] exactly as {!elmore} does.  Must run {e before}
+    the per-window passes — window roots read their parent's delay. *)
+val elmore_gaps :
+  down:float array ->
+  down0:float ->
+  into:float array ->
+  windows:(int * int) array ->
+  t ->
+  unit
+
+(** {!elmore_range} over one window, deriving the window root's delay
+    from its parent's already-computed delay — bit-identical to the full
+    descending loop restricted to [lo, hi]. *)
+val elmore_window :
+  down:float array -> into:float array -> lo:int -> hi:int -> t -> unit
+
+(** {!delays_by_sink} over the gaps of a window decomposition. *)
+val delays_by_sink_gaps :
+  delay:float array -> into:float array -> windows:(int * int) array -> t -> unit
+
 (** Total wirelength including the source wire; bit-identical to
     {!Tree.wirelength} of {!to_routed}. *)
 val wirelength : t -> float

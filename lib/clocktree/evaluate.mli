@@ -5,7 +5,15 @@
     Evaluation runs on the flat post-order {!Arena}, whose RC kernels
     are bit-identical to the {!Tree.to_rctree} + {!Rc.Rctree.elmore}
     pipeline but iterative, so arbitrarily deep (comb-shaped) trees
-    evaluate without stack overflow. *)
+    evaluate without stack overflow.
+
+    With [jobs > 1] the kernels run windowed: {!Arena.windows} subtrees
+    fill in parallel and a serial spine pass stitches the gaps.  Every
+    node's value is computed by the serial kernel's expression from the
+    serial operands, so reports are bit-identical for any [jobs] /
+    [regions] (enforced by [Check.Oracle.evaluate_identity]).  [regions]
+    forces the window count; by default it derives from the sink count
+    (small instances stay on the plain serial path). *)
 
 type report = {
   wirelength : float;
@@ -24,13 +32,13 @@ type report = {
 val default_slack : float
 
 (** Per-sink Elmore delays (ps) of a routed tree, indexed by sink id. *)
-val delays : Instance.t -> Tree.routed -> float array
+val delays : ?jobs:int -> ?regions:int -> Instance.t -> Tree.routed -> float array
 
-val run : Instance.t -> Tree.routed -> report
+val run : ?jobs:int -> ?regions:int -> Instance.t -> Tree.routed -> report
 
-(** Evaluate a tree already flattened into an arena (the repair loop's
-    representation), without re-flattening. *)
-val report_of_arena : Instance.t -> Arena.t -> report
+(** Evaluate a tree already flattened into an arena (the arena-native
+    router pipeline's representation), without re-flattening. *)
+val report_of_arena : ?jobs:int -> ?regions:int -> Instance.t -> Arena.t -> report
 
 (** Does the tree satisfy the instance's intra-group bound (within
     [slack], default {!default_slack} ps of numerical slack)? *)

@@ -381,35 +381,17 @@ type region_summary = {
   r_exhausted : bool;
 }
 
-(* Fixpoint regions: the maximal subtrees of at most [ceil (n / k)]
-   nodes (and at least one merge node), k the auto-cluster target — a
-   pure function of the tree shape and [config.regions], never of the
-   jobs count, so the decomposition (and with it every float) is
-   identical for any parallelism. *)
+(* Fixpoint regions: {!Arena.windows} — the maximal subtrees of at most
+   [ceil (n / k)] nodes (and at least one merge node), k the auto-cluster
+   density target — a pure function of the tree shape and
+   [config.regions], never of the jobs count, so the decomposition (and
+   with it every float) is identical for any parallelism.  Sharing the
+   decomposition with the parallel evaluation kernels keeps the two
+   policies provably in sync. *)
 let select_regions (a : Arena.t) cfg =
-  let k =
-    match cfg.regions with
-    | Some k -> Int.max 1 k
-    | None -> Int.max 1 (Int.min 64 ((a.Arena.n_sinks + 999) / 1000))
-  in
-  if k < 2 then [||]
-  else begin
-    let threshold = (a.Arena.n + k - 1) / k in
-    let out = ref [] in
-    for v = a.Arena.n - 1 downto 0 do
-      if
-        a.Arena.size.(v) <= threshold
-        && a.Arena.size.(v) >= 3
-        && a.Arena.parent.(v) >= 0
-        && a.Arena.size.(a.Arena.parent.(v)) > threshold
-      then out := v :: !out
-    done;
-    Array.of_list
-      (List.mapi
-         (fun i root ->
-           { rlo = root - a.Arena.size.(root) + 1; rhi = root; rstore = i + 1 })
-         !out)
-  end
+  Array.mapi
+    (fun i (lo, hi) -> { rlo = lo; rhi = hi; rstore = i + 1 })
+    (Arena.windows ?count:cfg.regions a)
 
 (* Local balance/evaluate/lift fixpoint on one region.  Delays are
    measured from the region root (delay 0 there): intra-region skews are
@@ -547,12 +529,15 @@ let make_state (inst : Instance.t) (a : Arena.t) regions =
   done;
   st
 
-let run ?(config = default_config) ?(trace = Obs.Trace.null)
-    (inst : Instance.t) (r : Tree.routed) =
+(* In-place repair of an already-flattened tree: the arena's [len]
+   column is mutated; everything else is read-only.  This is the
+   arena-native router pipeline's entry point — no pointer tree is built
+   or consumed. *)
+let run_arena ?(config = default_config) ?(trace = Obs.Trace.null)
+    (inst : Instance.t) (a : Arena.t) =
   let tracing = Obs.Trace.enabled trace in
   let slack = Evaluate.default_slack in
   let go () =
-    let a = Arena.of_routed inst.params ~rd:inst.rd r in
     let regions = select_regions a config in
     let st = make_state inst a regions in
     let n = a.Arena.n in
@@ -689,16 +674,20 @@ let run ?(config = default_config) ?(trace = Obs.Trace.null)
       end
     done;
     Obs.Counter.add c_adjusted !adjusted;
-    ( Arena.to_routed a,
-      {
-        added_wire = !added;
-        adjusted_edges = !adjusted;
-        conflict_nodes = !conflicts;
-        lift_iterations = !lifts + !g_lifts;
-        unresolved_groups = !unresolved;
-        cycles = !cycles;
-        budget_exhausted = !exhausted;
-      } )
+    {
+      added_wire = !added;
+      adjusted_edges = !adjusted;
+      conflict_nodes = !conflicts;
+      lift_iterations = !lifts + !g_lifts;
+      unresolved_groups = !unresolved;
+      cycles = !cycles;
+      budget_exhausted = !exhausted;
+    }
   in
   if tracing then Obs.Trace.span trace ~cat:"clocktree.repair" "repair" go
   else go ()
+
+let run ?config ?trace (inst : Instance.t) (r : Tree.routed) =
+  let a = Arena.of_routed inst.params ~rd:inst.rd r in
+  let stats = run_arena ?config ?trace inst a in
+  (Arena.to_routed a, stats)

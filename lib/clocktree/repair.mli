@@ -77,13 +77,20 @@ type stats = {
       (** some fixpoint hit [max_cycles] before converging *)
 }
 
-(** [run ?config ?trace inst routed] repairs the tree.  With [trace]
-    enabled the whole pass is wrapped in a ["repair"] span, each global
-    cycle emits ["balance_pass"] / ["lift_sweep"] instants and a
-    ["repair_cycle"] journal record, the regional phase emits one
-    ["regional_repair"] instant plus a ["repair_region"] journal record
-    per region, and exhausting a cycle budget emits a
-    ["budget_exhausted"] instant. *)
+(** [run_arena ?config ?trace inst a] repairs the tree in place on its
+    flat arena: only the [len] column is mutated.  This is the
+    arena-native pipeline's entry point — {!run} is the pointer-tree
+    wrapper (flatten, repair, rebuild).  With [trace] enabled the whole
+    pass is wrapped in a ["repair"] span, each global cycle emits
+    ["balance_pass"] / ["lift_sweep"] instants and a ["repair_cycle"]
+    journal record, the regional phase emits one ["regional_repair"]
+    instant plus a ["repair_region"] journal record per region, and
+    exhausting a cycle budget emits a ["budget_exhausted"] instant. *)
+val run_arena :
+  ?config:config -> ?trace:Obs.Trace.t -> Instance.t -> Arena.t -> stats
+
+(** {!run_arena} on [Arena.of_routed routed], rebuilding the repaired
+    pointer tree afterwards. *)
 val run :
   ?config:config ->
   ?trace:Obs.Trace.t ->

@@ -26,36 +26,50 @@ let t_evaluate = Obs.Timer.make "router.evaluate"
 (* Route [route_inst] (whose groups define the constraints the engine and
    repair enforce) and evaluate against [eval_inst] (the original problem,
    whose groups define the reported skews).  [plan] is the engine phase:
-   Dme.Engine.run for the greedy merge order, Dme.Mmm.run for the fixed
-   topology. *)
-let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(repair_jobs = 1)
-    ~plan ~route_inst ~eval_inst () =
+   Dme.Engine.run_arena for the greedy merge order, Dme.Mmm.run_arena for
+   the fixed topology.
+
+   The whole hot path is arena-native: the plan embeds straight into a
+   flat arena, repair mutates its [len] column in place and evaluation
+   reads it windowed across [jobs] domains — the boxed [Tree.routed] is
+   rebuilt once at the end, purely as the external representation. *)
+let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(jobs = 1) ~plan
+    ~route_inst ~eval_inst () =
   let tracing = Obs.Trace.enabled trace in
   let phase name f =
     if tracing then Obs.Trace.span trace ~cat:"router" name f else f ()
   in
-  (* Repair inherits the engine's jobs so one --jobs flag drives both
-     parallel phases; its results are jobs-invariant either way. *)
+  let jobs = Int.max 1 jobs in
+  (* Repair and evaluation inherit the engine's jobs so one --jobs flag
+     drives every parallel phase; their results are jobs-invariant
+     either way. *)
+  (* The cycle budget is per fixpoint, and the global fixpoint's
+     convergence tail grows with the stitched spine, so the default
+     scales with the instance (the fixed 300 was exhausted by the
+     3·10^5-sink bench point's last ~0.1 ps of group skew); an explicit
+     [repair_max_cycles] always wins. *)
+  let default_cycles =
+    Int.max Repair.default_config.Repair.max_cycles
+      (Instance.n_sinks route_inst / 250)
+  in
   let repair_config =
     {
       Repair.default_config with
-      jobs = Int.max 1 repair_jobs;
-      max_cycles =
-        Option.value repair_max_cycles
-          ~default:Repair.default_config.Repair.max_cycles;
+      jobs;
+      max_cycles = Option.value repair_max_cycles ~default:default_cycles;
     }
   in
   let t0 = Sys.time () in
   let w0 = Obs.Timer.now () in
-  let routed, engine =
+  let arena, engine =
     phase "router.engine" (fun () ->
         Obs.Timer.time t_engine (fun () -> plan route_inst))
   in
   let w1 = Obs.Timer.now () in
-  let routed, repair =
+  let repair =
     phase "router.repair" (fun () ->
         Obs.Timer.time t_repair (fun () ->
-            Repair.run ~config:repair_config ~trace route_inst routed))
+            Repair.run_arena ~config:repair_config ~trace route_inst arena))
   in
   let w2 = Obs.Timer.now () in
   (* cpu_seconds spans planning + repair, as it always has; the wall
@@ -63,9 +77,11 @@ let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(repair_jobs = 1)
   let cpu_seconds = Sys.time () -. t0 in
   let evaluation =
     phase "router.evaluate" (fun () ->
-        Obs.Timer.time t_evaluate (fun () -> Evaluate.run eval_inst routed))
+        Obs.Timer.time t_evaluate (fun () ->
+            Evaluate.report_of_arena ~jobs eval_inst arena))
   in
   let w3 = Obs.Timer.now () in
+  let routed = Clocktree.Arena.to_routed arena in
   if tracing then begin
     (* Final-quality histograms: per-sink source-to-sink delay and
        per-group skew of the evaluated (post-repair) tree. *)
@@ -79,20 +95,22 @@ let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(repair_jobs = 1)
       engine_s = w1 -. w0;
       repair_s = w2 -. w1;
       evaluate_s = w3 -. w2;
-      total_s = w3 -. w0;
+      (* [total_s] also covers the final boxed-tree rebuild, which
+         belongs to no phase. *)
+      total_s = Obs.Timer.now () -. w0;
     }
   in
   { routed; evaluation; engine; repair; cpu_seconds; timings; clustering = None }
 
 let solve ?config ?(trace = Obs.Trace.null) ?repair_max_cycles ~route_inst
     ~eval_inst () =
-  let repair_jobs =
+  let jobs =
     match config with
     | Some (c : Dme.Engine.config) -> c.jobs
     | None -> Dme.Engine.default.jobs
   in
-  solve_with ~trace ?repair_max_cycles ~repair_jobs
-    ~plan:(Dme.Engine.run ?config ~trace)
+  solve_with ~trace ?repair_max_cycles ~jobs
+    ~plan:(Dme.Engine.run_arena ?config ~trace)
     ~route_inst ~eval_inst ()
 
 (* [jobs] overrides the engine parallelism of [config] (or of [default]
@@ -130,7 +148,7 @@ let router_manifest trace name (config : Dme.Engine.config) =
       ]
 
 let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
-    ?repair_max_cycles ?(trace = Obs.Trace.null) inst =
+    ?cluster_depth ?repair_max_cycles ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "ast_dme" config;
   if not clustered then
@@ -143,12 +161,15 @@ let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
        enforce and report. *)
     let detail = ref None in
     let plan inst =
-      let routed, stats, d = Dme.Cluster.run ~config ~trace ?clusters inst in
+      let arena, stats, d =
+        Dme.Cluster.run_arena ~config ~trace ?clusters ?depth:cluster_depth
+          inst
+      in
       detail := Some d;
-      (routed, stats)
+      (arena, stats)
     in
     let r =
-      solve_with ~trace ?repair_max_cycles ~repair_jobs:config.jobs ~plan
+      solve_with ~trace ?repair_max_cycles ~jobs:config.jobs ~plan
         ~route_inst:inst ~eval_inst:inst ()
     in
     { r with clustering = !detail }
@@ -187,8 +208,8 @@ let mmm_dme ?config ?jobs ?incremental ?repair_max_cycles
     ?(trace = Obs.Trace.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "mmm_dme" config;
-  solve_with ~trace ?repair_max_cycles ~repair_jobs:config.jobs
-    ~plan:(Dme.Mmm.run ~config ~trace)
+  solve_with ~trace ?repair_max_cycles ~jobs:config.jobs
+    ~plan:(Dme.Mmm.run_arena ~config ~trace)
     ~route_inst:inst ~eval_inst:inst ()
 
 let reduction ~baseline result =
@@ -221,23 +242,27 @@ let json_of_engine_stats (s : Dme.Engine.stats) : Obs.Json.t =
 
 let json_of_clustering (d : Dme.Cluster.stats) : Obs.Json.t =
   let open Obs.Json in
+  let plans cs =
+    List
+      (Array.to_list
+         (Array.map
+            (fun (c : Dme.Cluster.cluster_stats) ->
+              Obj
+                [
+                  ("cluster", Int c.cluster);
+                  ("n_sinks", Int c.n_sinks);
+                  ("wall_s", Float c.wall_s);
+                  ("stats", json_of_engine_stats c.stats);
+                ])
+            cs))
+  in
   Obj
     [
       ("n_clusters", Int d.n_clusters);
+      ("depth", Int d.depth);
       ("top", json_of_engine_stats d.top);
-      ( "per_cluster",
-        List
-          (Array.to_list
-             (Array.map
-                (fun (c : Dme.Cluster.cluster_stats) ->
-                  Obj
-                    [
-                      ("cluster", Int c.cluster);
-                      ("n_sinks", Int c.n_sinks);
-                      ("wall_s", Float c.wall_s);
-                      ("stats", json_of_engine_stats c.stats);
-                    ])
-                d.per_cluster)) );
+      ("per_cluster", plans d.per_cluster);
+      ("super", plans d.super);
     ]
 
 let json_of_result (r : result) : Obs.Json.t =

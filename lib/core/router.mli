@@ -46,9 +46,10 @@ val ast_default_config : Dme.Engine.config
     [ASTSKEW_JOBS] environment default).  Routed trees are bit-identical
     for any [jobs] and for [incremental] on or off, so the knobs only
     affect wall time.  The effective [jobs] also drives the repair
-    pass's regional parallelism (equally jobs-invariant), and
-    [repair_max_cycles] overrides {!Clocktree.Repair.default_config}'s
-    cycle budget per fixpoint.
+    pass's regional parallelism and evaluation's windowed kernels (both
+    equally jobs-invariant), and [repair_max_cycles] overrides the
+    per-fixpoint cycle budget, whose default is scale-relative:
+    [max Repair.default_config.max_cycles (n_sinks / 250)].
 
     Each router also takes an optional [trace] (see {!Obs.Trace}): when
     enabled, the run merges router name, jobs, incremental and the full
@@ -61,21 +62,26 @@ val ast_default_config : Dme.Engine.config
     The default {!Obs.Trace.null} emits nothing; the routed tree,
     evaluation and stats are identical with tracing on or off. *)
 
-(** [ast_dme ~clustered:true] routes through {!Dme.Cluster.run}: a
-    two-level construction that partitions the sinks into [clusters]
-    spatial regions (default {!Dme.Cluster.auto_clusters}), plans each
-    region in parallel across the pool's domains and stitches the
-    region roots with a top-level plan.  Repair and evaluation are
-    unchanged, so the reported tree satisfies the same global
-    constraints as a flat run.  [clusters = 1] is bit-identical to the
-    flat router; any fixed cluster count is bit-identical across
-    [jobs].  [clusters] is ignored without [clustered]. *)
+(** [ast_dme ~clustered:true] routes through {!Dme.Cluster.run_arena}:
+    a multi-level construction that partitions the sinks into
+    [clusters] spatial regions (default {!Dme.Cluster.auto_clusters}),
+    plans each region in parallel across the pool's domains and
+    stitches the region roots back through a bounded-fan-in hierarchy
+    of [cluster_depth] levels (default {!Dme.Cluster.auto_depth} of the
+    region count).  Repair and evaluation are unchanged, so the
+    reported tree satisfies the same global constraints as a flat run.
+    [clusters = 1] is bit-identical to the flat router; any fixed
+    cluster count and depth is bit-identical across [jobs], and a
+    forced depth 1 is bit-identical to the historical two-level
+    construction.  [clusters] and [cluster_depth] are ignored without
+    [clustered]. *)
 val ast_dme :
   ?config:Dme.Engine.config ->
   ?jobs:int ->
   ?incremental:bool ->
   ?clustered:bool ->
   ?clusters:int ->
+  ?cluster_depth:int ->
   ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
   Clocktree.Instance.t ->

@@ -11,46 +11,96 @@ type cluster_stats = {
 
 type stats = {
   n_clusters : int;
+  depth : int;
   per_cluster : cluster_stats array;
+  super : cluster_stats array;
   top : Engine.stats;
 }
 
 let c_regions = Obs.Counter.make "dme.cluster.regions"
 let c_region_sinks = Obs.Counter.make "dme.cluster.region_sinks"
 
-(* Roughly one region per thousand sinks, capped at 64: small instances
-   stay flat-sized (k = 1 is bit-identical to the flat router), large
-   ones get regions big enough that per-region planning dominates the
-   top-level stitch. *)
-let auto_clusters inst =
-  Int.max 1 (Int.min 64 ((Instance.n_sinks inst + 999) / 1000))
+(* Roughly one region per thousand sinks — no cap: beyond 64 regions the
+   clustering goes multi-level ({!auto_depth}) instead of letting region
+   size grow with the instance, so per-region planning cost stays flat
+   on the 10^6-sink curve. *)
+let auto_clusters inst = Int.max 1 ((Instance.n_sinks inst + 999) / 1000)
+
+(* Stitch fan-in cap: no plan (leaf-region stitch or super-stitch) sees
+   more than this many children, matching the historical two-level
+   region cap. *)
+let fanout_cap = 64
+
+(* Smallest depth whose stitch tree can reach [k] regions under the
+   fan-out cap. *)
+let auto_depth k =
+  let d = ref 1 and reach = ref fanout_cap in
+  while !reach < k do
+    incr d;
+    reach := !reach * fanout_cap
+  done;
+  !d
+
+(* Smallest integer fan-out f >= 2 with f^depth >= budget: the most
+   balanced split of a region budget over [depth] remaining stitch
+   levels. *)
+let iroot budget depth =
+  let reaches f =
+    let acc = ref 1 and i = ref 0 in
+    while !acc < budget && !i < depth do
+      acc := !acc * f;
+      incr i
+    done;
+    !acc >= budget
+  in
+  let f = ref 2 in
+  while not (reaches !f) do
+    incr f
+  done;
+  !f
+
+let fanout_for ~budget ~depth =
+  if depth <= 1 then budget
+  else Int.max 2 (Int.min fanout_cap (iroot budget depth))
+
+(* Budgeted top-down MMM-style halving: split along the longer
+   bounding-box axis at the median, handing the larger (lower) half the
+   larger share of both the region budget and the fan-out.  The lower
+   half holds [ceil (n/2)] sinks and receives [ceil (k/2)] regions, so
+   [k <= n] guarantees every group ends up non-empty, by induction; the
+   synchronized halving [fl = ceil (f/2)] keeps [f <= k] invariant, so
+   every emitted group carries a positive budget.  Because the
+   bipartition tree depends only on the sink set and the budget — never
+   on the fan-out at which groups are cut off and later resumed — the
+   leaf regions of the recursive (multi-level) scheme are identical, in
+   contents and order, to the flat [partition] at the same total budget.
+   The whole walk is a pure serial function of the sink set. *)
+let split_ids point_of ids ~budget ~fanout =
+  let n = Array.length ids in
+  let out = ref [] in
+  let rec split ids k f =
+    if f <= 1 then out := (ids, k) :: !out
+    else begin
+      let lo, hi = Split.bipartition point_of ids in
+      let kl = (k + 1) / 2 in
+      let fl = (f + 1) / 2 in
+      split lo kl fl;
+      split hi (k - kl) (f - fl)
+    end
+  in
+  let k = Int.max 1 (Int.min budget n) in
+  split ids k (Int.max 1 (Int.min fanout k));
+  Array.of_list (List.rev !out)
 
 let partition inst ~clusters =
   let sinks = inst.Instance.sinks in
   let n = Array.length sinks in
   if n = 0 then [||]
   else begin
-    let k = Int.max 1 (Int.min clusters n) in
     let point_of id = sinks.(id).Sink.loc in
-    let out = ref [] in
-    (* Top-down MMM-style halving: split along the longer bounding-box
-       axis at the median, handing the larger (lower) half the larger
-       share of the remaining region budget.  The lower half holds
-       [ceil (n/2)] sinks and receives [ceil (k/2)] regions, so [k <= n]
-       guarantees every region ends up non-empty, by induction.  The
-       whole walk is a pure serial function of the sink set — region
-       contents and order never depend on jobs. *)
-    let rec split ids k =
-      if k <= 1 then out := ids :: !out
-      else begin
-        let lo, hi = Split.bipartition point_of ids in
-        let kl = (k + 1) / 2 in
-        split lo kl;
-        split hi (k - kl)
-      end
-    in
-    split (Array.init n Fun.id) k;
-    Array.of_list (List.rev !out)
+    Array.map fst
+      (split_ids point_of (Array.init n Fun.id) ~budget:clusters
+         ~fanout:clusters)
   end
 
 (* A region's routing instance: its sinks re-indexed densely (sorted by
@@ -114,89 +164,189 @@ let add_stats (a : Engine.stats) (b : Engine.stats) =
       gc = Obs.Gcstat.zero;
     }
 
-let run ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters inst =
+(* One planned subtree of the stitch hierarchy: its root (already on
+   global sink ids), the leaf-region stats and super-stitch stats it
+   contains (in traversal order; [cluster] indices are assigned after
+   the top-level gather) and how many stitch levels it holds. *)
+type part = {
+  pr_root : Subtree.t;
+  pr_leaves : cluster_stats list;
+  pr_supers : cluster_stats list;
+  pr_levels : int;
+}
+
+(* Plan one node of the stitch hierarchy, serially — recursion below
+   the top level never sees the pool ([Par.Pool] is not reentrant);
+   parallelism comes from mapping the top-level groups over the pool's
+   domains.  A budget-1 node is a leaf region: one private [Engine.plan]
+   on its sub-instance.  A larger node splits its ids with the
+   synchronized halving and stitches its children with an [Engine.plan
+   ~leaves] over the {e global} instance, so every stitch level uses the
+   same bbox-derived penalty / reach-cap / grid scales as the top. *)
+let rec plan_node ~config ~trace (inst : Instance.t) ids ~budget ~depth =
+  if budget <= 1 then begin
+    let sub = sub_instance inst ids in
+    let t0 = Obs.Timer.now () in
+    let root, stats = Engine.plan ~config ~trace sub in
+    let wall_s = Float.max 0. (Obs.Timer.now () -. t0) in
+    {
+      pr_root = reglobalize inst ids root;
+      pr_leaves =
+        [ { cluster = 0; n_sinks = Array.length ids; wall_s; stats } ];
+      pr_supers = [];
+      pr_levels = 0;
+    }
+  end
+  else begin
+    let point_of id = inst.Instance.sinks.(id).Sink.loc in
+    let groups =
+      split_ids point_of ids ~budget ~fanout:(fanout_for ~budget ~depth)
+    in
+    let parts =
+      Array.map
+        (fun (gids, gbudget) ->
+          plan_node ~config ~trace inst gids ~budget:gbudget
+            ~depth:(depth - 1))
+        groups
+    in
+    let leaves =
+      Array.mapi (fun i p -> { p.pr_root with Subtree.id = i }) parts
+    in
+    let t0 = Obs.Timer.now () in
+    let root, stats = Engine.plan ~config ~trace ~leaves inst in
+    let wall_s = Float.max 0. (Obs.Timer.now () -. t0) in
+    let stitch = { cluster = 0; n_sinks = Array.length ids; wall_s; stats } in
+    {
+      pr_root = root;
+      pr_leaves = List.concat_map (fun p -> p.pr_leaves) (Array.to_list parts);
+      pr_supers =
+        List.concat_map (fun p -> p.pr_supers) (Array.to_list parts)
+        @ [ stitch ];
+      pr_levels =
+        1 + Array.fold_left (fun acc p -> Int.max acc p.pr_levels) 0 parts;
+    }
+  end
+
+let renumber cs = Array.mapi (fun i c -> { c with cluster = i }) cs
+
+let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters
+    ?depth inst =
   let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
+  let n = Instance.n_sinks inst in
   let k =
     match clusters with
-    | Some k -> Int.max 1 (Int.min k (Int.max 1 (Instance.n_sinks inst)))
+    | Some k -> Int.max 1 (Int.min k (Int.max 1 n))
     | None -> auto_clusters inst
   in
-  let regions = partition inst ~clusters:k in
-  let k = Array.length regions in
-  Obs.Counter.add c_regions k;
-  if tracing then
-    Obs.Trace.merge_manifest trace
-      [ ("cluster_regions", Obs.Json.Int k) ];
+  let d = match depth with Some d -> Int.max 1 d | None -> auto_depth k in
+  let point_of id = inst.Instance.sinks.(id).Sink.loc in
+  let groups =
+    if n = 0 then [||]
+    else
+      split_ids point_of (Array.init n Fun.id) ~budget:k
+        ~fanout:(fanout_for ~budget:k ~depth:d)
+  in
+  let kr = Array.fold_left (fun acc (_, b) -> acc + b) 0 groups in
+  Obs.Counter.add c_regions kr;
   let jobs = Int.max 1 config.Engine.jobs in
   Par.Pool.with_pool ~jobs (fun pool ->
-      (* Bottom level: one serial plan per region.  [Par.Pool] is not
-         reentrant, so region plans never see the pool — parallelism
-         across regions comes from mapping the regions themselves over
-         the pool's domains.  Each plan builds its own private arena and
-         grid shard, mutates nothing shared (counters are atomic,
-         trace/histogram sinks are mutex-guarded), and its result is a
-         pure function of the region's sub-instance — so the gathered
-         array, and everything downstream, is bit-identical for any
-         jobs count. *)
-      let plan_region c =
-        let ids = regions.(c) in
-        let sub = sub_instance inst ids in
-        let t0 = Obs.Timer.now () in
-        let root, stats = Engine.plan ~config ~trace sub in
-        let wall_s = Float.max 0. (Obs.Timer.now () -. t0) in
-        (reglobalize inst ids root, { cluster = c; n_sinks = Array.length ids; wall_s; stats })
+      (* Top-level groups map over the pool's domains (one chunk each);
+         each group plans serially ([plan_node]).  Each plan builds its
+         own private arena and grid shard, mutates nothing shared
+         (counters are atomic, trace/histogram sinks are mutex-guarded),
+         and its result is a pure function of its sub-instance and
+         budget — so the gathered array, and everything downstream, is
+         bit-identical for any jobs count. *)
+      let plan_group (gids, gbudget) =
+        plan_node ~config ~trace inst gids ~budget:gbudget ~depth:(d - 1)
       in
-      let cs = Array.init k Fun.id in
-      let planned =
+      let parts =
         let body () =
           match pool with
-          | Some pool when k > 1 -> Par.Pool.map_chunked pool ~chunk:1 plan_region cs
-          | _ -> Array.map plan_region cs
+          | Some pool when Array.length groups > 1 ->
+            Par.Pool.map_chunked pool ~chunk:1 plan_group groups
+          | _ -> Array.map plan_group groups
         in
         if tracing then
           Obs.Trace.span trace ~cat:"dme.cluster"
-            ~args:[ ("regions", Obs.Json.Int k); ("jobs", Obs.Json.Int jobs) ]
+            ~args:
+              [
+                ("regions", Obs.Json.Int kr);
+                ("depth", Obs.Json.Int d);
+                ("jobs", Obs.Json.Int jobs);
+              ]
             "cluster.plan" body
         else body ()
       in
-      let per_cluster = Array.map snd planned in
+      let per_cluster =
+        renumber
+          (Array.of_list
+             (List.concat_map (fun p -> p.pr_leaves) (Array.to_list parts)))
+      in
+      let super =
+        renumber
+          (Array.of_list
+             (List.concat_map (fun p -> p.pr_supers) (Array.to_list parts)))
+      in
+      let realized_depth =
+        1 + Array.fold_left (fun acc p -> Int.max acc p.pr_levels) 0 parts
+      in
       Array.iter
         (fun (c : cluster_stats) -> Obs.Counter.add c_region_sinks c.n_sinks)
         per_cluster;
-      if tracing then
-        Array.iter
-          (fun (c : cluster_stats) ->
-            Obs.Trace.journal trace
-              (Obs.Json.Obj
-                 [
-                   ("type", Obs.Json.String "cluster");
-                   ("cluster", Obs.Json.Int c.cluster);
-                   ("n_sinks", Obs.Json.Int c.n_sinks);
-                   ("rounds", Obs.Json.Int c.stats.Engine.rounds);
-                   ("nn_reprobes", Obs.Json.Int c.stats.Engine.nn_reprobes);
-                   ( "trial_merges",
-                     Obs.Json.Int c.stats.Engine.trial.Engine.trial_merges );
-                   ( "planned_snake",
-                     Obs.Json.Float c.stats.Engine.planned_snake );
-                   ("wall_s", Obs.Json.Float c.wall_s);
-                   ("gc", Obs.Gcstat.json c.stats.Engine.gc);
-                 ]))
-          per_cluster;
-      (* Top level: stitch the region roots with one more AST-DME plan
+      if tracing then begin
+        Obs.Trace.merge_manifest trace
+          [
+            ("cluster_regions", Obs.Json.Int kr);
+            ("cluster_depth", Obs.Json.Int realized_depth);
+          ];
+        let journal kind (c : cluster_stats) =
+          Obs.Trace.journal trace
+            (Obs.Json.Obj
+               [
+                 ("type", Obs.Json.String kind);
+                 ("cluster", Obs.Json.Int c.cluster);
+                 ("n_sinks", Obs.Json.Int c.n_sinks);
+                 ("rounds", Obs.Json.Int c.stats.Engine.rounds);
+                 ("nn_reprobes", Obs.Json.Int c.stats.Engine.nn_reprobes);
+                 ( "trial_merges",
+                   Obs.Json.Int c.stats.Engine.trial.Engine.trial_merges );
+                 ("planned_snake", Obs.Json.Float c.stats.Engine.planned_snake);
+                 ("wall_s", Obs.Json.Float c.wall_s);
+                 ("gc", Obs.Gcstat.json c.stats.Engine.gc);
+               ])
+        in
+        Array.iter (journal "cluster") per_cluster;
+        Array.iter (journal "cluster_super") super
+      end;
+      (* Top level: stitch the group roots with one more AST-DME plan
          over the global instance (global bbox drives the penalty /
-         reach-cap / grid scales), then embed the whole two-level plan
-         in a single top-down pass — the skew bound is enforced across
-         region boundaries exactly as it is within them. *)
+         reach-cap / grid scales), then embed the whole multi-level plan
+         in a single top-down pass straight into the arena — the skew
+         bound is enforced across region boundaries exactly as it is
+         within them. *)
       let leaves =
-        Array.mapi (fun i (root, _) -> { root with Subtree.id = i }) planned
+        Array.mapi (fun i p -> { p.pr_root with Subtree.id = i }) parts
       in
-      let root, top =
-        Engine.plan ~config ~trace ?pool ~leaves inst
-      in
-      let routed = Embed.run ?pool ~trace inst root in
+      let root, top = Engine.plan ~config ~trace ?pool ~leaves inst in
+      let arena = Embed.run_arena ?pool ~trace inst root in
       let aggregate =
-        let sum = Array.fold_left (fun acc c -> add_stats acc c.stats) top per_cluster in
+        let sum =
+          Array.fold_left (fun acc c -> add_stats acc c.stats) top per_cluster
+        in
+        let sum =
+          Array.fold_left (fun acc c -> add_stats acc c.stats) sum super
+        in
         { sum with Engine.gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 }
       in
-      (routed, aggregate, { n_clusters = k; per_cluster; top }))
+      ( arena,
+        aggregate,
+        { n_clusters = kr; depth = realized_depth; per_cluster; super; top } ))
+
+let run ?config ?trace ?clusters ?depth inst =
+  let gc0 = Obs.Gcstat.sample () in
+  let arena, stats, detail = run_arena ?config ?trace ?clusters ?depth inst in
+  let routed = Clocktree.Arena.to_routed arena in
+  (routed, { stats with Engine.gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 },
+   detail)

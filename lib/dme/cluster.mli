@@ -1,30 +1,37 @@
-(** Two-level clustered AST-DME: partition the sinks into spatial
+(** Multi-level clustered AST-DME: partition the sinks into spatial
     regions, plan each region bottom-up with its own {!Engine} instance
     — in parallel across a {!Par.Pool}'s domains — then stitch the
-    region roots with one top-level plan and embed the whole tree in a
-    single pass.
+    region roots back together through a bounded-fan-in hierarchy of
+    further plans and embed the whole tree in a single pass.
 
     The shape follows Held–Kämmerling's two-level rectilinear Steiner
-    construction and the 3D-MMM "Cluster DME" decomposition: the
-    per-region work is embarrassingly parallel (each region plan owns a
-    private arena and {!Geometry.Grid_index} shard and is a pure
-    function of its sub-instance), and the top-level merge sees exact
-    per-group delay intervals, so the associative skew bound is
-    enforced across region boundaries exactly as within them — the
-    stitched tree goes through the same {!Clocktree.Repair} as a flat
-    one.
+    construction and the 3D-MMM "Cluster DME" decomposition, extended
+    recursively: no stitch plan sees more than {!fanout_cap} children,
+    so a 10^6-sink instance gets ~1000 regions stitched through two
+    levels instead of one 1000-ary merge.  The per-region work is
+    embarrassingly parallel (each region plan owns a private arena and
+    {!Geometry.Grid_index} shard and is a pure function of its
+    sub-instance), every stitch level plans over the {e global}
+    instance (global bbox drives the penalty / reach-cap / grid
+    scales), and each stitch sees exact per-group delay intervals, so
+    the associative skew bound is enforced across region boundaries
+    exactly as within them — the stitched tree goes through the same
+    {!Clocktree.Repair} as a flat one.
 
-    Determinism contract: for a fixed cluster count the partition, the
-    routed tree, per-sink delays and wirelength are bit-identical for
-    any jobs count; with [clusters = 1] they are additionally
-    bit-identical to the flat {!Engine.run} ({!Check.Oracle}'s
-    [cluster_identity] enforces this).  [gc] is, as ever, the one
+    Determinism contract: for a fixed cluster count and depth the
+    partition, the routed tree, per-sink delays and wirelength are
+    bit-identical for any jobs count; with [clusters = 1] they are
+    additionally bit-identical to the flat {!Engine.run}, and a forced
+    [depth = 1] is bit-identical to the historical two-level
+    construction ({!Check.Oracle}'s [cluster_identity] and
+    [cluster_depth_identity] enforce this).  [gc] is, as ever, the one
     run-dependent stats field. *)
 
-(** One region's bottom-up plan: its 0-based [cluster] index in
-    partition order, sink count, wall-clock planning seconds (as
-    measured on whichever domain ran the plan) and the region engine's
-    stats ([gc] sampled on that same domain). *)
+(** One plan of the hierarchy: its 0-based index in traversal
+    (partition) order, the sink count it covers, wall-clock planning
+    seconds (as measured on whichever domain ran the plan) and the
+    engine's stats ([gc] sampled on that same domain).  Used both for
+    leaf regions ([per_cluster]) and stitch plans ([super]). *)
 type cluster_stats = {
   cluster : int;
   n_sinks : int;
@@ -32,43 +39,73 @@ type cluster_stats = {
   stats : Engine.stats;
 }
 
-(** Clustering detail of one run: the realized region count (after
-    clamping to the sink count), per-region stats and the top-level
-    stitch plan's stats. *)
+(** Clustering detail of one run: the realized leaf-region count (after
+    clamping to the sink count), the realized stitch depth (1 for the
+    classic two-level construction), per-region stats, per-super-stitch
+    stats (empty at depth 1 — the top-level stitch is reported in
+    [top], not [super]) and the top-level stitch plan's stats. *)
 type stats = {
   n_clusters : int;
+  depth : int;
   per_cluster : cluster_stats array;
+  super : cluster_stats array;
   top : Engine.stats;
 }
 
-(** Default region count: about one region per thousand sinks, clamped
-    to [1 .. 64]. *)
+(** Default region count: about one region per thousand sinks — no
+    upper cap; past [fanout_cap] regions the stitch goes multi-level
+    ({!auto_depth}) rather than letting regions grow with the
+    instance. *)
 val auto_clusters : Clocktree.Instance.t -> int
+
+(** Maximum children any stitch plan sees (64). *)
+val fanout_cap : int
+
+(** Smallest stitch depth whose hierarchy reaches [k] regions under
+    {!fanout_cap}: 1 for [k <= 64], 2 up to 4096, and so on. *)
+val auto_depth : int -> int
 
 (** [partition inst ~clusters] splits the sink ids into
     [min clusters (n_sinks)] non-empty regions (at least 1) by
     recursive median bipartition along the longer bounding-box axis
     ({!Geometry.Split.bipartition}).  Every sink id appears in exactly
     one region; the result is a pure function of the instance —
-    deterministic across jobs counts and runs. *)
+    deterministic across jobs counts and runs, and identical to the
+    leaf regions of the multi-level hierarchy at any depth. *)
 val partition : Clocktree.Instance.t -> clusters:int -> int array array
 
-(** [run ?config ?trace ?clusters inst] routes the instance in clustered
-    mode and returns the routed tree, aggregate engine stats
-    (component-wise sum over region plans and the top-level stitch,
-    with [gc] the caller-domain whole-run differential) and the
-    per-cluster detail.  [clusters] defaults to {!auto_clusters}; it is
-    clamped to [1 .. n_sinks].  [config.jobs] sizes the pool that maps
-    region plans (one chunk each) and serves the top-level plan and the
-    final embed; region plans themselves run serially on their domain
-    ({!Par.Pool} is not reentrant).  With [trace] enabled, region plans
-    emit the usual engine spans/journal records from their domains, a
+(** [run ?config ?trace ?clusters ?depth inst] routes the instance in
+    clustered mode and returns the routed tree, aggregate engine stats
+    (component-wise sum over region plans, super stitches and the
+    top-level stitch, with [gc] the caller-domain whole-run
+    differential) and the per-cluster detail.  [clusters] defaults to
+    {!auto_clusters}, clamped to [1 .. n_sinks]; [depth] defaults to
+    {!auto_depth} of the realized cluster count and is clamped to
+    [>= 1] (forcing it higher than needed degenerates gracefully — a
+    budget-1 group plans directly regardless of remaining depth).
+    [config.jobs] sizes the pool that maps top-level groups (one chunk
+    each) and serves the top-level stitch and the final embed; plans
+    below the top level run serially on their group's domain
+    ({!Par.Pool} is not reentrant).  With [trace] enabled, plans emit
+    the usual engine spans/journal records from their domains, a
     ["cluster.plan"] span wraps the bottom level, one journal record of
-    [type = "cluster"] summarizes each region, and the manifest gains
-    the region count. *)
+    [type = "cluster"] (regions) or ["cluster_super"] (sub-level
+    stitches) summarizes each plan, and the manifest gains the region
+    count and realized depth. *)
 val run :
   ?config:Engine.config ->
   ?trace:Obs.Trace.t ->
   ?clusters:int ->
+  ?depth:int ->
   Clocktree.Instance.t ->
   Clocktree.Tree.routed * Engine.stats * stats
+
+(** {!run} minus the final [Arena.to_routed]: the arena-native router
+    pipeline's entry point. *)
+val run_arena :
+  ?config:Engine.config ->
+  ?trace:Obs.Trace.t ->
+  ?clusters:int ->
+  ?depth:int ->
+  Clocktree.Instance.t ->
+  Clocktree.Arena.t * Engine.stats * stats

@@ -2,103 +2,223 @@ module Octagon = Geometry.Octagon
 module Pt = Geometry.Pt
 module Eps = Geometry.Eps
 module Tree = Clocktree.Tree
+module Arena = Clocktree.Arena
 
-(* Expanded prefix of the embedding: the top few levels are walked on
-   the calling domain, leaving an index per pending subtree so worker
-   results can be grafted back in input order. *)
-type prefix =
-  | Done of Tree.t
-  | Pending of int
-  | Split of {
-      p : Pt.t;
-      llen : float;
-      rlen : float;
-      left : prefix;
-      right : prefix;
-    }
+(* The one edge-length formula of the embedding, shared by the serial
+   fill, the parallel prefix expansion and the reference walk: committed
+   lengths are honoured exactly (shortfall is snaked), shortest-path
+   merges consume exactly the planned total, split at the clamped
+   distance to the left child. *)
+let edge_lengths lengths (p : Pt.t) (pl : Pt.t) (pr : Pt.t) =
+  match lengths with
+  | Subtree.Committed { ea; eb } ->
+    (Float.max ea (Pt.dist p pl), Float.max eb (Pt.dist p pr))
+  | Subtree.Split { total; split_lo; split_hi } ->
+    let la = Eps.clamp split_lo split_hi (Pt.dist p pl) in
+    (Float.max la (Pt.dist p pl), Float.max (total -. la) (Pt.dist p pr))
 
-let run ?pool ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
-    (root : Subtree.t) =
-  let rec go (sub : Subtree.t) (p : Pt.t) =
-    match sub.build with
-    | Subtree.Leaf s -> Tree.Leaf s
+(* Write one leaf's arena slot.  [size], [left]/[right]/[parent] and
+   [len] keep their initial values (1 / -1 / parent-assigned). *)
+let emit_leaf (a : Arena.t) v (s : Clocktree.Sink.t) =
+  a.Arena.sink.(v) <- s.Clocktree.Sink.id;
+  a.Arena.group.(v) <- s.Clocktree.Sink.group;
+  a.Arena.scap.(v) <- s.Clocktree.Sink.cap;
+  a.Arena.pos.(v) <- s.Clocktree.Sink.loc
+
+(* Embed [sub] placed at [p] straight into the arena window ending at
+   [base + 2 * n_sinks sub - 2], in post order — index for index what
+   [Arena.of_routed] would assign flattening the boxed embedding.
+   Iterative like [Arena.of_routed]: an explicit frame stack with the
+   same three-visit protocol (descend left, descend right, emit), so
+   degenerate 10^5-deep merge plans embed without touching the OCaml
+   stack.  Child placements and edge lengths are computed at first
+   visit (the children's frames need them) and carried in the frame. *)
+let fill_window (a : Arena.t) (sub : Subtree.t) (p : Pt.t) ~base =
+  let cap = (2 * sub.Subtree.n_sinks) - 1 + 1 in
+  let st_sub = Array.make cap sub in
+  let st_p = Array.make cap p in
+  let st_pr = Array.make cap p in
+  let st_stage = Array.make cap 0 in
+  let st_left = Array.make cap (-1) in
+  let st_llen = Array.make cap 0. in
+  let st_rlen = Array.make cap 0. in
+  let sp = ref 0 in
+  let push sub p =
+    st_sub.(!sp) <- sub;
+    st_p.(!sp) <- p;
+    st_stage.(!sp) <- 0;
+    incr sp
+  in
+  let next = ref base in
+  push sub p;
+  while !sp > 0 do
+    let f = !sp - 1 in
+    match st_sub.(f).Subtree.build with
+    | Subtree.Leaf s ->
+      let v = !next in
+      incr next;
+      decr sp;
+      emit_leaf a v s
     | Subtree.Merge { left; right; lengths } ->
-      let pl = Octagon.nearest_point left.region p in
-      let pr = Octagon.nearest_point right.region p in
-      let llen, rlen =
-        match lengths with
-        | Subtree.Committed { ea; eb } ->
-          (Float.max ea (Pt.dist p pl), Float.max eb (Pt.dist p pr))
-        | Subtree.Split { total; split_lo; split_hi } ->
-          let la = Eps.clamp split_lo split_hi (Pt.dist p pl) in
-          (Float.max la (Pt.dist p pl), Float.max (total -. la) (Pt.dist p pr))
-      in
-      Tree.node p (go left pl) (go right pr) ~llen ~rlen
+      if st_stage.(f) = 0 then begin
+        let p = st_p.(f) in
+        let pl = Octagon.nearest_point left.Subtree.region p in
+        let pr = Octagon.nearest_point right.Subtree.region p in
+        let llen, rlen = edge_lengths lengths p pl pr in
+        st_pr.(f) <- pr;
+        st_llen.(f) <- llen;
+        st_rlen.(f) <- rlen;
+        st_stage.(f) <- 1;
+        push left pl
+      end
+      else if st_stage.(f) = 1 then begin
+        st_left.(f) <- !next - 1;
+        st_stage.(f) <- 2;
+        push right st_pr.(f)
+      end
+      else begin
+        let l = st_left.(f) and rc = !next - 1 in
+        let v = !next in
+        incr next;
+        decr sp;
+        a.Arena.left.(v) <- l;
+        a.Arena.right.(v) <- rc;
+        a.Arena.parent.(l) <- v;
+        a.Arena.parent.(rc) <- v;
+        a.Arena.size.(v) <- a.Arena.size.(l) + a.Arena.size.(rc) + 1;
+        a.Arena.pos.(v) <- st_p.(f);
+        a.Arena.len.(l) <- st_llen.(f);
+        a.Arena.len.(rc) <- st_rlen.(f)
+      end
+  done
+
+(* One worker task of the parallel embedding: a pending subtree, its
+   placement point and the start of its (precomputed) arena window. *)
+type task = { t_sub : Subtree.t; t_p : Pt.t; t_base : int }
+
+(* Parallel arena fill: walk the top of the plan on the calling domain
+   with the exact expressions of [fill_window], but — since a subtree
+   with [s] sinks occupies exactly [2s - 1] contiguous slots — every
+   prefix node's index and both children's windows are known at visit
+   time.  Prefix nodes (the "graft") are therefore emitted immediately;
+   pending subtrees become tasks whose disjoint windows the pool's
+   domains fill concurrently.  Workers write only inside their window
+   (a task's root [len]/[parent] belong to its prefix parent, which the
+   caller wrote), so no two domains touch the same array element, and
+   every element is computed by the serial expressions from the same
+   operands: the arena is bit-identical to the serial fill for any jobs
+   count.  The expansion itself is an iterative explicit-stack walk. *)
+let embed_parallel pool (a : Arena.t) (root : Subtree.t) (root_pt : Pt.t) =
+  let depth_limit =
+    let target = 4 * Par.Pool.jobs pool in
+    let d = ref 0 in
+    while 1 lsl !d < target do
+      incr d
+    done;
+    !d
   in
-  (* Parallel frontier: expand the top of the plan with the exact
-     expressions of [go] until enough independent subtrees exist to feed
-     the pool, embed each on a worker ([go] is pure: it only reads the
-     frozen merge plan), then graft the results back.  Chunk results are
-     gathered in input-index order, so the assembled tree is
-     bit-identical to the serial recursion for any jobs count. *)
-  let embed_parallel pool sub p =
-    let depth =
-      let target = 4 * Par.Pool.jobs pool in
-      let d = ref 0 in
-      while 1 lsl !d < target do
-        incr d
-      done;
-      !d
+  let tasks = ref [] in
+  let stack = ref [ (root, root_pt, 0, depth_limit) ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (sub, p, base, depth) :: rest ->
+      stack := rest;
+      (match sub.Subtree.build with
+       | Subtree.Leaf s -> emit_leaf a base s
+       | Subtree.Merge _ when depth = 0 ->
+         tasks := { t_sub = sub; t_p = p; t_base = base } :: !tasks
+       | Subtree.Merge { left; right; lengths } ->
+         let pl = Octagon.nearest_point left.Subtree.region p in
+         let pr = Octagon.nearest_point right.Subtree.region p in
+         let llen, rlen = edge_lengths lengths p pl pr in
+         let lsize = (2 * left.Subtree.n_sinks) - 1 in
+         let rsize = (2 * right.Subtree.n_sinks) - 1 in
+         let l = base + lsize - 1 in
+         let rc = base + lsize + rsize - 1 in
+         let v = rc + 1 in
+         a.Arena.left.(v) <- l;
+         a.Arena.right.(v) <- rc;
+         a.Arena.parent.(l) <- v;
+         a.Arena.parent.(rc) <- v;
+         a.Arena.size.(v) <- lsize + rsize + 1;
+         a.Arena.pos.(v) <- p;
+         a.Arena.len.(l) <- llen;
+         a.Arena.len.(rc) <- rlen;
+         (* Left on top: tasks and prefix slots are emitted in the
+            serial fill's order, though nothing downstream depends on
+            it — results land by index, not by gather order. *)
+         stack :=
+           (left, pl, base, depth - 1)
+           :: (right, pr, base + lsize, depth - 1)
+           :: !stack)
+  done;
+  let tasks = Array.of_list (List.rev !tasks) in
+  if Array.length tasks = 0 then ()
+  else
+    let (_ : unit array) =
+      Par.Pool.map_chunked pool ~chunk:1
+        (fun { t_sub; t_p; t_base } -> fill_window a t_sub t_p ~base:t_base)
+        tasks
     in
-    let tasks = ref [] in
-    let n_tasks = ref 0 in
-    let rec expand depth (sub : Subtree.t) (p : Pt.t) =
-      match sub.build with
-      | Subtree.Leaf s -> Done (Tree.Leaf s)
-      | Subtree.Merge _ when depth = 0 ->
-        let i = !n_tasks in
-        incr n_tasks;
-        tasks := (sub, p) :: !tasks;
-        Pending i
-      | Subtree.Merge { left; right; lengths } ->
-        let pl = Octagon.nearest_point left.region p in
-        let pr = Octagon.nearest_point right.region p in
-        let llen, rlen =
-          match lengths with
-          | Subtree.Committed { ea; eb } ->
-            (Float.max ea (Pt.dist p pl), Float.max eb (Pt.dist p pr))
-          | Subtree.Split { total; split_lo; split_hi } ->
-            let la = Eps.clamp split_lo split_hi (Pt.dist p pl) in
-            ( Float.max la (Pt.dist p pl),
-              Float.max (total -. la) (Pt.dist p pr) )
-        in
-        let l = expand (depth - 1) left pl in
-        let r = expand (depth - 1) right pr in
-        Split { p; llen; rlen; left = l; right = r }
-    in
-    let top = expand depth sub p in
-    let arr = Array.make (Int.max 1 !n_tasks) (sub, p) in
-    List.iteri (fun k t -> arr.(!n_tasks - 1 - k) <- t) !tasks;
-    let arr = if !n_tasks = 0 then [||] else arr in
-    let results = Par.Pool.map_chunked pool (fun (sub, p) -> go sub p) arr in
-    let rec graft = function
-      | Done t -> t
-      | Pending i -> results.(i)
-      | Split { p; llen; rlen; left; right } ->
-        Tree.node p (graft left) (graft right) ~llen ~rlen
-    in
-    graft top
+    ()
+
+let run_arena ?pool ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
+    (root : Subtree.t) =
+  let n_sinks = root.Subtree.n_sinks in
+  let n = (2 * n_sinks) - 1 in
+  let root_pt = Octagon.nearest_point root.Subtree.region inst.source in
+  let source_len = Pt.dist inst.source root_pt in
+  let a =
+    {
+      Arena.n;
+      n_sinks;
+      source = inst.source;
+      source_len;
+      rd = inst.rd;
+      params = inst.params;
+      left = Array.make n (-1);
+      right = Array.make n (-1);
+      parent = Array.make n (-1);
+      size = Array.make n 1;
+      sink = Array.make n (-1);
+      group = Array.make n (-1);
+      scap = Array.make n 0.;
+      pos = Array.make n inst.source;
+      len = Array.make n 0.;
+    }
   in
-  let root_pt = Octagon.nearest_point root.region inst.source in
   let body () =
-    let tree =
-      match pool with
-      | Some pool when Par.Pool.jobs pool > 1 ->
-        embed_parallel pool root root_pt
-      | _ -> go root root_pt
-    in
-    Tree.route inst.source tree
+    (match pool with
+     | Some pool when Par.Pool.jobs pool > 1 -> embed_parallel pool a root root_pt
+     | _ -> fill_window a root root_pt ~base:0);
+    (* The root edge is the source wire, exactly as [Arena.of_routed]
+       records it. *)
+    a.Arena.len.(n - 1) <- source_len;
+    a
   in
   if Obs.Trace.enabled trace then
     Obs.Trace.span trace ~cat:"dme.embed" "embed" body
   else body ()
+
+let run ?pool ?trace inst root = Arena.to_routed (run_arena ?pool ?trace inst root)
+
+(* Executable specification: the original recursive boxed-tree walk,
+   kept as the independent reference the arena-direct identity oracle
+   and tests compare against.  Goes through [Tree.node], so committed
+   lengths are re-checked against child distances.  Recursive — only
+   for oracle/test-sized instances; production paths use {!run_arena} /
+   {!run}. *)
+let run_reference (inst : Clocktree.Instance.t) (root : Subtree.t) =
+  let rec go (sub : Subtree.t) (p : Pt.t) =
+    match sub.Subtree.build with
+    | Subtree.Leaf s -> Tree.Leaf s
+    | Subtree.Merge { left; right; lengths } ->
+      let pl = Octagon.nearest_point left.Subtree.region p in
+      let pr = Octagon.nearest_point right.Subtree.region p in
+      let llen, rlen = edge_lengths lengths p pl pr in
+      Tree.node p (go left pl) (go right pr) ~llen ~rlen
+  in
+  let root_pt = Octagon.nearest_point root.Subtree.region inst.source in
+  Tree.route inst.source (go root root_pt)

@@ -443,14 +443,20 @@ let plan ?(config = default) ?(trace = Obs.Trace.null) ?pool ?leaves inst =
       gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0;
     } )
 
-let run ?(config = default) ?(trace = Obs.Trace.null) inst =
+let run_arena ?(config = default) ?(trace = Obs.Trace.null) inst =
   let gc0 = Obs.Gcstat.sample () in
   let jobs = Int.max 1 config.jobs in
   (* The pool stays alive through embedding: the top-down phase reuses
      the ranking loop's worker domains for its subtree fan-out. *)
-  let routed, stats =
+  let arena, stats =
     Par.Pool.with_pool ~jobs (fun pool ->
         let root, stats = plan ~config ~trace ?pool inst in
-        (Embed.run ?pool ~trace inst root, stats))
+        (Embed.run_arena ?pool ~trace inst root, stats))
   in
+  (arena, { stats with gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 })
+
+let run ?config ?trace inst =
+  let gc0 = Obs.Gcstat.sample () in
+  let arena, stats = run_arena ?config ?trace inst in
+  let routed = Clocktree.Arena.to_routed arena in
   (routed, { stats with gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 })

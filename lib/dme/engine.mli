@@ -144,3 +144,11 @@ val plan :
 val run :
   ?config:config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
   Clocktree.Tree.routed * stats
+
+(** Plan and embed straight into a flat post-order arena — the
+    arena-native pipeline's entry point ({!run} is this plus
+    [Arena.to_routed]).  Same determinism contract as {!run}: the arena
+    is bit-identical for any [config.jobs]. *)
+val run_arena :
+  ?config:config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
+  Clocktree.Arena.t * stats

@@ -19,7 +19,7 @@ let bisect sinks =
   let mid = Array.length sorted / 2 in
   (Array.sub sorted 0 mid, Array.sub sorted mid (Array.length sorted - mid))
 
-let run ?(config = Engine.default) ?(trace = Obs.Trace.null)
+let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null)
     (inst : Clocktree.Instance.t) =
   let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
@@ -68,8 +68,8 @@ let run ?(config = Engine.default) ?(trace = Obs.Trace.null)
         (fun () -> build inst.sinks 0)
     else build inst.sinks 0
   in
-  let routed = Embed.run ~trace inst root in
-  ( routed,
+  let arena = Embed.run_arena ~trace inst root in
+  ( arena,
     Engine.
       {
         rounds = !depth;
@@ -84,3 +84,7 @@ let run ?(config = Engine.default) ?(trace = Obs.Trace.null)
         trial = Engine.no_trials;
         gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0;
       } )
+
+let run ?config ?trace inst =
+  let arena, stats = run_arena ?config ?trace inst in
+  (Clocktree.Arena.to_routed arena, stats)

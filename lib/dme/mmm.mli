@@ -15,3 +15,10 @@
 val run :
   ?config:Engine.config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
   Clocktree.Tree.routed * Engine.stats
+
+(** {!run} minus the final [Arena.to_routed]: plan and embed straight
+    into the flat post-order arena for the arena-native router
+    pipeline. *)
+val run_arena :
+  ?config:Engine.config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
+  Clocktree.Arena.t * Engine.stats

@@ -25,4 +25,10 @@ val sample : unit -> t
     sample [b] (earlier) and sample [a] (later). *)
 val diff : t -> t -> t
 
+(** [Gc.quick_stat]'s [top_heap_words]: the largest major-heap size the
+    process has reached, in words.  A high-water mark, not a counter —
+    it never decreases, so it is reported absolutely (per benchmark
+    point) rather than differentially. *)
+val top_heap_words : unit -> int
+
 val json : t -> Json.t

@@ -240,6 +240,43 @@ let test_deep_comb_stack_safety () =
   let report = Evaluate.run inst repaired in
   Alcotest.(check bool) "within bound" true (Evaluate.within_bound inst report)
 
+(* Windowed (parallel-shaped) evaluation must be bit-identical to the
+   serial kernels: the window fills and the serial spine stitch compute
+   every node's value with the serial expression from the serial
+   operands, so no jobs/regions decomposition may move a single ulp. *)
+let test_evaluate_windowed_identity () =
+  let rng = Workload.Rng.create 9L in
+  let n = 500 in
+  let sinks =
+    List.init n (fun i ->
+        sink i
+          (Workload.Rng.float_range rng 0. 20000.)
+          (Workload.Rng.float_range rng 0. 20000.)
+          (i mod 5))
+  in
+  let inst =
+    Instance.make ~bound:10. ~source:(pt 0. 0.) ~n_groups:5
+      (Array.of_list sinks)
+  in
+  let routed = Tree.route (pt 0. 0.) (random_topology sinks) in
+  let serial = Evaluate.run ~jobs:1 inst routed in
+  List.iter
+    (fun (jobs, regions) ->
+      let w = Evaluate.run ~jobs ?regions inst routed in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d regions=%s identical report" jobs
+           (match regions with None -> "auto" | Some r -> string_of_int r))
+        true
+        (w.delays = serial.delays
+        && w.wirelength = serial.wirelength
+        && w.snaking = serial.snaking
+        && w.min_delay = serial.min_delay
+        && w.max_delay = serial.max_delay
+        && w.global_skew = serial.global_skew
+        && w.group_skew = serial.group_skew
+        && w.max_group_skew = serial.max_group_skew))
+    [ (2, None); (4, Some 3); (8, Some 17) ]
+
 (* Feasible tree: repair must hand back the identical arena content —
    not merely "no stats", the rebuilt tree itself is bit-equal. *)
 let test_repair_noop_preserves_tree () =
@@ -428,6 +465,8 @@ let () =
         [
           Alcotest.test_case "deep comb stack safety" `Quick
             test_deep_comb_stack_safety;
+          Alcotest.test_case "windowed evaluation identity" `Quick
+            test_evaluate_windowed_identity;
           Alcotest.test_case "no-op preserves tree" `Quick
             test_repair_noop_preserves_tree;
           Alcotest.test_case "budget exhaustion" `Quick

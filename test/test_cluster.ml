@@ -1,7 +1,10 @@
-(* Tests for the two-level clustered router: the spatial partitioner's
+(* Tests for the clustered router: the spatial partitioner's
    invariants, the clusters=1 ≡ flat identity, cross-jobs determinism
-   of a genuinely clustered run, and the auditor's ability to see a
-   skew violation that spans a cluster boundary. *)
+   of a genuinely clustered run, the multi-level (depth >= 2) hierarchy
+   — whose leaf regions must coincide with the flat partition and whose
+   forced depth-1 run must be bit-identical to the default — and the
+   auditor's ability to see a skew violation that spans a cluster
+   boundary. *)
 
 module Pt = Geometry.Pt
 open Clocktree
@@ -87,7 +90,19 @@ let test_auto_clusters () =
   Alcotest.(check int) "small instance" 1
     (Dme.Cluster.auto_clusters (diagonal 40));
   Alcotest.(check int) "2500 sinks" 3
-    (Dme.Cluster.auto_clusters (diagonal 2500))
+    (Dme.Cluster.auto_clusters (diagonal 2500));
+  (* No 64-region cap any more: the region count keeps tracking one per
+     thousand sinks and the stitch goes multi-level instead. *)
+  Alcotest.(check int) "70000 sinks uncapped" 70
+    (Dme.Cluster.auto_clusters (diagonal 70_000))
+
+let test_auto_depth () =
+  Alcotest.(check int) "fanout cap" 64 Dme.Cluster.fanout_cap;
+  List.iter
+    (fun (k, d) ->
+      Alcotest.(check int) (Printf.sprintf "auto_depth %d" k) d
+        (Dme.Cluster.auto_depth k))
+    [ (1, 1); (2, 1); (64, 1); (65, 2); (1000, 2); (4096, 2); (4097, 3) ]
 
 let partition_prop =
   let gen =
@@ -163,6 +178,48 @@ let test_jobs_deterministic () =
         c.stats.rounds c4.stats.rounds)
     d1.Dme.Cluster.per_cluster
 
+(* --- multi-level (depth >= 2) hierarchy ----------------------------------- *)
+
+let test_depth2_matches_flat_partition () =
+  (* The leaf regions of a forced depth-2 hierarchy are the flat
+     partition: same count, same sizes, same order — only the stitch
+     above them is reorganized into a tree of super-merges. *)
+  let inst = diagonal ~n_groups:4 200 in
+  let flat = Dme.Cluster.partition inst ~clusters:8 in
+  let routed, _, d = Dme.Cluster.run ~clusters:8 ~depth:2 inst in
+  Alcotest.(check int) "leaf region count" 8 d.Dme.Cluster.n_clusters;
+  Alcotest.(check int) "realized depth" 2 d.Dme.Cluster.depth;
+  Alcotest.(check bool) "has intermediate super stitches" true
+    (Array.length d.Dme.Cluster.super > 0);
+  Alcotest.(check (list int)) "leaf region sizes match the flat partition"
+    (Array.to_list (Array.map Array.length flat))
+    (Array.to_list
+       (Array.map
+          (fun (c : Dme.Cluster.cluster_stats) -> c.n_sinks)
+          d.Dme.Cluster.per_cluster));
+  let report = Evaluate.run inst routed in
+  Alcotest.(check (list string))
+    "depth-2 stitch passes the global grouped audit" []
+    (List.map
+       (fun (v : Check.Audit.violation) -> v.invariant ^ ": " ^ v.detail)
+       (Check.Audit.run Check.Audit.Grouped inst routed report))
+
+let test_depth_identity_small () =
+  let inst = diagonal ~n_groups:4 60 in
+  Alcotest.(check (list string))
+    "depth-2 hierarchy: depth-1 identity + jobs determinism" []
+    (List.map
+       (fun (f : Check.Oracle.finding) -> f.oracle)
+       (Check.Oracle.cluster_depth_identity ~jobs:[ 2 ] inst))
+
+let test_depth_identity_circuit () =
+  let inst = circuit "r1" in
+  Alcotest.(check (list string))
+    "depth-2 hierarchy: depth-1 identity + jobs determinism" []
+    (List.map
+       (fun (f : Check.Oracle.finding) -> f.oracle)
+       (Check.Oracle.cluster_depth_identity ~jobs:[ 1; 4 ] inst))
+
 let test_clustered_audit_clean () =
   let inst = circuit "r2" in
   Alcotest.(check (list string))
@@ -225,6 +282,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick
             test_partition_deterministic;
           Alcotest.test_case "auto clusters" `Quick test_auto_clusters;
+          Alcotest.test_case "auto depth" `Quick test_auto_depth;
         ]
         @ qsuite [ partition_prop ] );
       ( "identity",
@@ -232,6 +290,14 @@ let () =
           Alcotest.test_case "small diagonal" `Quick test_identity_small;
           Alcotest.test_case "r1" `Slow (test_identity_circuit "r1");
           Alcotest.test_case "r3" `Slow (test_identity_circuit "r3");
+        ] );
+      ( "depth",
+        [
+          Alcotest.test_case "leaves match flat partition" `Quick
+            test_depth2_matches_flat_partition;
+          Alcotest.test_case "identity small diagonal" `Quick
+            test_depth_identity_small;
+          Alcotest.test_case "identity r1" `Slow test_depth_identity_circuit;
         ] );
       ( "clustered",
         [

@@ -264,6 +264,61 @@ let test_embed_valid_tree () =
   Alcotest.(check bool) "source wire covers distance" true
     (routed.source_len +. 1e-4 >= Pt.dist routed.source (Tree.pos routed.tree))
 
+(* Arena-direct embedding must be bit-identical — every column, every
+   float — to the reference path (recursive embed, [Tree.route], then
+   [Arena.of_routed]), for every generation regime and any jobs count.
+   The oracle compares the two arenas field by field. *)
+let prop_embed_arena_identity =
+  let regimes = Check.Gen.all_regimes in
+  let gen =
+    QCheck.Gen.(
+      let* seed = 1 -- 10_000 in
+      let* index = 0 -- (Array.length regimes - 1) in
+      return (seed, index))
+  in
+  QCheck.Test.make ~name:"arena embed = reference embed (all regimes)"
+    ~count:27
+    (QCheck.make
+       ~print:(fun (seed, index) ->
+         Printf.sprintf "seed=%d regime=%s" seed
+           (Check.Gen.regime_to_string regimes.(index)))
+       gen)
+    (fun (seed, index) ->
+      let case =
+        Check.Gen.case ~regime:regimes.(index) ~seed:(Int64.of_int seed)
+          ~index ()
+      in
+      Check.Oracle.embed_identity ~jobs:[ 1; 2; 4 ] case.Check.Gen.instance
+      = [])
+
+(* The Banked regime (10^3—4*10^3 sinks in dense banks) rides the same
+   identity through a benchmark-scale plan. *)
+let test_embed_identity_banked () =
+  let case = Check.Gen.case ~regime:Check.Gen.Banked ~seed:11L ~index:0 () in
+  Alcotest.(check (list string))
+    "banked embed identity" []
+    (List.map
+       (fun (f : Check.Oracle.finding) -> f.oracle)
+       (Check.Oracle.embed_identity ~jobs:[ 2 ] case.Check.Gen.instance))
+
+(* A 240k-node left-deep merge plan: the iterative arena embed must
+   walk it in constant stack (the recursive reference embedder would
+   need ~120k frames), and the iterative rebuild must survive too. *)
+let test_embed_deep_comb_stack_safety () =
+  let n = 120_000 in
+  let sinks = Array.init n (fun i -> sink i (float_of_int i) 0. 0) in
+  let inst = Instance.make ~bound:1e9 ~source:(pt 0. 0.) ~n_groups:1 sinks in
+  let root = ref (Dme.Subtree.leaf sinks.(0)) in
+  for i = 1 to n - 1 do
+    root :=
+      (merge inst ~id:(n + i) !root (Dme.Subtree.leaf sinks.(i))).subtree
+  done;
+  let a = Dme.Embed.run_arena inst !root in
+  Alcotest.(check int) "node count" ((2 * n) - 1) a.Arena.n;
+  Alcotest.(check int) "sink count" n a.Arena.n_sinks;
+  let routed = Arena.to_routed a in
+  Alcotest.(check int) "sinks preserved" n (Tree.n_sinks routed.tree)
+
 (* --- Engine end-to-end --------------------------------------------------- *)
 
 let test_engine_zero_skew () =
@@ -515,7 +570,14 @@ let () =
           Alcotest.test_case "dedupe pairs large (stack safety)" `Quick
             test_dedupe_pairs_large;
         ] );
-      ("embed", [ Alcotest.test_case "valid tree" `Quick test_embed_valid_tree ]);
+      ( "embed",
+        [
+          Alcotest.test_case "valid tree" `Quick test_embed_valid_tree;
+          Alcotest.test_case "deep comb stack safety" `Quick
+            test_embed_deep_comb_stack_safety;
+          Alcotest.test_case "banked identity" `Slow test_embed_identity_banked;
+        ]
+        @ qsuite [ prop_embed_arena_identity ] );
       ( "engine",
         [
           Alcotest.test_case "zero skew" `Quick test_engine_zero_skew;
