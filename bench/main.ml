@@ -8,6 +8,7 @@
      | trace [CIRCUIT...]
      | smoke [CIRCUIT [CLUSTERED_CIRCUIT]]
      | scale [--smoke]
+     | eff [--smoke]
      | compare OLD.json NEW.json [--threshold PCT]
      | fuzz [--cases N] [--seed S] [--inject] [--replay CASE]
    (default: all).  "quick" restricts the tables to r1-r3 for fast runs;
@@ -28,8 +29,14 @@
    tree must pass the global grouped audit); "scale" routes synthetic
    10^4-10^6-sink instances through the (multi-level) clustered router,
    checks the clusters=1-vs-flat identity and a forced depth-2 leg, and
-   writes the BENCH_scale.json curve with per-point peak heap (--smoke
-   keeps the CI-sized pieces only);
+   writes the BENCH_scale.json curve with per-point peak heap — each
+   point routes with the live progress heartbeat on stderr (--smoke
+   keeps the CI-sized pieces only); "eff" sweeps jobs in {1,2,4} with
+   the Obs.Sched flight recorder live, prints the per-phase
+   utilization / serial-fraction / Amdahl table, writes BENCH_eff.json
+   and fails when any run lacks an efficiency report, reports a serial
+   fraction outside [0,1], or the jobs=1 leg does not measure speedup
+   1.0 (--smoke keeps r3 only);
    "compare" diffs two BENCH_<circuit>.json files and exits
    non-zero when a watched metric regressed past the threshold (default
    10%); "fuzz" runs the lib/check property-based fuzzer, prints a JSON
@@ -468,7 +475,8 @@ let smoke args =
    and TRACE_<circuit>.jsonl (metrics journal).  Fails — exit 1 — when
    any journal's per-round sums disagree with the engine's aggregate
    stats, so CI catches instrumentation drift the moment a counter and
-   its journal field diverge. *)
+   its journal field diverge.  The flight recorder rides along so the
+   journal also carries (and is gated on) the efficiency record. *)
 let trace_bench ?(circuits = default_circuits) () =
   header "Trace artifacts (AST-DME, Chrome trace + JSONL journal)";
   Format.printf "%-8s %7s %8s %8s %9s@." "circuit" "rounds" "events" "journal"
@@ -491,7 +499,8 @@ let trace_bench ?(circuits = default_circuits) () =
             ("scheme", Obs.Json.String "intermingled");
             ("bound_ps", Obs.Json.Float bound);
           ];
-        let r = Astskew.Router.ast_dme ~trace inst in
+        let sched = Obs.Sched.create () in
+        let r = Astskew.Router.ast_dme ~trace ~sched inst in
         let chrome_file = Printf.sprintf "TRACE_%s.json" spec.name in
         let journal_file = Printf.sprintf "TRACE_%s.jsonl" spec.name in
         Obs.Trace.write_chrome chrome_file trace;
@@ -527,6 +536,16 @@ let trace_bench ?(circuits = default_circuits) () =
         check "trial_merges" (sum "trial_merges") r.engine.trial.trial_merges;
         check "trial_cache_hits" (sum "trial_cache_hits")
           r.engine.trial.cache_hits;
+        let efficiency_records =
+          List.filter
+            (function
+              | Obs.Json.Obj fields ->
+                List.assoc_opt "type" fields
+                = Some (Obs.Json.String "efficiency")
+              | _ -> false)
+            (Obs.Trace.journal_records trace)
+        in
+        check "efficiency records" (List.length efficiency_records) 1;
         let n_events = List.length (Obs.Trace.events trace) in
         Format.printf "%-8s %7d %8d %8d %9s@." spec.name r.engine.rounds
           n_events
@@ -584,6 +603,11 @@ let cost_metrics =
     (* process-lifetime major-heap high-water mark, recorded per scale
        point: the arena-native pipeline exists to keep this flat *)
     "top_heap_words";
+    (* parallel-efficiency metrics from the Obs.Sched flight recorder
+       (BENCH_eff.json): serial residue, per-phase idleness and the
+       chunk-latency tail are what the clustered pipeline's scaling
+       lives on — all three regress upward *)
+    "serial_fraction"; "idle_fraction"; "chunk_latency_p99_s";
   ]
 
 let watched_leaf path =
@@ -775,9 +799,10 @@ let scale_spec n =
       die = 2000. *. sqrt (float_of_int n);
     }
 
-(* One curve point: route clustered (auto region count and depth),
-   audit the stitched tree under the global grouped contract.  The
-   major-heap high-water mark is sampled right after the route: it is a
+(* One curve point: route clustered (auto region count and depth) with
+   the live progress heartbeat on stderr, audit the stitched tree under
+   the global grouped contract.  The major-heap high-water mark is the
+   router's own end-of-run sample (result.top_heap_words): it is a
    process-lifetime maximum, so points must run in ascending sink order
    for per-point values to be attributable (scale's ns list is
    ascending). *)
@@ -785,10 +810,11 @@ let scale_point n =
   let spec = scale_spec n in
   let inst = bench_instance spec in
   Obs.Report.reset ();
+  let progress = Obs.Progress.create () in
   let t0 = Obs.Timer.now () in
-  let r = Astskew.Router.ast_dme ~clustered:true inst in
+  let r = Astskew.Router.ast_dme ~clustered:true ~progress inst in
   let wall = Obs.Timer.now () -. t0 in
-  let heap = Obs.Gcstat.top_heap_words () in
+  let heap = r.Astskew.Router.top_heap_words in
   let audit = Check.Audit.run Check.Audit.Grouped inst r.routed r.evaluation in
   (spec, r, wall, heap, audit)
 
@@ -1008,6 +1034,127 @@ let scale args =
   end;
   Format.printf "OK@."
 
+(* --- bench eff: parallel-efficiency sweep + BENCH_eff.json ----------------- *)
+
+let eff_file = "BENCH_eff.json"
+let eff_jobs = [ 1; 2; 4 ]
+
+(* Sweeps the jobs knob with the Obs.Sched flight recorder live and
+   prints the Amdahl ledger: measured wall speedup vs jobs=1 next to
+   the speedup the measured serial fraction projects at 4/8/16 domains
+   — when the two diverge, the recorder's per-phase table says which
+   phase sat idle.  Deterministic gates only (report presence, serial
+   fraction in [0,1], jobs=1 speedup exactly 1.0, identical trees);
+   wall times and fractions are recorded for the trajectory, never
+   thresholded here (that is `compare`'s job). *)
+let eff args =
+  let smoke_mode = ref false in
+  let usage () =
+    Format.eprintf "usage: eff [--smoke]@.";
+    exit 2
+  in
+  List.iter
+    (function "--smoke" -> smoke_mode := true | _ -> usage ())
+    args;
+  let circuits = if !smoke_mode then [ "r3" ] else [ "r3"; "r5" ] in
+  header
+    (Printf.sprintf "Parallel efficiency (AST-DME, flight recorder%s)"
+       (if !smoke_mode then ", smoke" else ""));
+  Format.printf "%-8s %5s %9s %9s %8s %8s %8s %8s@." "circuit" "jobs"
+    "wall (s)" "speedup" "serial%" "amdahl4" "amdahl8" "amdahl16";
+  let fail msg =
+    Format.printf "FAIL: %s@." msg;
+    exit 1
+  in
+  let amdahl_at n (rep : Obs.Sched.report) =
+    match Array.find_opt (fun (k, _) -> k = n) rep.Obs.Sched.amdahl with
+    | Some (_, s) -> s
+    | None -> Float.nan
+  in
+  let circuit_json =
+    List.map
+      (fun name ->
+        match Workload.Circuits.find name with
+        | None ->
+          Format.eprintf "eff: unknown circuit %S@." name;
+          exit 2
+        | Some spec ->
+          let inst = bench_instance spec in
+          let runs =
+            List.map
+              (fun jobs ->
+                Obs.Report.reset ();
+                let sched = Obs.Sched.create () in
+                let t0 = Obs.Timer.now () in
+                let r = Astskew.Router.ast_dme ~jobs ~sched inst in
+                let wall = Obs.Timer.now () -. t0 in
+                (jobs, wall, r))
+              eff_jobs
+          in
+          let _, base_wall, base = List.hd runs in
+          let rows =
+            List.map
+              (fun (jobs, wall, (r : Astskew.Router.result)) ->
+                let rep =
+                  match r.sched with
+                  | Some rep -> rep
+                  | None ->
+                    fail
+                      (Printf.sprintf "%s jobs=%d: no efficiency report"
+                         spec.name jobs)
+                in
+                let speedup = base_wall /. Float.max 1e-9 wall in
+                let s = rep.Obs.Sched.serial_fraction in
+                Format.printf
+                  "%-8s %5d %9.3f %8.2fx %7.1f%% %7.2fx %7.2fx %7.2fx@."
+                  spec.name jobs wall speedup (100. *. s) (amdahl_at 4 rep)
+                  (amdahl_at 8 rep) (amdahl_at 16 rep);
+                if not (s >= 0. && s <= 1.) then
+                  fail
+                    (Printf.sprintf "%s jobs=%d: serial fraction %g outside [0,1]"
+                       spec.name jobs s);
+                if jobs = 1 && speedup <> 1.0 then
+                  fail
+                    (Printf.sprintf "%s: jobs=1 speedup %.17g <> 1.0" spec.name
+                       speedup);
+                if not (same_result base r) then
+                  fail
+                    (Printf.sprintf "%s jobs=%d: tree differs from jobs=1"
+                       spec.name jobs);
+                Obs.Json.Obj
+                  [
+                    ("jobs", Obs.Json.Int jobs);
+                    ("wall_s", Obs.Json.Float wall);
+                    ("speedup_vs_jobs1", Obs.Json.Float speedup);
+                    ("identical_to_jobs1", Obs.Json.Bool (same_result base r));
+                    ("result", Astskew.Router.json_of_result r);
+                  ])
+              runs
+          in
+          Obs.Json.Obj
+            [
+              ("circuit", Obs.Json.String spec.name);
+              ("n_sinks", Obs.Json.Int spec.n_sinks);
+              ("n_groups", Obs.Json.Int 8);
+              ("scheme", Obs.Json.String "intermingled");
+              ("bound_ps", Obs.Json.Float bound);
+              ("runs", Obs.Json.List rows);
+            ])
+      circuits
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "eff");
+        ( "mode",
+          Obs.Json.String (if !smoke_mode then "smoke" else "full") );
+        ("cores", Obs.Json.Int (Domain.recommended_domain_count ()));
+        ("circuits", Obs.Json.List circuit_json);
+      ]
+  in
+  Obs.Json.write_file eff_file json;
+  Format.printf "@.wrote %s@.OK@." eff_file
+
 (* --- Property-based fuzzing (lib/check) ----------------------------------- *)
 
 let fuzz_repro_file = "FUZZ_REPRO.txt"
@@ -1144,6 +1291,7 @@ let () =
   | "trace" -> trace_bench ?circuits:(circuits_of rest) ()
   | "smoke" -> smoke rest
   | "scale" -> scale rest
+  | "eff" -> eff rest
   | "compare" -> compare_bench rest
   | "quick" ->
     run_tables true;
@@ -1160,6 +1308,6 @@ let () =
     micro ()
   | other ->
     Format.eprintf
-      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|trace|smoke|scale|compare|quick|all)@."
+      "unknown command %S (expected table1|table2|figures|spice|ablation|micro|cache|par|trace|smoke|scale|eff|compare|quick|all)@."
       other;
     exit 1

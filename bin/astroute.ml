@@ -96,6 +96,12 @@ let stats_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
+let progress_arg =
+  let doc =
+    "Print a live heartbeat to stderr while routing: one line per second      carrying the pipeline phase, wall clock, heap watermark, per-depth      region completion counts and an ETA.  Lines are strictly space-      separated key=value tokens (progress phase=... wall_s=... ...).      The heartbeat never changes the routed tree."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace-event JSON file to FILE: spans and instants from      the routing pipeline (engine rounds, probe/commit phases, repair      cycles), loadable in Perfetto or chrome://tracing.  Tracing does not      change the routed tree."
@@ -198,7 +204,7 @@ let print_result name (r : Astskew.Router.result) =
 let route_cmd =
   let run circuit groups scheme bound seed algo file svg stats_json jobs
       no_incremental clustered clusters cluster_depth repair_max_cycles
-      trace_file journal_file =
+      show_progress trace_file journal_file =
     match load_instance ?file circuit groups scheme bound seed with
     | Error e ->
       Format.eprintf "astroute: %s@." e;
@@ -209,28 +215,31 @@ let route_cmd =
         make_trace ~trace_file ~journal_file ~circuit ~groups ~scheme ~bound
           ~seed ~file ~jobs ~incremental
       in
+      let progress =
+        if show_progress then Obs.Progress.create () else Obs.Progress.null
+      in
       let result =
         match algo with
         | "ast" ->
           Some
             ( "AST-DME",
               Astskew.Router.ast_dme ~jobs ~incremental ~clustered ?clusters
-                ?cluster_depth ?repair_max_cycles ~trace inst )
+                ?cluster_depth ?repair_max_cycles ~trace ~progress inst )
         | "ext" ->
           Some
             ( "EXT-BST",
               Astskew.Router.ext_bst ~jobs ~incremental ?repair_max_cycles
-                ~trace inst )
+                ~trace ~progress inst )
         | "zst" ->
           Some
             ( "greedy-DME",
               Astskew.Router.greedy_dme ~jobs ~incremental ?repair_max_cycles
-                ~trace inst )
+                ~trace ~progress inst )
         | "mmm" ->
           Some
             ( "MMM-DME",
               Astskew.Router.mmm_dme ~jobs ~incremental ?repair_max_cycles
-                ~trace inst )
+                ~trace ~progress inst )
         | _ -> None
       in
       if clustered && algo <> "ast" then begin
@@ -275,7 +284,7 @@ let route_cmd =
       const run $ circuit_arg $ groups_arg $ scheme_arg $ bound_arg $ seed_arg
       $ algo_arg $ file_arg $ svg_arg $ stats_json_arg $ jobs_arg
       $ no_incremental_arg $ clustered_arg $ clusters_arg
-      $ cluster_depth_arg $ repair_max_cycles_arg $ trace_arg
+      $ cluster_depth_arg $ repair_max_cycles_arg $ progress_arg $ trace_arg
       $ trace_journal_arg)
   in
   Cmd.v (Cmd.info "route" ~doc:"Route one circuit with one algorithm.") term

@@ -299,6 +299,67 @@ let trace_identity ?(jobs = [ 1; 2 ]) inst =
       in
       List.concat_map check jobs)
 
+(* --- flight-recorder bit-identity ------------------------------------------ *)
+
+let sched_identity ?(jobs = [ 1; 2; 4 ]) inst =
+  guard "sched-identity" (fun () ->
+      let base = Router.ast_dme ~jobs:1 inst in
+      let degc (s : Dme.Engine.stats) = { s with gc = Obs.Gcstat.zero } in
+      let check j =
+        let sched = Obs.Sched.create () in
+        (* The heartbeat reporter rides along muted: it must be as inert
+           as the recorder, and this is the one place that proves it. *)
+        let devnull = open_out "/dev/null" in
+        let progress = Obs.Progress.create ~out:devnull () in
+        let recorded =
+          Fun.protect
+            ~finally:(fun () -> close_out devnull)
+            (fun () -> Router.ast_dme ~jobs:j ~sched ~progress inst)
+        in
+        let unrecorded = Router.ast_dme ~jobs:j inst in
+        let diff = ref [] in
+        let add fmt =
+          Printf.ksprintf
+            (fun detail ->
+              diff := { Audit.invariant = "sched-identity"; detail } :: !diff)
+            fmt
+        in
+        if not (Audit.tree_equal base.routed recorded.routed) then
+          add "jobs=%d recorded tree differs structurally from jobs=1" j;
+        Array.iteri
+          (fun i d ->
+            if d <> recorded.evaluation.delays.(i) then
+              add "jobs=%d sink %d delay: unrecorded %.17g, recorded %.17g" j i
+                d recorded.evaluation.delays.(i))
+          base.evaluation.delays;
+        if base.evaluation.wirelength <> recorded.evaluation.wirelength then
+          add "jobs=%d wirelength: unrecorded %.17g, recorded %.17g" j
+            base.evaluation.wirelength recorded.evaluation.wirelength;
+        (* Stats equality against a same-jobs unrecorded run (gc zeroed):
+           the recorder observed scheduling without steering it. *)
+        if degc unrecorded.engine <> degc recorded.engine then
+          add "jobs=%d recorded engine stats differ from unrecorded" j;
+        (* The report itself must be present and sane. *)
+        (match recorded.Router.sched with
+        | None -> add "jobs=%d recorded run yields no efficiency report" j
+        | Some rep ->
+            (* The report records the widest pool a map actually ran on;
+               tiny instances legitimately clamp below the request (a
+               single sink never fans out), so the bound is one-sided. *)
+            if rep.Obs.Sched.jobs < 1 || rep.Obs.Sched.jobs > j then
+              add "jobs=%d report claims jobs=%d" j rep.Obs.Sched.jobs;
+            let s = rep.Obs.Sched.serial_fraction in
+            if not (s >= 0. && s <= 1.) then
+              add "jobs=%d serial fraction %.17g outside [0,1]" j s;
+            if rep.Obs.Sched.wall_s < rep.Obs.Sched.par_wall_s then
+              add "jobs=%d phase walls %.17g < parallel walls %.17g" j
+                rep.Obs.Sched.wall_s rep.Obs.Sched.par_wall_s);
+        if unrecorded.Router.sched <> None then
+          add "jobs=%d unrecorded run yields an efficiency report" j;
+        List.rev !diff
+      in
+      List.concat_map check jobs)
+
 (* --- clustered routing ----------------------------------------------------- *)
 
 let cluster_identity ?(jobs = [ 1; 2 ]) inst =
@@ -728,7 +789,7 @@ let delay_models ?(resolution = 300) inst =
 
 let all ?(inject = false) inst =
   routers ~inject inst @ cache_identity inst @ par_identity inst
-  @ incremental_identity inst @ trace_identity inst
+  @ incremental_identity inst @ trace_identity inst @ sched_identity inst
   @ cluster_identity inst @ cluster_depth_identity inst
   @ repair_identity inst @ evaluate_identity inst @ embed_identity inst
   @ clustered ~inject inst @ delay_models inst

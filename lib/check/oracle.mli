@@ -22,6 +22,12 @@
       wirelength and engine stats of the untraced run, the journal's
       per-round sums match the engine's aggregate stats, and the Chrome
       export round-trips through {!Obs.Json}.
+    - {!sched_identity}: the parallel-efficiency flight recorder and
+      the progress heartbeat are semantically inert — AST-DME with a
+      live {!Obs.Sched} and a muted {!Obs.Progress} produces the exact
+      tree, delays, wirelength and engine stats of the unrecorded run
+      at every jobs count, and the resulting report is present and
+      sane (serial fraction in [0,1], phase walls >= parallel walls).
     - {!cluster_identity}: the two-level clustered router degenerates
       exactly — with [clusters = 1] it produces the flat router's tree,
       delays, wirelength and engine stats, for every jobs count.
@@ -94,6 +100,17 @@ val incremental_identity :
     stats, and any failure of the Chrome export to re-parse via
     {!Obs.Json.of_string} with a non-empty [traceEvents] list. *)
 val trace_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
+
+(** Route unrecorded with [jobs = 1], then with a fresh {!Obs.Sched}
+    recorder and a muted {!Obs.Progress} reporter at each entry of
+    [jobs] (default [[1; 2; 4]]), and report any difference in tree
+    structure, per-sink delays, wirelength or engine stats (gc zeroed)
+    against a same-jobs unrecorded run — recording observes scheduling,
+    it must never steer it.  Additionally asserts the recorded result
+    carries an efficiency report with the right jobs count, a serial
+    fraction in [0, 1] and phase walls >= parallel walls, and that the
+    unrecorded result carries none. *)
+val sched_identity : ?jobs:int list -> Clocktree.Instance.t -> finding list
 
 (** Route flat with [jobs = 1], then clustered with [clusters = 1] for
     each entry of [jobs] (default [[1; 2]]), and report any difference

@@ -34,12 +34,14 @@ let check ?inject (case : Gen.case) =
    parallel probing are exercised together; repair-identity at this
    size auto-derives multiple regions, so the regional-fixpoint
    machinery is exercised against the serial from-scratch pass on every
-   huge case. *)
+   huge case; sched-identity at jobs = 2 proves the flight recorder
+   stays inert exactly where its ledgers are busiest. *)
 let huge_oracles inst =
   Oracle.par_identity inst
   @ Oracle.incremental_identity ~jobs:[ 2 ] inst
   @ Oracle.repair_identity ~jobs:[ 2 ] inst
   @ Oracle.evaluate_identity ~jobs:[ 2 ] inst
+  @ Oracle.sched_identity ~jobs:[ 2 ] inst
 
 (* Banked cases target the clustered path: the degenerate clusters=1 run
    must be bit-identical to flat (at jobs 2, so region scheduling rides

@@ -32,7 +32,8 @@ let default_slack = 1e-4
    enforces this).  [regions] forces the window count (tests/oracles);
    the default derives it from the sink count, which leaves small
    instances on the plain serial path. *)
-let sink_delays ?(jobs = 1) ?regions (inst : Instance.t) (a : Arena.t) =
+let sink_delays ?(jobs = 1) ?regions ?(sched = Obs.Sched.null)
+    (inst : Instance.t) (a : Arena.t) =
   let down = Array.make a.Arena.n 0. in
   let node_delay = Array.make a.Arena.n 0. in
   let delays = Array.make (Instance.n_sinks inst) 0. in
@@ -53,7 +54,8 @@ let sink_delays ?(jobs = 1) ?regions (inst : Instance.t) (a : Arena.t) =
           (* Bottom-up caps: windows in parallel (disjoint index ranges
              of the shared array), then the ascending spine stitch. *)
           let (_ : unit array) =
-            Par.Pool.map_chunked pool ~chunk:1
+            Par.Pool.map_chunked pool ~sched ~label:"evaluate.windows"
+              ~chunk:1
               (fun (lo, hi) -> Arena.downstream_rc_range ~into:down ~lo ~hi a)
               windows
           in
@@ -63,7 +65,8 @@ let sink_delays ?(jobs = 1) ?regions (inst : Instance.t) (a : Arena.t) =
              scattering its own leaves' delays while it holds them. *)
           Arena.elmore_gaps ~down ~down0 ~into:node_delay ~windows a;
           let (_ : unit array) =
-            Par.Pool.map_chunked pool ~chunk:1
+            Par.Pool.map_chunked pool ~sched ~label:"evaluate.windows"
+              ~chunk:1
               (fun (lo, hi) ->
                 Arena.elmore_window ~down ~into:node_delay ~lo ~hi a;
                 Arena.delays_by_sink_range ~delay:node_delay ~into:delays ~lo
@@ -76,8 +79,8 @@ let sink_delays ?(jobs = 1) ?regions (inst : Instance.t) (a : Arena.t) =
 let delays ?jobs ?regions (inst : Instance.t) (r : Tree.routed) =
   sink_delays ?jobs ?regions inst (Arena.of_routed inst.params ~rd:inst.rd r)
 
-let report_of_arena ?jobs ?regions (inst : Instance.t) (a : Arena.t) =
-  let delays = sink_delays ?jobs ?regions inst a in
+let report_of_arena ?jobs ?regions ?sched (inst : Instance.t) (a : Arena.t) =
+  let delays = sink_delays ?jobs ?regions ?sched inst a in
   let min_delay = Array.fold_left Float.min Float.infinity delays in
   let max_delay = Array.fold_left Float.max Float.neg_infinity delays in
   let lo = Array.make inst.n_groups Float.infinity in

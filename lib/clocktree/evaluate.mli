@@ -37,8 +37,13 @@ val delays : ?jobs:int -> ?regions:int -> Instance.t -> Tree.routed -> float arr
 val run : ?jobs:int -> ?regions:int -> Instance.t -> Tree.routed -> report
 
 (** Evaluate a tree already flattened into an arena (the arena-native
-    router pipeline's representation), without re-flattening. *)
-val report_of_arena : ?jobs:int -> ?regions:int -> Instance.t -> Arena.t -> report
+    router pipeline's representation), without re-flattening.  An
+    enabled [sched] recorder ledgers the windowed kernel maps under
+    ["evaluate.windows"]; recording never changes the computed report
+    ([sched_identity] oracle). *)
+val report_of_arena :
+  ?jobs:int -> ?regions:int -> ?sched:Obs.Sched.t ->
+  Instance.t -> Arena.t -> report
 
 (** Does the tree satisfy the instance's intra-group bound (within
     [slack], default {!default_slack} ps of numerical slack)? *)

@@ -534,6 +534,7 @@ let make_state (inst : Instance.t) (a : Arena.t) regions =
    arena-native router pipeline's entry point — no pointer tree is built
    or consumed. *)
 let run_arena ?(config = default_config) ?(trace = Obs.Trace.null)
+    ?(sched = Obs.Sched.null) ?(progress = Obs.Progress.null)
     (inst : Instance.t) (a : Arena.t) =
   let tracing = Obs.Trace.enabled trace in
   let slack = Evaluate.default_slack in
@@ -545,17 +546,24 @@ let run_arena ?(config = default_config) ?(trace = Obs.Trace.null)
        are disjoint index ranges with disjoint stores, so workers never
        write the same word; summaries are folded in region index order,
        keeping every accumulated float deterministic for any jobs. *)
+    if Array.length regions > 0 then
+      Obs.Progress.add_regions progress ~depth:0 (Array.length regions);
+    let fixpoint r =
+      let s = region_fixpoint st config r in
+      Obs.Progress.region_done progress ~depth:0;
+      s
+    in
     let summaries =
       if Array.length regions = 0 then [||]
       else if config.jobs <= 1 || Array.length regions < 2 then
-        Array.map (region_fixpoint st config) regions
+        Array.map fixpoint regions
       else
         Par.Pool.with_pool ~jobs:config.jobs (fun pool ->
             match pool with
-            | None -> Array.map (region_fixpoint st config) regions
+            | None -> Array.map fixpoint regions
             | Some p ->
-              Par.Pool.map_chunked p ~chunk:1 (region_fixpoint st config)
-                regions)
+              Par.Pool.map_chunked p ~sched ~label:"repair.regions" ~chunk:1
+                fixpoint regions)
     in
     Obs.Counter.add c_regions (Array.length summaries);
     let added = ref 0. and adjusted = ref 0 and conflicts = ref 0 in
@@ -600,6 +608,7 @@ let run_arena ?(config = default_config) ?(trace = Obs.Trace.null)
     let finished = ref false in
     let g_lifts = ref 0 and unresolved = ref 0 in
     while not !finished do
+      Obs.Progress.tick progress;
       Array.iteri (fun i s -> maybe_compact st i s) st.stores;
       Obs.Counter.incr c_balance;
       if tracing then
@@ -687,7 +696,8 @@ let run_arena ?(config = default_config) ?(trace = Obs.Trace.null)
   if tracing then Obs.Trace.span trace ~cat:"clocktree.repair" "repair" go
   else go ()
 
-let run ?config ?trace (inst : Instance.t) (r : Tree.routed) =
+let run ?config ?trace ?sched ?progress (inst : Instance.t) (r : Tree.routed)
+    =
   let a = Arena.of_routed inst.params ~rd:inst.rd r in
-  let stats = run_arena ?config ?trace inst a in
+  let stats = run_arena ?config ?trace ?sched ?progress inst a in
   (Arena.to_routed a, stats)

@@ -85,15 +85,25 @@ type stats = {
     ["balance_pass"] / ["lift_sweep"] instants and a ["repair_cycle"]
     journal record, the regional phase emits one ["regional_repair"]
     instant plus a ["repair_region"] journal record per region, and
-    exhausting a cycle budget emits a ["budget_exhausted"] instant. *)
+    exhausting a cycle budget emits a ["budget_exhausted"] instant.
+
+    An enabled [sched] recorder ledgers the parallel regional phase
+    under ["repair.regions"]; an enabled [progress] reporter is told
+    the region count, sees a completion per converged regional
+    fixpoint, and gets a heartbeat tick per global cycle.  Neither
+    perturbs the repair: trees and stats stay bit-identical with them
+    on or off. *)
 val run_arena :
-  ?config:config -> ?trace:Obs.Trace.t -> Instance.t -> Arena.t -> stats
+  ?config:config -> ?trace:Obs.Trace.t -> ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t -> Instance.t -> Arena.t -> stats
 
 (** {!run_arena} on [Arena.of_routed routed], rebuilding the repaired
     pointer tree afterwards. *)
 val run :
   ?config:config ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   Instance.t ->
   Tree.routed ->
   Tree.routed * stats

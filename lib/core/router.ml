@@ -17,6 +17,8 @@ type result = {
   cpu_seconds : float;
   timings : timings;
   clustering : Dme.Cluster.stats option;
+  sched : Obs.Sched.report option;
+  top_heap_words : int;
 }
 
 let t_engine = Obs.Timer.make "router.engine"
@@ -33,7 +35,8 @@ let t_evaluate = Obs.Timer.make "router.evaluate"
    flat arena, repair mutates its [len] column in place and evaluation
    reads it windowed across [jobs] domains — the boxed [Tree.routed] is
    rebuilt once at the end, purely as the external representation. *)
-let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(jobs = 1) ~plan
+let solve_with ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    ?(progress = Obs.Progress.null) ?repair_max_cycles ?(jobs = 1) ~plan
     ~route_inst ~eval_inst () =
   let tracing = Obs.Trace.enabled trace in
   let phase name f =
@@ -60,27 +63,36 @@ let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(jobs = 1) ~plan
     }
   in
   let t0 = Sys.time () in
+  Obs.Progress.phase progress "engine";
   let w0 = Obs.Timer.now () in
   let arena, engine =
     phase "router.engine" (fun () ->
         Obs.Timer.time t_engine (fun () -> plan route_inst))
   in
   let w1 = Obs.Timer.now () in
+  (* Phase walls feed the recorder: the serial fraction of a phase is
+     this wall minus the time its ledgers spent inside parallel maps. *)
+  Obs.Sched.note_phase sched ~phase:"engine" ~wall_s:(w1 -. w0);
+  Obs.Progress.phase progress "repair";
   let repair =
     phase "router.repair" (fun () ->
         Obs.Timer.time t_repair (fun () ->
-            Repair.run_arena ~config:repair_config ~trace route_inst arena))
+            Repair.run_arena ~config:repair_config ~trace ~sched ~progress
+              route_inst arena))
   in
   let w2 = Obs.Timer.now () in
+  Obs.Sched.note_phase sched ~phase:"repair" ~wall_s:(w2 -. w1);
   (* cpu_seconds spans planning + repair, as it always has; the wall
      timings additionally cover evaluation. *)
   let cpu_seconds = Sys.time () -. t0 in
+  Obs.Progress.phase progress "evaluate";
   let evaluation =
     phase "router.evaluate" (fun () ->
         Obs.Timer.time t_evaluate (fun () ->
-            Evaluate.report_of_arena ~jobs eval_inst arena))
+            Evaluate.report_of_arena ~jobs ~sched eval_inst arena))
   in
   let w3 = Obs.Timer.now () in
+  Obs.Sched.note_phase sched ~phase:"evaluate" ~wall_s:(w3 -. w2);
   let routed = Clocktree.Arena.to_routed arena in
   if tracing then begin
     (* Final-quality histograms: per-sink source-to-sink delay and
@@ -100,17 +112,41 @@ let solve_with ?(trace = Obs.Trace.null) ?repair_max_cycles ?(jobs = 1) ~plan
       total_s = Obs.Timer.now () -. w0;
     }
   in
-  { routed; evaluation; engine; repair; cpu_seconds; timings; clustering = None }
+  let sched_report = Obs.Sched.report sched in
+  (match sched_report with
+  | Some rep when tracing ->
+      Obs.Trace.journal trace
+        (Obs.Json.Obj
+           [
+             ("type", Obs.Json.String "efficiency");
+             ("report", Obs.Sched.json_of_report rep);
+           ])
+  | _ -> ());
+  Obs.Progress.finish progress;
+  {
+    routed;
+    evaluation;
+    engine;
+    repair;
+    cpu_seconds;
+    timings;
+    clustering = None;
+    sched = sched_report;
+    (* The process high-water mark; with a single route per process
+       (bench points, astroute) this is the route's peak heap. *)
+    top_heap_words = Obs.Gcstat.top_heap_words ();
+  }
 
-let solve ?config ?(trace = Obs.Trace.null) ?repair_max_cycles ~route_inst
-    ~eval_inst () =
+let solve ?config ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    ?(progress = Obs.Progress.null) ?repair_max_cycles ~route_inst ~eval_inst
+    () =
   let jobs =
     match config with
     | Some (c : Dme.Engine.config) -> c.jobs
     | None -> Dme.Engine.default.jobs
   in
-  solve_with ~trace ?repair_max_cycles ~jobs
-    ~plan:(Dme.Engine.run_arena ?config ~trace)
+  solve_with ~trace ~sched ~progress ?repair_max_cycles ~jobs
+    ~plan:(Dme.Engine.run_arena ?config ~trace ~sched)
     ~route_inst ~eval_inst ()
 
 (* [jobs] overrides the engine parallelism of [config] (or of [default]
@@ -148,11 +184,13 @@ let router_manifest trace name (config : Dme.Engine.config) =
       ]
 
 let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
-    ?cluster_depth ?repair_max_cycles ?(trace = Obs.Trace.null) inst =
+    ?cluster_depth ?repair_max_cycles ?(trace = Obs.Trace.null)
+    ?(sched = Obs.Sched.null) ?(progress = Obs.Progress.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "ast_dme" config;
   if not clustered then
-    solve ~config ~trace ?repair_max_cycles ~route_inst:inst ~eval_inst:inst ()
+    solve ~config ~trace ~sched ~progress ?repair_max_cycles ~route_inst:inst
+      ~eval_inst:inst ()
   else begin
     (* The clustered engine returns its per-region detail alongside the
        aggregate stats [solve_with] threads through; stash it and patch
@@ -162,15 +200,15 @@ let ast_dme ?config ?jobs ?incremental ?(clustered = false) ?clusters
     let detail = ref None in
     let plan inst =
       let arena, stats, d =
-        Dme.Cluster.run_arena ~config ~trace ?clusters ?depth:cluster_depth
-          inst
+        Dme.Cluster.run_arena ~config ~trace ~sched ~progress ?clusters
+          ?depth:cluster_depth inst
       in
       detail := Some d;
       (arena, stats)
     in
     let r =
-      solve_with ~trace ?repair_max_cycles ~jobs:config.jobs ~plan
-        ~route_inst:inst ~eval_inst:inst ()
+      solve_with ~trace ~sched ~progress ?repair_max_cycles ~jobs:config.jobs
+        ~plan ~route_inst:inst ~eval_inst:inst ()
     in
     { r with clustering = !detail }
   end
@@ -191,24 +229,29 @@ let fused ?bound (inst : Instance.t) =
     ~source:inst.source ~n_groups:1 sinks
 
 let ext_bst ?config ?jobs ?incremental ?repair_max_cycles
-    ?(trace = Obs.Trace.null) inst =
+    ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    ?(progress = Obs.Progress.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
   router_manifest trace "ext_bst" config;
-  solve ~config ~trace ?repair_max_cycles ~route_inst:(fused inst)
-    ~eval_inst:inst ()
+  solve ~config ~trace ~sched ~progress ?repair_max_cycles
+    ~route_inst:(fused inst) ~eval_inst:inst ()
 
 let greedy_dme ?config ?jobs ?incremental ?repair_max_cycles
-    ?(trace = Obs.Trace.null) inst =
+    ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    ?(progress = Obs.Progress.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:Dme.Engine.default config in
   router_manifest trace "greedy_dme" config;
-  solve ~config ~trace ?repair_max_cycles ~route_inst:(fused ~bound:0. inst)
-    ~eval_inst:inst ()
+  solve ~config ~trace ~sched ~progress ?repair_max_cycles
+    ~route_inst:(fused ~bound:0. inst) ~eval_inst:inst ()
 
 let mmm_dme ?config ?jobs ?incremental ?repair_max_cycles
-    ?(trace = Obs.Trace.null) inst =
+    ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    ?(progress = Obs.Progress.null) inst =
   let config = with_jobs ?jobs ?incremental ~default:ast_default_config config in
   router_manifest trace "mmm_dme" config;
-  solve_with ~trace ?repair_max_cycles ~jobs:config.jobs
+  (* The MMM plan itself is serial (no recorded maps), but repair and
+     evaluation still ledger under the recorder. *)
+  solve_with ~trace ~sched ~progress ?repair_max_cycles ~jobs:config.jobs
     ~plan:(Dme.Mmm.run_arena ~config ~trace)
     ~route_inst:inst ~eval_inst:inst ()
 
@@ -298,14 +341,18 @@ let json_of_result (r : result) : Obs.Json.t =
        ("max_group_skew_ps", Float r.evaluation.max_group_skew);
        ("cpu_seconds", Float r.cpu_seconds);
        ("timings", timings);
+       ("top_heap_words", Int r.top_heap_words);
        ("engine", engine);
        ("repair", repair);
        ("clustered", Bool (r.clustering <> None));
      ]
+    @ (match r.clustering with
+      | None -> []
+      | Some d -> [ ("clustering", json_of_clustering d) ])
     @
-    match r.clustering with
+    match r.sched with
     | None -> []
-    | Some d -> [ ("clustering", json_of_clustering d) ])
+    | Some rep -> [ ("efficiency", Obs.Sched.json_of_report rep) ])
 
 let pp_result ppf r =
   Format.fprintf ppf "%a, %.2fs cpu, %d infeasible merges, repair +%.0f wire"

@@ -33,6 +33,13 @@ type result = {
   clustering : Dme.Cluster.stats option;
       (** per-region detail when the run was clustered; [None] for the
           flat routers *)
+  sched : Obs.Sched.report option;
+      (** parallel-efficiency report when the run was handed an enabled
+          {!Obs.Sched} recorder; [None] otherwise *)
+  top_heap_words : int;
+      (** [Gc.quick_stat]'s process heap high-water mark, sampled at the
+          end of the run (words); with one route per process this is the
+          route's peak major-heap footprint *)
 }
 
 (** The configuration [ast_dme] uses by default: the engine defaults
@@ -60,7 +67,21 @@ val ast_default_config : Dme.Engine.config
     per-sink delays and per-group skews into the
     ["router.sink_delay_ps"] / ["router.group_skew_ps"] histograms.
     The default {!Obs.Trace.null} emits nothing; the routed tree,
-    evaluation and stats are identical with tracing on or off. *)
+    evaluation and stats are identical with tracing on or off.
+
+    Each router further takes an optional [sched] flight recorder and an
+    optional [progress] heartbeat (see {!Obs.Sched} / {!Obs.Progress}).
+    An enabled recorder collects per-domain busy/idle ledgers from every
+    parallel map of the run, receives the three phase walls, and yields
+    the per-phase utilization / serial-fraction / Amdahl report in
+    [result.sched] (also emitted as one [type = "efficiency"] journal
+    record when tracing).  An enabled [progress] prints throttled
+    heartbeat lines to stderr: phase entry/exit, region completions from
+    the clustered planner and the repair pass, wall clock, live heap
+    watermark and an ETA.  Both default to their null values and neither
+    influences routing — trees, delays and stats are bit-identical with
+    recorder and reporter on or off at any jobs count (the
+    [sched_identity] oracle in [Check.Oracle] enforces this). *)
 
 (** [ast_dme ~clustered:true] routes through {!Dme.Cluster.run_arena}:
     a multi-level construction that partitions the sinks into
@@ -84,6 +105,8 @@ val ast_dme :
   ?cluster_depth:int ->
   ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   Clocktree.Instance.t ->
   result
 
@@ -93,6 +116,8 @@ val ext_bst :
   ?incremental:bool ->
   ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   Clocktree.Instance.t ->
   result
 
@@ -102,6 +127,8 @@ val greedy_dme :
   ?incremental:bool ->
   ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   Clocktree.Instance.t ->
   result
 
@@ -116,6 +143,8 @@ val mmm_dme :
   ?incremental:bool ->
   ?repair_max_cycles:int ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   Clocktree.Instance.t ->
   result
 
@@ -125,8 +154,10 @@ val mmm_dme :
 val reduction : baseline:result -> result -> float
 
 (** Machine-readable summary of a result: evaluation metrics, engine and
-    repair stats, per-phase timings, a ["clustered"] flag and — for
-    clustered runs — a ["clustering"] object with per-region stats.
+    repair stats, per-phase timings, the ["top_heap_words"] high-water
+    mark, a ["clustered"] flag, for clustered runs a ["clustering"]
+    object with per-region stats, and — when the run carried an enabled
+    recorder — an ["efficiency"] object ({!Obs.Sched.json_of_report}).
     This is the ["result"] object of the [BENCH_*.json] files and of
     [astroute --stats-json]. *)
 val json_of_result : result -> Obs.Json.t

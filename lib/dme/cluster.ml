@@ -183,12 +183,19 @@ type part = {
    synchronized halving and stitches its children with an [Engine.plan
    ~leaves] over the {e global} instance, so every stitch level uses the
    same bbox-derived penalty / reach-cap / grid scales as the top. *)
-let rec plan_node ~config ~trace (inst : Instance.t) ids ~budget ~depth =
+let rec plan_node ~config ~trace ~progress ~pdepth (inst : Instance.t) ids
+    ~budget ~depth =
   if budget <= 1 then begin
     let sub = sub_instance inst ids in
     let t0 = Obs.Timer.now () in
     let root, stats = Engine.plan ~config ~trace sub in
     let wall_s = Float.max 0. (Obs.Timer.now () -. t0) in
+    (* Leaf regions all report at one progress depth regardless of how
+       deep the halving placed them: the heartbeat's ETA wants one
+       homogeneous completion counter, not the hierarchy's shape. *)
+    (match pdepth with
+     | Some dd -> Obs.Progress.region_done progress ~depth:dd
+     | None -> ());
     {
       pr_root = reglobalize inst ids root;
       pr_leaves =
@@ -205,8 +212,8 @@ let rec plan_node ~config ~trace (inst : Instance.t) ids ~budget ~depth =
     let parts =
       Array.map
         (fun (gids, gbudget) ->
-          plan_node ~config ~trace inst gids ~budget:gbudget
-            ~depth:(depth - 1))
+          plan_node ~config ~trace ~progress ~pdepth inst gids
+            ~budget:gbudget ~depth:(depth - 1))
         groups
     in
     let leaves =
@@ -229,7 +236,8 @@ let rec plan_node ~config ~trace (inst : Instance.t) ids ~budget ~depth =
 
 let renumber cs = Array.mapi (fun i c -> { c with cluster = i }) cs
 
-let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters
+let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null)
+    ?(sched = Obs.Sched.null) ?(progress = Obs.Progress.null) ?clusters
     ?depth inst =
   let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
@@ -249,6 +257,18 @@ let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters
   in
   let kr = Array.fold_left (fun acc (_, b) -> acc + b) 0 groups in
   Obs.Counter.add c_regions kr;
+  (* Announce the hierarchy to the heartbeat: top-level groups at
+     progress depth 0 and — when the hierarchy actually has a second
+     level — the leaf regions at depth 1 (a depth-1 hierarchy's top
+     groups ARE its leaf regions, so announcing both would double
+     count). *)
+  let pdepth = if d > 1 then Some 1 else None in
+  if Array.length groups > 0 then begin
+    Obs.Progress.add_regions progress ~depth:0 (Array.length groups);
+    match pdepth with
+    | Some dd -> Obs.Progress.add_regions progress ~depth:dd kr
+    | None -> ()
+  end;
   let jobs = Int.max 1 config.Engine.jobs in
   Par.Pool.with_pool ~jobs (fun pool ->
       (* Top-level groups map over the pool's domains (one chunk each);
@@ -259,13 +279,19 @@ let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters
          budget — so the gathered array, and everything downstream, is
          bit-identical for any jobs count. *)
       let plan_group (gids, gbudget) =
-        plan_node ~config ~trace inst gids ~budget:gbudget ~depth:(d - 1)
+        let part =
+          plan_node ~config ~trace ~progress ~pdepth inst gids
+            ~budget:gbudget ~depth:(d - 1)
+        in
+        Obs.Progress.region_done progress ~depth:0;
+        part
       in
       let parts =
         let body () =
           match pool with
           | Some pool when Array.length groups > 1 ->
-            Par.Pool.map_chunked pool ~chunk:1 plan_group groups
+            Par.Pool.map_chunked pool ~sched ~label:"engine.regions" ~chunk:1
+              plan_group groups
           | _ -> Array.map plan_group groups
         in
         if tracing then
@@ -329,8 +355,8 @@ let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters
       let leaves =
         Array.mapi (fun i p -> { p.pr_root with Subtree.id = i }) parts
       in
-      let root, top = Engine.plan ~config ~trace ?pool ~leaves inst in
-      let arena = Embed.run_arena ?pool ~trace inst root in
+      let root, top = Engine.plan ~config ~trace ~sched ?pool ~leaves inst in
+      let arena = Embed.run_arena ?pool ~trace ~sched inst root in
       let aggregate =
         let sum =
           Array.fold_left (fun acc c -> add_stats acc c.stats) top per_cluster
@@ -344,9 +370,11 @@ let run_arena ?(config = Engine.default) ?(trace = Obs.Trace.null) ?clusters
         aggregate,
         { n_clusters = kr; depth = realized_depth; per_cluster; super; top } ))
 
-let run ?config ?trace ?clusters ?depth inst =
+let run ?config ?trace ?sched ?progress ?clusters ?depth inst =
   let gc0 = Obs.Gcstat.sample () in
-  let arena, stats, detail = run_arena ?config ?trace ?clusters ?depth inst in
+  let arena, stats, detail =
+    run_arena ?config ?trace ?sched ?progress ?clusters ?depth inst
+  in
   let routed = Clocktree.Arena.to_routed arena in
   (routed, { stats with Engine.gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 },
    detail)

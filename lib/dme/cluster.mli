@@ -91,10 +91,21 @@ val partition : Clocktree.Instance.t -> clusters:int -> int array array
     ["cluster.plan"] span wraps the bottom level, one journal record of
     [type = "cluster"] (regions) or ["cluster_super"] (sub-level
     stitches) summarizes each plan, and the manifest gains the region
-    count and realized depth. *)
+    count and realized depth.
+
+    An enabled [sched] recorder ledgers the top-level region map under
+    ["engine.regions"] (plus the stitch/embed ledgers from
+    {!Engine.plan} / {!Embed.run_arena}); an enabled [progress]
+    reporter is told the top-level group count (depth 0) and — for
+    hierarchies deeper than one level — the leaf-region count
+    (depth 1), and sees a completion per planned region.  Neither
+    influences planning: results stay bit-identical with recorder and
+    reporter on or off. *)
 val run :
   ?config:Engine.config ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   ?clusters:int ->
   ?depth:int ->
   Clocktree.Instance.t ->
@@ -105,6 +116,8 @@ val run :
 val run_arena :
   ?config:Engine.config ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
+  ?progress:Obs.Progress.t ->
   ?clusters:int ->
   ?depth:int ->
   Clocktree.Instance.t ->

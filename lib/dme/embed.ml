@@ -108,7 +108,8 @@ type task = { t_sub : Subtree.t; t_p : Pt.t; t_base : int }
    every element is computed by the serial expressions from the same
    operands: the arena is bit-identical to the serial fill for any jobs
    count.  The expansion itself is an iterative explicit-stack walk. *)
-let embed_parallel pool (a : Arena.t) (root : Subtree.t) (root_pt : Pt.t) =
+let embed_parallel pool sched (a : Arena.t) (root : Subtree.t)
+    (root_pt : Pt.t) =
   let depth_limit =
     let target = 4 * Par.Pool.jobs pool in
     let d = ref 0 in
@@ -158,14 +159,14 @@ let embed_parallel pool (a : Arena.t) (root : Subtree.t) (root_pt : Pt.t) =
   if Array.length tasks = 0 then ()
   else
     let (_ : unit array) =
-      Par.Pool.map_chunked pool ~chunk:1
+      Par.Pool.map_chunked pool ~sched ~label:"engine.embed" ~chunk:1
         (fun { t_sub; t_p; t_base } -> fill_window a t_sub t_p ~base:t_base)
         tasks
     in
     ()
 
-let run_arena ?pool ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
-    (root : Subtree.t) =
+let run_arena ?pool ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    (inst : Clocktree.Instance.t) (root : Subtree.t) =
   let n_sinks = root.Subtree.n_sinks in
   let n = (2 * n_sinks) - 1 in
   let root_pt = Octagon.nearest_point root.Subtree.region inst.source in
@@ -191,7 +192,8 @@ let run_arena ?pool ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
   in
   let body () =
     (match pool with
-     | Some pool when Par.Pool.jobs pool > 1 -> embed_parallel pool a root root_pt
+     | Some pool when Par.Pool.jobs pool > 1 ->
+       embed_parallel pool sched a root root_pt
      | _ -> fill_window a root root_pt ~base:0);
     (* The root edge is the source wire, exactly as [Arena.of_routed]
        records it. *)
@@ -202,7 +204,8 @@ let run_arena ?pool ?(trace = Obs.Trace.null) (inst : Clocktree.Instance.t)
     Obs.Trace.span trace ~cat:"dme.embed" "embed" body
   else body ()
 
-let run ?pool ?trace inst root = Arena.to_routed (run_arena ?pool ?trace inst root)
+let run ?pool ?trace ?sched inst root =
+  Arena.to_routed (run_arena ?pool ?trace ?sched inst root)
 
 (* Executable specification: the original recursive boxed-tree walk,
    kept as the independent reference the arena-direct identity oracle

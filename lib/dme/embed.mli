@@ -26,11 +26,14 @@
     for any jobs count ([Check.Oracle.embed_identity] enforces this).
 
     With [trace] enabled the whole embedding is wrapped in one
-    ["embed"] span; the default {!Obs.Trace.null} emits nothing. *)
+    ["embed"] span; the default {!Obs.Trace.null} emits nothing.  An
+    enabled [sched] recorder ledgers the pooled window fill under
+    ["engine.embed"]; the default {!Obs.Sched.null} records nothing. *)
 
 val run_arena :
   ?pool:Par.Pool.t ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
   Clocktree.Instance.t ->
   Subtree.t ->
   Clocktree.Arena.t
@@ -41,6 +44,7 @@ val run_arena :
 val run :
   ?pool:Par.Pool.t ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
   Clocktree.Instance.t ->
   Subtree.t ->
   Clocktree.Tree.routed

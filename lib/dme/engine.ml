@@ -118,7 +118,8 @@ type note = {
    one [plan] per region on worker domains (with [pool] absent: the pool
    is not reentrant) and a top-level [plan] over the region roots on the
    shared pool.  [stats.gc] covers the planning phase only. *)
-let plan ?(config = default) ?(trace = Obs.Trace.null) ?pool ?leaves inst =
+let plan ?(config = default) ?(trace = Obs.Trace.null)
+    ?(sched = Obs.Sched.null) ?pool ?leaves inst =
   let gc0 = Obs.Gcstat.sample () in
   let tracing = Obs.Trace.enabled trace in
   if tracing then
@@ -411,7 +412,7 @@ let plan ?(config = default) ?(trace = Obs.Trace.null) ?pool ?leaves inst =
   in
   let root, (ostats : Order.stats) =
     let body () =
-      Order.run_ranked ?pool ~trace ?on_round ?leaves inst order_config
+      Order.run_ranked ?pool ~trace ~sched ?on_round ?leaves inst order_config
         ~coster:{ Order.session; absorb }
         ~merger:{ Order.compute; install }
     in
@@ -443,20 +444,21 @@ let plan ?(config = default) ?(trace = Obs.Trace.null) ?pool ?leaves inst =
       gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0;
     } )
 
-let run_arena ?(config = default) ?(trace = Obs.Trace.null) inst =
+let run_arena ?(config = default) ?(trace = Obs.Trace.null)
+    ?(sched = Obs.Sched.null) inst =
   let gc0 = Obs.Gcstat.sample () in
   let jobs = Int.max 1 config.jobs in
   (* The pool stays alive through embedding: the top-down phase reuses
      the ranking loop's worker domains for its subtree fan-out. *)
   let arena, stats =
     Par.Pool.with_pool ~jobs (fun pool ->
-        let root, stats = plan ~config ~trace ?pool inst in
-        (Embed.run_arena ?pool ~trace inst root, stats))
+        let root, stats = plan ~config ~trace ~sched ?pool inst in
+        (Embed.run_arena ?pool ~trace ~sched inst root, stats))
   in
   (arena, { stats with gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 })
 
-let run ?config ?trace inst =
+let run ?config ?trace ?sched inst =
   let gc0 = Obs.Gcstat.sample () in
-  let arena, stats = run_arena ?config ?trace inst in
+  let arena, stats = run_arena ?config ?trace ?sched inst in
   let routed = Clocktree.Arena.to_routed arena in
   (routed, { stats with gc = Obs.Gcstat.diff (Obs.Gcstat.sample ()) gc0 })

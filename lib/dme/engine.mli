@@ -124,6 +124,7 @@ val json_of_config : config -> Obs.Json.t
 val plan :
   ?config:config ->
   ?trace:Obs.Trace.t ->
+  ?sched:Obs.Sched.t ->
   ?pool:Par.Pool.t ->
   ?leaves:Subtree.t array ->
   Clocktree.Instance.t ->
@@ -140,9 +141,12 @@ val plan :
     journal record per merge round (probe/cache/trial counts, cheapest
     committed cost, cumulative planned wire, wall time).  The default
     {!Obs.Trace.null} emits nothing and the routed tree and stats are
-    byte-identical with tracing on or off. *)
+    byte-identical with tracing on or off.  An enabled [sched] recorder
+    ledgers the pooled ranking/commit/embed maps (phase ["engine"]);
+    the same bit-identity contract applies ([sched_identity] oracle). *)
 val run :
-  ?config:config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
+  ?config:config -> ?trace:Obs.Trace.t -> ?sched:Obs.Sched.t ->
+  Clocktree.Instance.t ->
   Clocktree.Tree.routed * stats
 
 (** Plan and embed straight into a flat post-order arena — the
@@ -150,5 +154,6 @@ val run :
     [Arena.to_routed]).  Same determinism contract as {!run}: the arena
     is bit-identical for any [config.jobs]. *)
 val run_arena :
-  ?config:config -> ?trace:Obs.Trace.t -> Clocktree.Instance.t ->
+  ?config:config -> ?trace:Obs.Trace.t -> ?sched:Obs.Sched.t ->
+  Clocktree.Instance.t ->
   Clocktree.Arena.t * stats

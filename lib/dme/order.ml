@@ -107,9 +107,9 @@ let rec mem_cand qid = function
   | (cid, _, _) :: rest -> cid = qid || mem_cand qid rest
   | [] -> false
 
-let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round ?leaves
-    (inst : Clocktree.Instance.t) config ~(coster : 'note coster)
-    ~(merger : 'merge merger) =
+let run_ranked ?pool ?(trace = Obs.Trace.null) ?(sched = Obs.Sched.null)
+    ?on_round ?leaves (inst : Clocktree.Instance.t) config
+    ~(coster : 'note coster) ~(merger : 'merge merger) =
   (* The initial population: the instance's sink leaves by default, or an
      explicit subtree array (the clustered router's region roots).  The
      arena is indexed by subtree id, so explicit leaves must carry dense
@@ -467,7 +467,8 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round ?leaves
         let probes =
           let run_probes () =
             match pool with
-            | Some pool -> Par.Pool.map_chunked pool probe todo
+            | Some pool ->
+              Par.Pool.map_chunked pool ~sched ~label:"engine.rank" probe todo
             | None -> Array.map probe todo
           in
           if tracing then
@@ -654,7 +655,8 @@ let run_ranked ?pool ?(trace = Obs.Trace.null) ?on_round ?leaves
             let compute (_, _, a, b, id) = merger.compute ~id a b in
             match pool with
             | Some pool when Array.length sels > 1 ->
-              Par.Pool.map_chunked pool compute sels
+              Par.Pool.map_chunked pool ~sched ~label:"engine.commit" compute
+                sels
             | _ -> Array.map compute sels
           in
           Array.iteri

@@ -1,28 +1,46 @@
+(* Buckets live in a dense [counts] array: [counts.(k)] is the tally of
+   bucket index [base + k].  The array grows (with slack) whenever an
+   observation lands outside the covered index range, so in steady state
+   — once the value range has been seen — [observe], [merge_into] and
+   [reset] run straight-line with zero allocation.  That property is
+   load-bearing: the progress heartbeat merges scratch histograms every
+   tick, and the scheduler ledger observes a chunk latency per chunk on
+   the parallel hot path.  Float aggregates (sum/min/max) live in a
+   [floatarray] so updating them never boxes. *)
+
+(* Distinct ids give [merge_into] a total order to take the two locks
+   in, making concurrent cross-merges deadlock-free. *)
+let next_id = Atomic.make 0
+
 type t = {
   name : string;
   per_decade : int;
+  id : int;
   lock : Mutex.t;
-  buckets : (int, int) Hashtbl.t;  (** bucket index -> count *)
+  mutable base : int;  (** bucket index of [counts.(0)] *)
+  mutable counts : int array;  (** dense tallies; [[||]] until first hit *)
   mutable count : int;
-  mutable sum : float;
   mutable underflow : int;
   mutable overflow : int;
-  mutable min : float;
-  mutable max : float;
+  fl : floatarray;  (** 0: sum, 1: min, 2: max — unboxed stores *)
 }
 
 let create ?(per_decade = 8) name =
+  let fl = Float.Array.create 3 in
+  Float.Array.set fl 0 0.;
+  Float.Array.set fl 1 Float.infinity;
+  Float.Array.set fl 2 Float.neg_infinity;
   {
     name;
     per_decade = Int.max 1 per_decade;
+    id = Atomic.fetch_and_add next_id 1;
     lock = Mutex.create ();
-    buckets = Hashtbl.create 32;
+    base = 0;
+    counts = [||];
     count = 0;
-    sum = 0.;
     underflow = 0;
     overflow = 0;
-    min = Float.infinity;
-    max = Float.neg_infinity;
+    fl;
   }
 
 let name t = t.name
@@ -38,23 +56,47 @@ let locked t f =
 let index t v =
   int_of_float (Float.floor (float_of_int t.per_decade *. Float.log10 v))
 
+(* Grow [counts] to cover bucket index [i].  Called with the lock held;
+   allocates only on a range miss (a few times early in a histogram's
+   life, then never again). *)
+let ensure t i =
+  let len = Array.length t.counts in
+  if len = 0 then begin
+    t.base <- i - 2;
+    t.counts <- Array.make 8 0
+  end
+  else if i < t.base || i >= t.base + len then begin
+    let lo = Int.min i t.base - 4 in
+    let hi = Int.max i (t.base + len - 1) + 4 in
+    let fresh = Array.make (hi - lo + 1) 0 in
+    Array.blit t.counts 0 fresh (t.base - lo) len;
+    t.base <- lo;
+    t.counts <- fresh
+  end
+
+(* Straight-line on purpose: no [Fun.protect] closure, no option — the
+   body cannot raise (growth aside, which only allocates), so unlock is
+   always reached and a steady-state call allocates nothing. *)
 let observe t v =
-  if not (Float.is_nan v) then
-    locked t (fun () ->
-        t.count <- t.count + 1;
-        t.sum <- t.sum +. v;
-        t.min <- Float.min t.min v;
-        t.max <- Float.max t.max v;
-        if v <= 0. then t.underflow <- t.underflow + 1
-        else if v = Float.infinity then t.overflow <- t.overflow + 1
-        else begin
-          let i = index t v in
-          Hashtbl.replace t.buckets i
-            (1 + Option.value ~default:0 (Hashtbl.find_opt t.buckets i))
-        end)
+  if not (Float.is_nan v) then begin
+    Mutex.lock t.lock;
+    t.count <- t.count + 1;
+    Float.Array.unsafe_set t.fl 0 (Float.Array.unsafe_get t.fl 0 +. v);
+    if v < Float.Array.unsafe_get t.fl 1 then Float.Array.unsafe_set t.fl 1 v;
+    if v > Float.Array.unsafe_get t.fl 2 then Float.Array.unsafe_set t.fl 2 v;
+    if v <= 0. then t.underflow <- t.underflow + 1
+    else if v = Float.infinity then t.overflow <- t.overflow + 1
+    else begin
+      let i = index t v in
+      ensure t i;
+      let k = i - t.base in
+      Array.unsafe_set t.counts k (1 + Array.unsafe_get t.counts k)
+    end;
+    Mutex.unlock t.lock
+  end
 
 let count t = locked t (fun () -> t.count)
-let sum t = locked t (fun () -> t.sum)
+let sum t = locked t (fun () -> Float.Array.get t.fl 0)
 let underflow t = locked t (fun () -> t.underflow)
 let overflow t = locked t (fun () -> t.overflow)
 
@@ -62,31 +104,114 @@ let bound t i = Float.pow 10. (float_of_int i /. float_of_int t.per_decade)
 
 let buckets t =
   locked t (fun () ->
-      Hashtbl.fold (fun i n acc -> (i, n) :: acc) t.buckets []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-      |> List.map (fun (i, n) -> (bound t i, bound t (i + 1), n)))
+      let acc = ref [] in
+      for k = Array.length t.counts - 1 downto 0 do
+        let n = t.counts.(k) in
+        if n > 0 then begin
+          let i = t.base + k in
+          acc := (bound t i, bound t (i + 1), n) :: !acc
+        end
+      done;
+      !acc)
 
+(* Keeps the (grown) bucket array, so a scratch histogram that is reset
+   and refilled every heartbeat tick stays allocation-free. *)
 let reset t =
+  Mutex.lock t.lock;
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.underflow <- 0;
+  t.overflow <- 0;
+  Float.Array.unsafe_set t.fl 0 0.;
+  Float.Array.unsafe_set t.fl 1 Float.infinity;
+  Float.Array.unsafe_set t.fl 2 Float.neg_infinity;
+  Mutex.unlock t.lock
+
+let merge_into src ~into:dst =
+  if src == dst then invalid_arg "Histogram.merge_into: src is dst";
+  if src.per_decade <> dst.per_decade then
+    invalid_arg "Histogram.merge_into: per_decade mismatch";
+  if src.id < dst.id then begin
+    Mutex.lock src.lock;
+    Mutex.lock dst.lock
+  end
+  else begin
+    Mutex.lock dst.lock;
+    Mutex.lock src.lock
+  end;
+  if src.count > 0 then begin
+    dst.count <- dst.count + src.count;
+    dst.underflow <- dst.underflow + src.underflow;
+    dst.overflow <- dst.overflow + src.overflow;
+    Float.Array.unsafe_set dst.fl 0
+      (Float.Array.unsafe_get dst.fl 0 +. Float.Array.unsafe_get src.fl 0);
+    if Float.Array.unsafe_get src.fl 1 < Float.Array.unsafe_get dst.fl 1 then
+      Float.Array.unsafe_set dst.fl 1 (Float.Array.unsafe_get src.fl 1);
+    if Float.Array.unsafe_get src.fl 2 > Float.Array.unsafe_get dst.fl 2 then
+      Float.Array.unsafe_set dst.fl 2 (Float.Array.unsafe_get src.fl 2);
+    let len = Array.length src.counts in
+    if len > 0 then begin
+      ensure dst src.base;
+      ensure dst (src.base + len - 1);
+      for k = 0 to len - 1 do
+        let c = Array.unsafe_get src.counts k in
+        if c <> 0 then begin
+          let j = src.base + k - dst.base in
+          Array.unsafe_set dst.counts j (c + Array.unsafe_get dst.counts j)
+        end
+      done
+    end
+  end;
+  Mutex.unlock src.lock;
+  Mutex.unlock dst.lock
+
+let quantile t q =
   locked t (fun () ->
-      Hashtbl.reset t.buckets;
-      t.count <- 0;
-      t.sum <- 0.;
-      t.underflow <- 0;
-      t.overflow <- 0;
-      t.min <- Float.infinity;
-      t.max <- Float.neg_infinity)
+      if t.count = 0 then None
+      else begin
+        let q = Float.max 0. (Float.min 1. q) in
+        let target =
+          Int.max 1 (int_of_float (Float.ceil (q *. float_of_int t.count)))
+        in
+        let vmin = Float.Array.get t.fl 1 in
+        let vmax = Float.Array.get t.fl 2 in
+        if t.underflow >= target then Some vmin
+        else begin
+          let acc = ref t.underflow in
+          let res = ref None in
+          let k = ref 0 in
+          let len = Array.length t.counts in
+          while !res = None && !k < len do
+            let c = t.counts.(!k) in
+            if c > 0 then begin
+              acc := !acc + c;
+              if !acc >= target then
+                (* Clamp the bucket's upper bound into the observed
+                   range so single-valued histograms answer exactly. *)
+                res :=
+                  Some
+                    (Float.max vmin
+                       (Float.min (bound t (t.base + !k + 1)) vmax))
+            end;
+            incr k
+          done;
+          match !res with None -> Some vmax | some -> some
+        end
+      end)
 
 let to_json t =
   let bs = buckets t in
   locked t (fun () ->
-      let extremum v = if t.count = 0 then Json.Null else Json.Float v in
+      let extremum i =
+        if t.count = 0 then Json.Null else Json.Float (Float.Array.get t.fl i)
+      in
       Json.Obj
         [
           ("name", Json.String t.name);
           ("count", Json.Int t.count);
-          ("sum", Json.Float t.sum);
-          ("min", extremum t.min);
-          ("max", extremum t.max);
+          ("sum", Json.Float (Float.Array.get t.fl 0));
+          ("min", extremum 1);
+          ("max", extremum 2);
           ("underflow", Json.Int t.underflow);
           ("overflow", Json.Int t.overflow);
           ( "buckets",

@@ -1,15 +1,17 @@
 (* Worker domains block on [work] until a batch is posted; a batch is a
-   closure every participant (workers + the posting domain) runs once.
-   The closure itself loops over an atomic chunk cursor, so scheduling
-   only decides which domain computes which chunk — never what any chunk
-   computes or where its results land. *)
+   closure every participant (workers + the posting domain) runs once,
+   handed its own slot index — 0 for the posting domain, 1.. for the
+   workers — so per-domain accounting can attribute work without any
+   shared counters.  The closure itself loops over an atomic chunk
+   cursor, so scheduling only decides which domain computes which chunk
+   — never what any chunk computes or where its results land. *)
 
 type t = {
   jobs : int;
   mutex : Mutex.t;
   work : Condition.t;  (** signalled when a batch is posted or on stop *)
   finished : Condition.t;  (** signalled when the last worker leaves a batch *)
-  mutable batch : (unit -> unit) option;
+  mutable batch : (int -> unit) option;  (** receives the running slot *)
   mutable epoch : int;  (** bumped per posted batch *)
   mutable running : int;  (** workers still inside the current batch *)
   mutable stop : bool;
@@ -18,7 +20,7 @@ type t = {
 
 let jobs t = t.jobs
 
-let rec worker_loop t seen =
+let rec worker_loop t slot seen =
   Mutex.lock t.mutex;
   while (not t.stop) && t.epoch = seen do
     Condition.wait t.work t.mutex
@@ -29,12 +31,12 @@ let rec worker_loop t seen =
     let batch = Option.get t.batch in
     Mutex.unlock t.mutex;
     (* Batches never raise: map_chunked catches per chunk. *)
-    batch ();
+    batch slot;
     Mutex.lock t.mutex;
     t.running <- t.running - 1;
     if t.running = 0 then Condition.broadcast t.finished;
     Mutex.unlock t.mutex;
-    worker_loop t epoch
+    worker_loop t slot epoch
   end
 
 (* The OCaml runtime aborts the whole process once ~128 domains exist
@@ -67,7 +69,9 @@ let create ?(jobs = 1) () =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t.workers <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
   t
 
 let shutdown t =
@@ -80,7 +84,7 @@ let shutdown t =
 
 (* Run [batch] on every domain of the pool and wait for all of them. *)
 let run_batch t batch =
-  if t.workers = [] then batch ()
+  if t.workers = [] then batch 0
   else begin
     Mutex.lock t.mutex;
     t.batch <- Some batch;
@@ -88,7 +92,7 @@ let run_batch t batch =
     t.running <- List.length t.workers;
     Condition.broadcast t.work;
     Mutex.unlock t.mutex;
-    batch ();
+    batch 0;
     Mutex.lock t.mutex;
     while t.running > 0 do
       Condition.wait t.finished t.mutex
@@ -97,7 +101,7 @@ let run_batch t batch =
     Mutex.unlock t.mutex
   end
 
-let map_chunked t ?chunk f arr =
+let map_chunked t ?(sched = Obs.Sched.null) ?(label = "par.map") ?chunk f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
@@ -133,23 +137,40 @@ let map_chunked t ?chunk f arr =
     in
     let errors = Array.make n_chunks None in
     let cursor = Atomic.make 0 in
-    let batch () =
+    (* The recorder sees scheduling, never steers it: chunks are claimed
+       from the same cursor either way, and with a disabled recorder
+       [ledger] is [None] and the loop below is the historical one. *)
+    let ledger =
+      Obs.Sched.map_begin sched ~label ~jobs:t.jobs ~items:n ~chunks:n_chunks
+    in
+    let batch slot =
       let rec go () =
         let c = Atomic.fetch_and_add cursor 1 in
         if c < n_chunks then begin
           let lo = c * chunk in
           let hi = Int.min n (lo + chunk) - 1 in
-          (try
-             for i = lo to hi do
-               store i (f arr.(i))
-             done
-           with exn -> errors.(c) <- Some exn);
+          (match ledger with
+           | None -> (
+             try
+               for i = lo to hi do
+                 store i (f arr.(i))
+               done
+             with exn -> errors.(c) <- Some exn)
+           | Some r ->
+             let t0 = Obs.Sched.chunk_begin r in
+             (try
+                for i = lo to hi do
+                  store i (f arr.(i))
+                done
+              with exn -> errors.(c) <- Some exn);
+             Obs.Sched.chunk_end r ~slot ~t0);
           go ()
         end
       in
       go ()
     in
     run_batch t batch;
+    (match ledger with None -> () | Some r -> Obs.Sched.map_end r);
     Array.iter (function Some exn -> raise exn | None -> ()) errors;
     let r = Atomic.get results in
     assert (r != no_results);

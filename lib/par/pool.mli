@@ -38,14 +38,26 @@ val max_jobs : unit -> int
 (** Number of domains (including the caller) a batch runs on. *)
 val jobs : t -> int
 
-(** [map_chunked t ?chunk f arr] is [Array.map f arr] computed by all
-    domains of the pool.  The input is split into contiguous chunks of
-    [chunk] elements (clamped to [1 .. length arr]; default: enough
-    chunks to balance [4 * jobs] ways) which domains claim from a shared
-    atomic cursor.  If [f] raises, the exception of the lowest-indexed
-    failing chunk is re-raised on the calling domain after the batch
-    completes — deterministic, whichever domain hit it. *)
-val map_chunked : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_chunked t ?sched ?label ?chunk f arr] is [Array.map f arr]
+    computed by all domains of the pool.  The input is split into
+    contiguous chunks of [chunk] elements (clamped to
+    [1 .. length arr]; default: enough chunks to balance [4 * jobs]
+    ways) which domains claim from a shared atomic cursor.  If [f]
+    raises, the exception of the lowest-indexed failing chunk is
+    re-raised on the calling domain after the batch completes —
+    deterministic, whichever domain hit it.
+
+    When [sched] is an enabled {!Obs.Sched} recorder, the call opens a
+    ledger under [label] (default ["par.map"]; by convention
+    ["phase.detail"]) and accounts every chunk — latency, running slot,
+    pool occupancy — to it.  Recording observes scheduling but never
+    steers it: chunk claiming, result placement and error propagation
+    are byte-for-byte the uninstrumented ones, and with the default
+    {!Obs.Sched.null} recorder the instrumented branch is never
+    entered. *)
+val map_chunked :
+  t -> ?sched:Obs.Sched.t -> ?label:string -> ?chunk:int ->
+  ('a -> 'b) -> 'a array -> 'b array
 
 (** Join the worker domains.  Idempotent; after shutdown the pool still
     works but runs everything on the calling domain. *)

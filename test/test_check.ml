@@ -322,6 +322,36 @@ let test_trace_oracle () =
       (Format.pp_print_list Check.Oracle.pp_finding)
       findings
 
+let test_sched_oracle () =
+  (* The flight-recorder identity oracle on a generated instance: the
+     scheduler recorder and progress heartbeat are semantically inert
+     and every produced report is internally consistent. *)
+  let c = Check.Gen.case ~regime:Check.Gen.Intermingled ~seed:13L ~index:0 () in
+  match Check.Oracle.sched_identity ~jobs:[ 1; 2; 4 ] c.instance with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "sched identity violated:@ %a"
+      (Format.pp_print_list Check.Oracle.pp_finding)
+      findings
+
+let test_sched_oracle_r1_r3 () =
+  (* The same oracle on the benchmark circuits the paper reports, so the
+     recorder is proven inert on real sink distributions too. *)
+  List.iter
+    (fun name ->
+      let spec = Option.get (Workload.Circuits.find name) in
+      let inst =
+        Workload.Circuits.instance spec ~n_groups:8
+          ~scheme:Workload.Partition.Intermingled ~bound:10. ()
+      in
+      match Check.Oracle.sched_identity ~jobs:[ 1; 2; 4 ] inst with
+      | [] -> ()
+      | findings ->
+        Alcotest.failf "%s: sched identity violated:@ %a" name
+          (Format.pp_print_list Check.Oracle.pp_finding)
+          findings)
+    [ "r1"; "r3" ]
+
 let test_replay_matches_run () =
   let findings = Check.replay ~seed:7L ~case:3 () in
   Alcotest.(check int) "clean case replays clean" 0 (List.length findings);
@@ -553,6 +583,8 @@ let () =
           Alcotest.test_case "incremental oracle at scale" `Slow
             test_incremental_oracle_huge;
           Alcotest.test_case "trace oracle" `Slow test_trace_oracle;
+          Alcotest.test_case "sched oracle" `Slow test_sched_oracle;
+          Alcotest.test_case "sched oracle r1/r3" `Slow test_sched_oracle_r1_r3;
           Alcotest.test_case "replay + determinism" `Slow
             test_replay_matches_run;
           Alcotest.test_case "injected violation caught + shrunk" `Slow

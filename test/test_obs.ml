@@ -322,6 +322,109 @@ let test_histogram_json () =
      Alcotest.(check (float 1e-9)) "clamped hi" 10. hi
    | _ -> Alcotest.fail "per_decade:0 should behave as 1")
 
+let test_histogram_merge_into () =
+  let a = Obs.Histogram.create ~per_decade:1 "test.hist.merge_a" in
+  let b = Obs.Histogram.create ~per_decade:1 "test.hist.merge_b" in
+  List.iter (Obs.Histogram.observe a) [ 0.5; 5. ];
+  List.iter (Obs.Histogram.observe b) [ 50.; 0.; 700. ];
+  Obs.Histogram.merge_into b ~into:a;
+  Alcotest.(check int) "count folds" 5 (Obs.Histogram.count a);
+  Alcotest.(check int) "underflow folds" 1 (Obs.Histogram.underflow a);
+  Alcotest.(check (float 1e-9)) "sum folds" 755.5 (Obs.Histogram.sum a);
+  (match Obs.Histogram.buckets a with
+   | [ (_, _, 1); (_, _, 1); (_, _, 1); (_, _, 1) ] -> ()
+   | bs ->
+     Alcotest.fail
+       (Printf.sprintf "expected 4 buckets of one, got %d" (List.length bs)));
+  Alcotest.(check int) "src untouched" 3 (Obs.Histogram.count b);
+  (* Merging an empty histogram is a no-op. *)
+  let empty = Obs.Histogram.create ~per_decade:1 "test.hist.merge_empty" in
+  Obs.Histogram.merge_into empty ~into:a;
+  Alcotest.(check int) "empty merge is a no-op" 5 (Obs.Histogram.count a);
+  (* Self-merge and resolution mismatch are programmer errors. *)
+  (match Obs.Histogram.merge_into a ~into:a with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "self-merge must raise");
+  let c = Obs.Histogram.create ~per_decade:2 "test.hist.merge_c" in
+  (match Obs.Histogram.merge_into c ~into:a with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "per_decade mismatch must raise")
+
+(* Steady-state [observe] and [merge_into] must not allocate: the
+   progress heartbeat merges scratch histograms every tick and the
+   scheduler ledger observes one chunk latency per chunk on the
+   parallel hot path.  Growth allocates a few times early (range
+   misses); after that the per-call budget is zero minor words. *)
+let test_histogram_merge_no_alloc () =
+  let src = Obs.Histogram.create ~per_decade:4 "test.hist.alloc_src" in
+  let dst = Obs.Histogram.create ~per_decade:4 "test.hist.alloc_dst" in
+  List.iter (Obs.Histogram.observe src) [ 0.001; 1.; 1000. ];
+  List.iter (Obs.Histogram.observe dst) [ 0.01; 10. ];
+  Obs.Histogram.merge_into src ~into:dst;
+  let rounds = 10_000 in
+  let per_round_of f =
+    let before = Gc.minor_words () in
+    for _ = 1 to rounds do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int rounds
+  in
+  (* Gc.minor_words itself boxes its float result — amortize the two
+     samples over the loop and allow that as the only slack. *)
+  let merge = per_round_of (fun () -> Obs.Histogram.merge_into src ~into:dst) in
+  Alcotest.(check bool)
+    (Printf.sprintf "merge_into allocates %.4f words/call" merge)
+    true (merge < 0.01);
+  let obs = per_round_of (fun () -> Obs.Histogram.observe dst 5.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "observe allocates %.4f words/call" obs)
+    true (obs < 0.01);
+  let rst = per_round_of (fun () -> Obs.Histogram.reset src) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reset allocates %.4f words/call" rst)
+    true (rst < 0.01)
+
+let test_histogram_quantile () =
+  let h = Obs.Histogram.create "test.hist.quantile" in
+  Alcotest.(check bool) "empty has no quantiles" true
+    (Obs.Histogram.quantile h 0.5 = None);
+  Obs.Histogram.observe h 7.;
+  (* Bucket bounds clamp into [min, max], so a single-valued histogram
+     answers exactly at every q. *)
+  (match Obs.Histogram.quantile h 0.5 with
+   | Some v -> Alcotest.(check (float 1e-9)) "single-value p50" 7. v
+   | None -> Alcotest.fail "p50 of one sample");
+  (match Obs.Histogram.quantile h 0.0 with
+   | Some v -> Alcotest.(check (float 1e-9)) "single-value p0" 7. v
+   | None -> Alcotest.fail "p0 of one sample");
+  let h2 = Obs.Histogram.create "test.hist.quantile2" in
+  for i = 1 to 100 do
+    Obs.Histogram.observe h2 (float_of_int i)
+  done;
+  (match Obs.Histogram.quantile h2 0.5 with
+   | Some v ->
+     Alcotest.(check bool)
+       (Printf.sprintf "p50 %.3f within a bucket of the median" v)
+       true
+       (v >= 40. && v <= 70.)
+   | None -> Alcotest.fail "p50");
+  (match Obs.Histogram.quantile h2 0.99 with
+   | Some v ->
+     Alcotest.(check bool)
+       (Printf.sprintf "p99 %.3f near the top" v)
+       true
+       (v >= 90. && v <= 100.)
+   | None -> Alcotest.fail "p99");
+  (match Obs.Histogram.quantile h2 1.0 with
+   | Some v -> Alcotest.(check bool) "p100 <= max" true (v <= 100.)
+   | None -> Alcotest.fail "p100");
+  (* Underflow-dominated quantiles answer the observed minimum. *)
+  let h3 = Obs.Histogram.create "test.hist.quantile3" in
+  List.iter (Obs.Histogram.observe h3) [ 0.; 0.; 5. ];
+  (match Obs.Histogram.quantile h3 0.5 with
+   | Some v -> Alcotest.(check (float 1e-9)) "underflow p50 is min" 0. v
+   | None -> Alcotest.fail "underflow p50")
+
 let test_trace_null () =
   let t = Obs.Trace.null in
   Alcotest.(check bool) "disabled" false (Obs.Trace.enabled t);
@@ -572,6 +675,11 @@ let () =
         [
           Alcotest.test_case "log buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "json export" `Quick test_histogram_json;
+          Alcotest.test_case "merge_into folds in place" `Quick
+            test_histogram_merge_into;
+          Alcotest.test_case "steady state allocates nothing" `Quick
+            test_histogram_merge_no_alloc;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantile;
         ] );
       ( "trace",
         [

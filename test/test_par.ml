@@ -197,6 +197,140 @@ let test_create_clamps_huge_jobs () =
         (Array.init 33 (fun i -> i + 1))
         got)
 
+(* --- flight-recorder ledgers ------------------------------------------------ *)
+
+let phase_named name (rep : Obs.Sched.report) =
+  List.find_opt
+    (fun (p : Obs.Sched.phase_report) -> p.Obs.Sched.phase = name)
+    rep.Obs.Sched.phases
+
+let report_of sched =
+  match Obs.Sched.report sched with
+  | Some rep -> rep
+  | None -> Alcotest.fail "enabled recorder yields no report"
+
+(* Every chunk of a recorded map is attributed to exactly one slot:
+   chunks_per_slot sums to the chunk count, and the per-label ledger
+   carries the exact call/item/chunk tallies. *)
+let test_ledger_exactly_once () =
+  let n = 103 in
+  let n_chunks = (n + 2) / 3 in
+  let sched = Obs.Sched.create () in
+  with_pool 4 (fun pool ->
+      ignore
+        (Par.Pool.map_chunked pool ~sched ~label:"t.map" ~chunk:3
+           (fun i -> i * i)
+           (Array.init n (fun i -> i))));
+  Obs.Sched.note_phase sched ~phase:"t" ~wall_s:1.0;
+  let rep = report_of sched in
+  match phase_named "t" rep with
+  | None -> Alcotest.fail "label t.map did not land in phase t"
+  | Some p ->
+    Alcotest.(check int) "chunks attributed exactly once" n_chunks
+      (Array.fold_left ( + ) 0 p.Obs.Sched.chunks_per_slot);
+    Alcotest.(check int) "phase jobs is the pool width" 4 p.Obs.Sched.jobs;
+    (match p.Obs.Sched.labels with
+     | [ l ] ->
+       Alcotest.(check string) "label" "t.map" l.Obs.Sched.label;
+       Alcotest.(check int) "one ledger" 1 l.Obs.Sched.ledgers;
+       Alcotest.(check int) "items" n l.Obs.Sched.items;
+       Alcotest.(check int) "chunks" n_chunks l.Obs.Sched.chunks
+     | ls -> Alcotest.failf "expected one label, got %d" (List.length ls));
+    (* Occupancy sampling sees one chunk-start per chunk. *)
+    Alcotest.(check int) "occupancy samples = chunks" n_chunks
+      (Array.fold_left (fun a (_, s) -> a + s) 0 rep.Obs.Sched.occupancy)
+
+let busy_wait seconds =
+  let t0 = Obs.Timer.now () in
+  while Obs.Timer.now () -. t0 < seconds do
+    ()
+  done
+
+(* On a workload of known duration, the ledger's busy time accounts for
+   the work and busy + idle cannot exceed the phase wall: busy is at
+   least the summed chunk durations and at most jobs x the map's wall. *)
+let test_ledger_busy_accounts_wall () =
+  let per_chunk = 0.005 in
+  let items = 8 in
+  let sched = Obs.Sched.create () in
+  let wall = ref 0. in
+  with_pool 2 (fun pool ->
+      let t0 = Obs.Timer.now () in
+      ignore
+        (Par.Pool.map_chunked pool ~sched ~label:"t.spin" ~chunk:1
+           (fun _ -> busy_wait per_chunk)
+           (Array.init items (fun i -> i)));
+      wall := Obs.Timer.now () -. t0);
+  Obs.Sched.note_phase sched ~phase:"t" ~wall_s:!wall;
+  let rep = report_of sched in
+  match phase_named "t" rep with
+  | None -> Alcotest.fail "phase t missing"
+  | Some p ->
+    let busy = Array.fold_left ( +. ) 0. p.Obs.Sched.busy_s in
+    let spun = float_of_int items *. per_chunk in
+    Alcotest.(check bool)
+      (Printf.sprintf "busy %.4f covers the %.4f spun" busy spun)
+      true (busy >= 0.9 *. spun);
+    Alcotest.(check bool)
+      (Printf.sprintf "busy %.4f <= jobs x wall %.4f" busy !wall)
+      true
+      (busy <= (2. *. !wall) +. 1e-3);
+    Alcotest.(check bool) "par wall <= phase wall" true
+      (p.Obs.Sched.par_wall_s <= p.Obs.Sched.wall_s +. 1e-9);
+    Alcotest.(check bool) "serial fraction in [0,1]" true
+      (p.Obs.Sched.serial_fraction >= 0. && p.Obs.Sched.serial_fraction <= 1.)
+
+(* Two identical runs produce structurally identical ledgers: same
+   phases, same labels, same call/item/chunk tallies (times differ, of
+   course).  This is what makes efficiency reports comparable across
+   bench runs. *)
+let test_ledger_structure_deterministic () =
+  let run () =
+    let sched = Obs.Sched.create () in
+    with_pool 4 (fun pool ->
+        List.iter
+          (fun (label, n, chunk) ->
+            ignore
+              (Par.Pool.map_chunked pool ~sched ~label ~chunk
+                 (fun i -> i * 2)
+                 (Array.init n (fun i -> i))))
+          [ ("a.x", 50, 3); ("a.y", 20, 1); ("b.z", 64, 7); ("a.x", 50, 3) ]);
+    Obs.Sched.note_phase sched ~phase:"a" ~wall_s:1.;
+    Obs.Sched.note_phase sched ~phase:"b" ~wall_s:1.;
+    let rep = report_of sched in
+    List.map
+      (fun (p : Obs.Sched.phase_report) ->
+        ( p.Obs.Sched.phase,
+          p.Obs.Sched.jobs,
+          Array.fold_left ( + ) 0 p.Obs.Sched.chunks_per_slot,
+          List.map
+            (fun (l : Obs.Sched.label_report) ->
+              (l.Obs.Sched.label, l.Obs.Sched.ledgers, l.Obs.Sched.items,
+               l.Obs.Sched.chunks))
+            p.Obs.Sched.labels ))
+      rep.Obs.Sched.phases
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "ledger structure identical across runs" true (a = b)
+
+(* The disabled recorder records nothing and the recorded map returns
+   the same result as an unrecorded one. *)
+let test_null_recorder_inert () =
+  Alcotest.(check bool) "null is disabled" false
+    (Obs.Sched.enabled Obs.Sched.null);
+  Alcotest.(check bool) "null yields no report" true
+    (Obs.Sched.report Obs.Sched.null = None);
+  let input = Array.init 64 (fun i -> i) in
+  with_pool 2 (fun pool ->
+      let plain = Par.Pool.map_chunked pool ~chunk:5 succ input in
+      let recorded =
+        let sched = Obs.Sched.create () in
+        Par.Pool.map_chunked pool ~sched ~label:"t.id" ~chunk:5 succ input
+      in
+      Alcotest.(check (array int)) "recording never changes results" plain
+        recorded)
+
 (* --- Obs.Counter atomicity under domains ----------------------------------- *)
 
 let test_counter_atomic_across_domains () =
@@ -267,6 +401,17 @@ let () =
           Alcotest.test_case "jobs clamped to >= 1" `Quick test_create_clamps;
           Alcotest.test_case "huge --jobs request clamped, no abort" `Quick
             test_create_clamps_huge_jobs;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "chunks attributed exactly once" `Quick
+            test_ledger_exactly_once;
+          Alcotest.test_case "busy accounts the wall" `Quick
+            test_ledger_busy_accounts_wall;
+          Alcotest.test_case "ledger structure deterministic" `Quick
+            test_ledger_structure_deterministic;
+          Alcotest.test_case "null recorder is inert" `Quick
+            test_null_recorder_inert;
         ] );
       ( "obs",
         [
